@@ -1,0 +1,127 @@
+// Sec 3.1 issue 1 ("Due to NFS access you have 'the grep from &*&(*&'")
+// and Sec 4.2.3: "A simple example of this would be 'grep' looking for a
+// pattern across a set of files ... This recall has no order and can
+// result in a tape rewinding and seeking repeatedly to find files ...
+// especially problematic when we consider 'grep' commands across
+// machines."
+//
+// Model: a user greps a migrated project over NFS.  Each file read blocks
+// on its own demand recall, issued in directory order from whatever
+// machine the NFS request landed on.  Compare with the jail's answer —
+// recall the set through PFTool (one batched, tape-ordered, node-affine
+// request) and run the scan on disk.
+#include <cstdio>
+
+#include "archive/system.hpp"
+#include "bench/common.hpp"
+#include "workload/tree.hpp"
+
+namespace {
+
+using namespace cpa;
+
+struct Outcome {
+  double seconds = 0;
+  std::uint64_t seeks = 0;
+  std::uint64_t mounts = 0;
+};
+
+archive::SystemConfig plant() { return archive::SystemConfig::roadrunner(); }
+
+void populate(archive::CotsParallelArchive& sys, unsigned files,
+              std::vector<std::string>* paths) {
+  workload::TreeSpec tree;
+  tree.root = "/proj/grepme";
+  for (unsigned i = 0; i < files; ++i) tree.file_sizes.push_back(64 * kMB);
+  workload::build_tree(sys.archive_fs(), tree);
+  for (unsigned i = 0; i < files; ++i) {
+    paths->push_back(workload::tree_file_path(tree, i));
+  }
+  sys.hsm().parallel_migrate(*paths, {0, 1, 2, 3},
+                             hsm::DistributionStrategy::SizeBalanced, "g",
+                             nullptr);
+  sys.sim().run();
+}
+
+/// The grep: one demand recall per file, request order, arbitrary node.
+Outcome nfs_grep(unsigned files) {
+  archive::CotsParallelArchive sys(plant());
+  std::vector<std::string> paths;
+  populate(sys, files, &paths);
+  const auto before = sys.library().aggregate_stats();
+  const sim::Tick t0 = sys.sim().now();
+
+  // Sequential: grep blocks on each file before opening the next.
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [&sys, paths, step](std::size_t i) {
+    if (i >= paths.size()) return;
+    hsm::RecallOptions opts;
+    opts.tape_ordered = false;  // demand recall knows no order
+    // Each NFS read lands on whichever cluster node served the mount —
+    // consecutive recalls of the same tape hop between machines.
+    opts.nodes = {static_cast<tape::NodeId>(i % 10)};
+    sys.hsm().recall({paths[i]}, opts,
+                     [step, i](const hsm::RecallReport&) { (*step)(i + 1); });
+  };
+  (*step)(0);
+  sys.sim().run();
+
+  Outcome out;
+  out.seconds = sim::to_seconds(sys.sim().now() - t0);
+  const auto after = sys.library().aggregate_stats();
+  out.seeks = after.seeks - before.seeks;
+  out.mounts = after.mounts - before.mounts;
+  return out;
+}
+
+/// The jail's answer: one batched PFTool recall, tape-ordered, affine.
+Outcome pftool_recall(unsigned files) {
+  archive::CotsParallelArchive sys(plant());
+  std::vector<std::string> paths;
+  populate(sys, files, &paths);
+  const auto before = sys.library().aggregate_stats();
+  const sim::Tick t0 = sys.sim().now();
+  hsm::RecallOptions opts;
+  opts.tape_ordered = true;
+  opts.assignment = hsm::RecallOptions::Assignment::TapeAffinity;
+  opts.nodes = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  sys.hsm().recall(paths, opts, nullptr);
+  sys.sim().run();
+  Outcome out;
+  out.seconds = sim::to_seconds(sys.sim().now() - t0);
+  const auto after = sys.library().aggregate_stats();
+  out.seeks = after.seeks - before.seeks;
+  out.mounts = after.mounts - before.mounts;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Sec 3.1(1)/4.2.3", "'The grep from hell' vs jailed PFTool recall");
+
+  std::printf("\n  files | access pattern   | seconds | seeks | volume mounts\n");
+  std::printf("  ------+------------------+---------+-------+--------------\n");
+  Outcome grep{}, tool{};
+  for (const unsigned files : {32u, 128u}) {
+    grep = nfs_grep(files);
+    tool = pftool_recall(files);
+    std::printf("  %5u | NFS grep         | %7.0f | %5llu | %13llu\n", files,
+                grep.seconds, static_cast<unsigned long long>(grep.seeks),
+                static_cast<unsigned long long>(grep.mounts));
+    std::printf("  %5u | jailed PFTool    | %7.0f | %5llu | %13llu\n", files,
+                tool.seconds, static_cast<unsigned long long>(tool.seeks),
+                static_cast<unsigned long long>(tool.mounts));
+  }
+
+  bench::section("paper vs measured (128 files)");
+  bench::compare("NFS grep behaviour",
+                 "\"mounted and dismounted repeatedly\"",
+                 std::to_string(grep.seeks) + " seeks, " +
+                     std::to_string(grep.mounts) + " mounts");
+  bench::compare("jailed PFTool", "sequential tape read",
+                 std::to_string(tool.seeks) + " seeks");
+  bench::compare("why the jail exists", "avoid dangerous grep",
+                 bench::fmt("%.0fx faster via PFTool", grep.seconds / tool.seconds));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Sec 4.1.2 item 3, "A single large file parallel copy":
+//   "The size of a single large file is in the range of 10GBs to 100 GBs.
+//    We divide a single large file into N equal-size sub-chunks and assign
+//    them to available Workers ... N workers copy data in parallel."
+//
+// Copy one large file through 1..16 workers and report the speedup of the
+// chunked N-to-1 copy.
+#include <cstdio>
+
+#include "archive/system.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+double copy_rate_mbs(std::uint64_t file_size, unsigned workers) {
+  using namespace cpa;
+  archive::CotsParallelArchive sys(archive::SystemConfig::roadrunner());
+  sys.make_file(sys.scratch(), "/scratch/big", file_size, 0xB16);
+  pftool::PftoolConfig cfg = sys.config().pftool;
+  cfg.num_workers = workers;
+  const auto r = pftool::sim::run_pfcp(sys.job_env(false), cfg, "/scratch/big",
+                                       "/proj/big");
+  return r.rate_bps() / static_cast<double>(cpa::kMB);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cpa;
+  bench::header("Sec 4.1.2(3)", "Single large file N-to-1 chunked parallel copy");
+
+  std::printf("\n  file size | workers | rate (MB/s)\n");
+  std::printf("  ----------+---------+------------\n");
+  double r1 = 0, r8 = 0;
+  for (const std::uint64_t size : {10 * kGB, 40 * kGB, 100 * kGB}) {
+    for (const unsigned workers : {1u, 2u, 4u, 8u, 16u}) {
+      const double rate = copy_rate_mbs(size, workers);
+      std::printf("  %6.0f GB | %7u | %10.1f\n",
+                  static_cast<double>(size) / static_cast<double>(kGB), workers,
+                  rate);
+      if (size == 40 * kGB && workers == 1) r1 = rate;
+      if (size == 40 * kGB && workers == 8) r8 = rate;
+    }
+  }
+
+  bench::section("paper vs measured (40 GB file)");
+  bench::compare("chunked copy speedup 1->8 workers", "~N-fold until fabric",
+                 bench::fmt("%.1fx", r8 / r1));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Sec 4.5 "Restart-able File Transfer":
+//   "What about restarting a 40 Terabyte file, we don't want to start it
+//    from the beginning ... we mark regular file chunks or FUSE file
+//    chunks as good or bad so that we don't have to re-send known good
+//    chunks.  This is a unique incremental parallel archive feature that
+//    can reduce unnecessary data copy and increase performance."
+//
+// Interrupt a very large transfer at various completion fractions, then
+// restart with and without the chunk journal, and compare bytes re-sent.
+#include <cstdio>
+
+#include "archive/system.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace cpa;
+
+struct Outcome {
+  double resent_gb = 0;
+  double restart_seconds = 0;
+};
+
+Outcome restart_after(double fail_fraction, bool journaled,
+                      std::uint64_t file_size) {
+  archive::CotsParallelArchive sys(archive::SystemConfig::roadrunner());
+  sys.make_file(sys.scratch(), "/scratch/huge", file_size, 0x40AB);
+
+  pftool::PftoolConfig cfg = sys.config().pftool;
+  cfg.num_workers = 16;
+  cfg.restartable = journaled;
+
+  // Simulate the interrupted first attempt: the journal recorded the
+  // first `fail_fraction` of chunks as good before the network died.
+  const pftool::ChunkPlanner planner(cfg.planner);
+  const pftool::CopyPlan plan = planner.plan(file_size);
+  const auto good = static_cast<std::uint64_t>(
+      static_cast<double>(plan.chunks.size()) * fail_fraction);
+  if (journaled) {
+    sys.journal().begin("/proj/huge", file_size, plan.chunks.size());
+    for (std::uint64_t i = 0; i < good; ++i) {
+      sys.journal().mark_good("/proj/huge", i);
+    }
+  }
+  // The interrupted run also left the partially-written destination.
+  if (plan.mode == pftool::CopyMode::FuseNtoN) {
+    sys.fuse().create("/proj/huge", file_size);
+    for (std::uint64_t i = 0; i < good; ++i) {
+      sys.fuse().write_chunk("/proj/huge", i, pftool::chunk_tag(0x40AB, i));
+    }
+  }
+
+  const sim::Tick t0 = sys.sim().now();
+  const auto r = pftool::sim::run_pfcp(sys.job_env(false), cfg, "/scratch/huge",
+                                       "/proj/huge");
+  Outcome out;
+  out.resent_gb = static_cast<double>(r.bytes_copied) / static_cast<double>(kGB);
+  out.restart_seconds = sim::to_seconds(r.finished - t0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Sec 4.5", "Restart-able transfer: chunk journal vs full re-send");
+
+  constexpr std::uint64_t kFile = 2 * kTB;  // scaled stand-in for the 40 TB case
+
+  std::printf("\n  interrupted at | journaled re-send (GB) | naive re-send (GB) | saved\n");
+  std::printf("  ---------------+------------------------+--------------------+------\n");
+  double saved90 = 0;
+  for (const double frac : {0.25, 0.50, 0.90}) {
+    const Outcome j = restart_after(frac, true, kFile);
+    const Outcome n = restart_after(frac, false, kFile);
+    std::printf("  %13.0f%% | %22.0f | %18.0f | %4.0f%%\n", frac * 100.0,
+                j.resent_gb, n.resent_gb,
+                100.0 * (1.0 - j.resent_gb / n.resent_gb));
+    if (frac == 0.90) saved90 = 1.0 - j.resent_gb / n.resent_gb;
+  }
+
+  bench::section("paper vs measured");
+  bench::compare("re-send after 90% interrupt", "only the bad chunks",
+                 bench::fmt("%.0f%% of bytes saved", saved90 * 100.0));
+  std::printf("\n  (For the paper's 40 TB file a 90%%-complete interrupt saves\n"
+              "   ~36 TB of re-copy; scaled proportionally here.)\n");
+  return 0;
+}

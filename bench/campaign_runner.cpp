@@ -1,0 +1,141 @@
+#include "bench/campaign_runner.hpp"
+
+#include "archive/system.hpp"
+#include "simcore/rng.hpp"
+#include "workload/tree.hpp"
+
+namespace cpa::bench {
+namespace {
+
+// Ethernet/TCP/NFS goodput: the paper's own ceiling is "~75% bandwidth
+// utilization from two 10Gigabit Ethernet trunk", so the usable fraction
+// of nominal line rate is modeled explicitly.
+constexpr double kGoodput = 0.75;
+
+/// "Machine sharing among multiple users": other site traffic occupies a
+/// varying fraction of each trunk in alternating busy/quiet intervals over
+/// the 18 operation days.
+void schedule_background_load(archive::CotsParallelArchive& sys,
+                              sim::Rng& rng, double days) {
+  for (unsigned t = 0; t < sys.config().cluster.trunk_count; ++t) {
+    const sim::PoolId trunk = sys.fta().trunk_for(t);
+    double at_hours = rng.uniform(0.0, 2.0);
+    while (at_hours < days * 24.0) {
+      const double busy_hours = rng.uniform(0.5, 4.0);
+      const double fraction = rng.uniform(0.15, 0.6);
+      const double rate =
+          sys.net().pool_capacity(trunk) * fraction;
+      const double bytes = rate * busy_hours * 3600.0;
+      sys.sim().at(sim::hours(at_hours), [&sys, trunk, bytes, rate] {
+        sys.net().start_flow({sim::PathLeg(trunk)}, bytes, nullptr, rate);
+      });
+      at_hours += busy_hours + rng.uniform(0.5, 4.0);
+    }
+  }
+}
+
+/// The production archive migrates to tape continuously — without it the
+/// 100 TB fast pool cannot absorb a ~150 TB campaign.  Cycles chain (a new
+/// scan starts only after the previous migration finished) to avoid
+/// double-migrating files still in flight.
+void schedule_migration_cycles(archive::CotsParallelArchive& sys,
+                               double horizon_days) {
+  pfs::Rule rule;
+  rule.name = "campaign-mig";
+  rule.action = pfs::Rule::Action::List;
+  rule.where = {pfs::Condition::path_glob("/proj/*"),
+                pfs::Condition::dmapi_is(pfs::DmapiState::Resident),
+                pfs::Condition::age_ge(1800)};
+  sys.policy().add_rule(rule);
+
+  auto cycle = std::make_shared<std::function<void()>>();
+  *cycle = [&sys, cycle, horizon_days] {
+    if (sim::to_seconds(sys.sim().now()) > horizon_days * 86400.0) return;
+    sys.run_migration_cycle("campaign-mig", "opensci",
+                            [&sys, cycle](const hsm::MigrateReport&) {
+                              sys.sim().after(sim::hours(4), [cycle] { (*cycle)(); });
+                            });
+  };
+  sys.sim().at(sim::hours(2), [cycle] { (*cycle)(); });
+}
+
+}  // namespace
+
+CampaignResult run_campaign(double file_count_scale, std::uint64_t seed) {
+  using archive::CotsParallelArchive;
+  using archive::SystemConfig;
+
+  workload::CampaignConfig wl;
+  wl.file_count_scale = file_count_scale;
+  wl.max_materialized_files = 4000;
+  wl.preserve_total_bytes = true;  // realistic durations -> realistic overlap
+  wl.seed = seed;
+  const auto specs = workload::CampaignGenerator(wl).generate();
+
+  SystemConfig cfg = SystemConfig::roadrunner();
+  cfg.cluster.trunk_bps *= kGoodput;
+  cfg.cluster.node_nic_bps *= kGoodput;
+  CotsParallelArchive sys(cfg);
+
+  sim::Rng rng(seed ^ 0xBADCAFE);
+  schedule_background_load(sys, rng, wl.operation_days);
+  schedule_migration_cycles(sys, wl.operation_days + 2.0);
+
+  CampaignResult result;
+  result.jobs.resize(specs.size());
+
+  // Materialize all trees up front (namespace ops are free in virtual
+  // time), then schedule each pfcp at its submit time.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    workload::TreeSpec tree;
+    tree.root = "/scratch/job" + std::to_string(spec.job_id);
+    tree.file_sizes = spec.file_sizes;
+    tree.tag_seed = 0xC0FFEE + spec.job_id;
+    workload::build_tree(sys.scratch(), tree);
+    result.jobs[i].spec = spec;
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = result.jobs[i].spec;
+
+    // Users launched jobs with varying process counts (NumProcs is a
+    // runtime tunable).  Most ran with a handful of movers (each mover is
+    // HBA-bound near 400 MB/s); a few cranked NumProcs wide enough to
+    // saturate the trunks — those produce the paper's ~1868 MB/s peak.
+    static constexpr unsigned kWorkerChoices[] = {1, 2, 2, 3, 3, 4, 4, 6, 8, 12, 16};
+    pftool::PftoolConfig job_cfg = sys.config().pftool;
+    job_cfg.num_workers =
+        kWorkerChoices[rng.uniform_u64(0, std::size(kWorkerChoices) - 1)];
+    job_cfg.num_readdir = 2;
+    job_cfg.num_tapeprocs = 0;
+    job_cfg.per_file_cost = sim::msecs(4);
+    // Single-stream ceiling of one mover process (TCP window + GPFS client
+    // on 2008-era FTA nodes).
+    job_cfg.per_stream_max_bps = 200.0 * static_cast<double>(kMB);
+    // Per-file overhead must reflect the UNSCALED file count: each
+    // materialized file stands for (count/materialized) real files' worth
+    // of create/open/close work.
+    const double expansion = static_cast<double>(spec.file_count) /
+                             static_cast<double>(spec.file_sizes.size());
+    job_cfg.per_file_cost = static_cast<sim::Tick>(
+        static_cast<double>(job_cfg.per_file_cost) * std::max(1.0, expansion));
+
+    sys.sim().at(spec.submit_time, [&sys, &result, i, job_cfg] {
+      const auto& spec = result.jobs[i].spec;
+      const std::string src = "/scratch/job" + std::to_string(spec.job_id);
+      const std::string dst = "/proj/job" + std::to_string(spec.job_id);
+      sys.start_pfcp(src, dst,
+                     [&result, i](const pftool::JobReport& r) {
+                       result.jobs[i].measured_rate_bps = r.rate_bps();
+                       result.jobs[i].elapsed_seconds = r.elapsed_seconds();
+                       result.jobs[i].files_copied = r.files_copied;
+                     },
+                     job_cfg);
+    });
+  }
+  sys.sim().run();
+  return result;
+}
+
+}  // namespace cpa::bench

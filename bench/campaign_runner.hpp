@@ -1,0 +1,40 @@
+// Shared campaign executor for the Figure 8-11 benches.
+//
+// Generates the 62-job Open Science campaign (workload::CampaignGenerator,
+// calibrated to the paper's marginals), materializes each job's tree on
+// the scratch file system, and submits one pfcp per job at its submit time
+// against the full Roadrunner-scale plant.  Jobs overlap exactly as their
+// submit times dictate, so they contend for trunks, NICs, HBAs and disk
+// servers — the "bandwidth sharing and machine sharing among multiple
+// users" the paper cites as the source of rate variance.
+//
+// File counts are materialized at 1/100 scale (with per-job byte volume
+// scaled identically) to keep host-side simulation cost sane; per-job
+// rates are preserved to first order because per-file costs are small
+// against transfer time at the sizes involved.  The unscaled per-job
+// numbers (what Figs 8/9/11 plot) come straight from the generator.
+#pragma once
+
+#include <vector>
+
+#include "workload/campaign.hpp"
+
+namespace cpa::bench {
+
+struct CampaignJobResult {
+  workload::JobSpec spec;          // unscaled numbers for Figs 8/9/11
+  double measured_rate_bps = 0.0;  // Fig 10 (from the scaled run)
+  double elapsed_seconds = 0.0;
+  std::uint64_t files_copied = 0;
+};
+
+struct CampaignResult {
+  std::vector<CampaignJobResult> jobs;
+};
+
+/// Runs the campaign once.  `file_count_scale` trades fidelity for host
+/// time; the default reproduces the shipped EXPERIMENTS.md numbers.
+CampaignResult run_campaign(double file_count_scale = 0.01,
+                            std::uint64_t seed = 2009);
+
+}  // namespace cpa::bench

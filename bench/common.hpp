@@ -1,0 +1,38 @@
+// Shared output helpers for the paper-reproduction benchmarks.
+//
+// Every bench binary prints (a) the series/rows the corresponding paper
+// figure or table reports, and (b) a paper-vs-measured summary block that
+// EXPERIMENTS.md records.  Absolute equality with the paper's testbed is
+// not expected; the *shape* (who wins, by what factor, where crossovers
+// fall) is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace cpa::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n-- %s --\n", name.c_str());
+}
+
+/// One paper-vs-measured comparison row.
+inline void compare(const std::string& metric, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-38s paper: %-18s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+}  // namespace cpa::bench

@@ -1,0 +1,58 @@
+// The chroot-jail command policy (Sec 4.2.3, "Controlling User Commands").
+//
+// "If the archive is left as a standard UNIX environment, user can make
+//  use of any tool available ... This becomes a dangerous problem when
+//  some files may be on tape.  A simple example of this would be 'grep'
+//  ... One solution to this problem is to restrict the commands available
+//  to users by creating a unique environment using the UNIX 'chroot'
+//  utility ... While avoiding dangerous uses of commands like 'grep', we
+//  encourage the use of PFTool, which executes in parallel and is tape
+//  aware."
+//
+// This models the jail's policy decision: which command names users may
+// run against the archive mount, with tape-dangerous defaults denied and
+// the PFTool commands plus ordinary namespace tools allowed.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cpa::archive {
+
+class CommandJail {
+ public:
+  /// The production policy: PFTool + metadata-only tools allowed;
+  /// data-scanning tools (grep & friends) and raw deletes denied.
+  static CommandJail lanl_default();
+
+  void allow(const std::string& command) { allowed_.insert(command); }
+  void deny(const std::string& command) { allowed_.erase(command); }
+
+  [[nodiscard]] bool is_allowed(const std::string& command) const {
+    return allowed_.count(command) != 0;
+  }
+  [[nodiscard]] std::vector<std::string> allowed_commands() const {
+    return {allowed_.begin(), allowed_.end()};
+  }
+
+ private:
+  std::set<std::string> allowed_;
+};
+
+inline CommandJail CommandJail::lanl_default() {
+  CommandJail jail;
+  // PFTool: parallel and tape aware.
+  for (const char* c : {"pfls", "pfcp", "pfcm"}) jail.allow(c);
+  // Metadata-only tools are harmless to tape.
+  for (const char* c : {"ls", "cd", "pwd", "mkdir", "mv", "stat", "du", "find"}) {
+    jail.allow(c);
+  }
+  // "rm" is allowed but the jail wires it to the trashcan, not unlink.
+  jail.allow("rm");
+  // Data-scanning tools would recall files from tape in arbitrary order:
+  // grep, cat, tar, cp and friends stay outside the jail.
+  return jail;
+}
+
+}  // namespace cpa::archive

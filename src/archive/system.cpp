@@ -1,0 +1,160 @@
+#include "archive/system.hpp"
+
+namespace cpa::archive {
+
+SystemConfig SystemConfig::roadrunner() {
+  SystemConfig cfg;
+
+  cfg.scratch_fs.name = "panfs";
+  cfg.scratch_fs.pools = {pfs::PoolConfig{"scratch", 0, 16, false}};
+
+  cfg.archive_fs.name = "gpfs";
+  cfg.archive_fs.pools = {
+      // "100 TB of fast FC4 disk" where all files land first.
+      pfs::PoolConfig{"fast", 100ULL * kTB, 10, false},
+      // "a 'slow' disk pool used to store small files".
+      pfs::PoolConfig{"slow", 100ULL * kTB, 4, false},
+      // GPFS 3.2 external pool: the tape side.
+      pfs::PoolConfig{"tape-external", 0, 1, true},
+  };
+
+  cfg.cluster.fta_nodes = 10;
+  cfg.cluster.trunk_count = 2;
+
+  cfg.tape.drive_count = 24;
+
+  cfg.hsm.lan_free = true;
+  cfg.hsm.server_count = 1;
+
+  return cfg;
+}
+
+SystemConfig SystemConfig::small() {
+  SystemConfig cfg = roadrunner();
+  cfg.scratch_fs.pools = {pfs::PoolConfig{"scratch", 0, 4, false}};
+  cfg.archive_fs.pools = {
+      pfs::PoolConfig{"fast", 10ULL * kTB, 4, false},
+      pfs::PoolConfig{"slow", 10ULL * kTB, 2, false},
+      pfs::PoolConfig{"tape-external", 0, 1, true},
+  };
+  cfg.cluster.fta_nodes = 4;
+  cfg.tape.drive_count = 4;
+  cfg.pftool.num_workers = 4;
+  cfg.pftool.num_readdir = 1;
+  cfg.pftool.num_tapeprocs = 2;
+  return cfg;
+}
+
+CotsParallelArchive::CotsParallelArchive(SystemConfig cfg)
+    : cfg_(std::move(cfg)) {
+  scratch_ = std::make_unique<pfs::FileSystem>(sim_, cfg_.scratch_fs);
+  archive_ = std::make_unique<pfs::FileSystem>(sim_, cfg_.archive_fs);
+  cluster_ = std::make_unique<cluster::Cluster>(net_, cfg_.cluster, *archive_,
+                                                *scratch_);
+  library_ = std::make_unique<tape::TapeLibrary>(sim_, net_, cfg_.tape);
+  hsm_ = std::make_unique<hsm::HsmSystem>(sim_, net_, *archive_, *library_,
+                                          cluster_->fabric(), cfg_.hsm);
+  fuse_ = std::make_unique<fusefs::ArchiveFuse>(*archive_, cfg_.fuse);
+  trashcan_ = std::make_unique<Trashcan>(*archive_, *hsm_);
+}
+
+pftool::sim::JobEnv CotsParallelArchive::job_env(bool restore_direction) {
+  pftool::sim::JobEnv env;
+  env.sim = &sim_;
+  env.net = &net_;
+  env.cluster = cluster_.get();
+  if (restore_direction) {
+    env.src_fs = archive_.get();
+    env.dst_fs = scratch_.get();
+  } else {
+    env.src_fs = scratch_.get();
+    env.dst_fs = archive_.get();
+  }
+  env.fuse = restore_direction ? nullptr : fuse_.get();
+  env.hsm = hsm_.get();
+  env.journal = &journal_;
+  if (!restore_direction) {
+    env.placement = [this](const std::string& dst_path) {
+      return policy_.placement_pool(dst_path, sim_.now());
+    };
+  }
+  return env;
+}
+
+pftool::JobReport CotsParallelArchive::pfls(const std::string& root) {
+  pftool::sim::JobEnv env = job_env(false);
+  env.src_fs = scratch_->exists(root) ? scratch_.get() : archive_.get();
+  env.dst_fs = env.src_fs;
+  return pftool::sim::run_pfls(env, cfg_.pftool, root);
+}
+
+pftool::JobReport CotsParallelArchive::pfcp_archive(const std::string& src,
+                                                    const std::string& dst) {
+  return pftool::sim::run_pfcp(job_env(false), cfg_.pftool, src, dst);
+}
+
+pftool::JobReport CotsParallelArchive::pfcp_restore(const std::string& src,
+                                                    const std::string& dst) {
+  return pftool::sim::run_pfcp(job_env(true), cfg_.pftool, src, dst);
+}
+
+pftool::JobReport CotsParallelArchive::pfcm(const std::string& src,
+                                            const std::string& dst) {
+  return pftool::sim::run_pfcm(job_env(false), cfg_.pftool, src, dst);
+}
+
+pftool::sim::PftoolJob& CotsParallelArchive::start_pfcp(
+    const std::string& src, const std::string& dst,
+    std::function<void(const pftool::JobReport&)> done,
+    pftool::PftoolConfig cfg_override) {
+  jobs_.push_back(std::make_unique<pftool::sim::PftoolJob>(
+      job_env(false), cfg_override, pftool::sim::Command::Pfcp, src, dst,
+      std::move(done)));
+  jobs_.back()->start();
+  return *jobs_.back();
+}
+
+pftool::sim::PftoolJob& CotsParallelArchive::start_pfcp(
+    const std::string& src, const std::string& dst,
+    std::function<void(const pftool::JobReport&)> done) {
+  return start_pfcp(src, dst, std::move(done), cfg_.pftool);
+}
+
+void CotsParallelArchive::run_migration_cycle(
+    const std::string& list_rule_name, const std::string& colocation_group,
+    std::function<void(const hsm::MigrateReport&)> done) {
+  // "Rather than use a GPFS migration policy, we use a list policy to
+  // generate lists of candidate files to migrate to tape" (Sec 4.2.4).
+  const pfs::ScanReport scan =
+      policy_.run_scan(*archive_, cfg_.cluster.fta_nodes);
+  auto it = scan.matches.find(list_rule_name);
+  std::vector<std::string> paths;
+  if (it != scan.matches.end()) {
+    paths.reserve(it->second.size());
+    for (const pfs::PolicyMatch& m : it->second) paths.push_back(m.path);
+  }
+  std::vector<tape::NodeId> nodes;
+  for (unsigned n = 0; n < cfg_.cluster.fta_nodes; ++n) nodes.push_back(n);
+  // The scan itself takes virtual time before migration starts.
+  sim_.after(scan.scan_duration, [this, paths = std::move(paths),
+                                  nodes = std::move(nodes), colocation_group,
+                                  done = std::move(done)]() mutable {
+    hsm_->parallel_migrate(std::move(paths), std::move(nodes),
+                           hsm::DistributionStrategy::SizeBalanced,
+                           colocation_group, std::move(done));
+  });
+}
+
+pfs::Errc CotsParallelArchive::make_file(pfs::FileSystem& fs,
+                                         const std::string& path,
+                                         std::uint64_t size,
+                                         std::uint64_t tag) {
+  if (const pfs::Errc e = fs.mkdirs(pfs::parent_path(path)); e != pfs::Errc::Ok) {
+    return e;
+  }
+  const auto created = fs.create(path);
+  if (!created.ok()) return created.error();
+  return fs.write_all(path, size, tag);
+}
+
+}  // namespace cpa::archive

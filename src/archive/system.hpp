@@ -1,0 +1,122 @@
+// CotsParallelArchive: the assembled system of Figure 2 / Figure 7.
+//
+// One object owns and wires every substrate:
+//   scratch PFS (Panasas stand-in)  <- two 10GigE trunks ->  FTA cluster
+//   -> archive GPFS (fast FC pool + slow pool, ILM policy engine)
+//   -> HSM (TSM stand-in, LAN-free) -> tape library (24 x LTO-4)
+// plus the user-space glue: PFTool (pfls/pfcp/pfcm), ArchiveFUSE, the
+// restart journal, the trashcan, and the ILM policy engine driving the
+// parallel data migrator.
+//
+// This is the public entry point a downstream user would program against;
+// examples/ and bench/ are written exclusively in terms of it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/trashcan.hpp"
+#include "cluster/cluster.hpp"
+#include "fusefs/archive_fuse.hpp"
+#include "hsm/hsm.hpp"
+#include "pfs/filesystem.hpp"
+#include "pfs/policy.hpp"
+#include "pftool/core/restart_journal.hpp"
+#include "pftool/sim/job.hpp"
+#include "simcore/flow_network.hpp"
+#include "simcore/simulation.hpp"
+#include "tape/library.hpp"
+
+namespace cpa::archive {
+
+struct SystemConfig {
+  pfs::FsConfig scratch_fs;
+  pfs::FsConfig archive_fs;
+  cluster::ClusterConfig cluster;
+  tape::LibraryConfig tape;
+  hsm::HsmConfig hsm;
+  fusefs::FuseConfig fuse;
+  pftool::PftoolConfig pftool;
+
+  /// The paper's plant (Sec 4.3.1 / Fig. 7): 10 mover nodes, 5 disk nodes
+  /// with 100 TB fast FC4 disk + slow pool, 24 LTO-4 drives, one TSM
+  /// server, two 10GigE trunks, LAN-free movement.
+  static SystemConfig roadrunner();
+  /// A scaled-down plant for fast unit tests: 4 nodes, 4 drives.
+  static SystemConfig small();
+};
+
+class CotsParallelArchive {
+ public:
+  explicit CotsParallelArchive(SystemConfig cfg = SystemConfig::roadrunner());
+  CotsParallelArchive(const CotsParallelArchive&) = delete;
+  CotsParallelArchive& operator=(const CotsParallelArchive&) = delete;
+
+  // --- components ------------------------------------------------------------
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sim::FlowNetwork& net() { return net_; }
+  [[nodiscard]] pfs::FileSystem& scratch() { return *scratch_; }
+  [[nodiscard]] pfs::FileSystem& archive_fs() { return *archive_; }
+  [[nodiscard]] cluster::Cluster& fta() { return *cluster_; }
+  [[nodiscard]] tape::TapeLibrary& library() { return *library_; }
+  [[nodiscard]] hsm::HsmSystem& hsm() { return *hsm_; }
+  [[nodiscard]] fusefs::ArchiveFuse& fuse() { return *fuse_; }
+  [[nodiscard]] Trashcan& trashcan() { return *trashcan_; }
+  [[nodiscard]] pftool::RestartJournal& journal() { return journal_; }
+  [[nodiscard]] pfs::PolicyEngine& policy() { return policy_; }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+
+  /// JobEnv wired to this system, for hand-constructed PftoolJob runs.
+  [[nodiscard]] pftool::sim::JobEnv job_env(bool restore_direction = false);
+
+  // --- PFTool commands (synchronous: run the simulation to completion) -----
+  pftool::JobReport pfls(const std::string& root);
+  /// scratch -> archive
+  pftool::JobReport pfcp_archive(const std::string& src, const std::string& dst);
+  /// archive -> scratch (engages TapeProcs for migrated files)
+  pftool::JobReport pfcp_restore(const std::string& src, const std::string& dst);
+  /// compare scratch tree against archive tree
+  pftool::JobReport pfcm(const std::string& src, const std::string& dst);
+
+  /// Starts a pfcp without running the simulation — for concurrent-job
+  /// campaigns.  The job is owned by the system.
+  pftool::sim::PftoolJob& start_pfcp(
+      const std::string& src, const std::string& dst,
+      std::function<void(const pftool::JobReport&)> done,
+      pftool::PftoolConfig cfg_override);
+  pftool::sim::PftoolJob& start_pfcp(
+      const std::string& src, const std::string& dst,
+      std::function<void(const pftool::JobReport&)> done);
+
+  // --- backend driving ---------------------------------------------------------
+  /// One ILM cycle (Sec 4.2.4): run the policy engine's list rules, then
+  /// hand each named list to the parallel data migrator, size-balanced
+  /// across all FTA nodes.  `done` gets the combined migration report.
+  void run_migration_cycle(const std::string& list_rule_name,
+                           const std::string& colocation_group,
+                           std::function<void(const hsm::MigrateReport&)> done);
+
+  // --- helpers ------------------------------------------------------------------
+  /// Creates a file with parents and synthetic content on a file system.
+  pfs::Errc make_file(pfs::FileSystem& fs, const std::string& path,
+                      std::uint64_t size, std::uint64_t tag);
+
+ private:
+  SystemConfig cfg_;
+  sim::Simulation sim_;
+  sim::FlowNetwork net_{sim_};
+  std::unique_ptr<pfs::FileSystem> scratch_;
+  std::unique_ptr<pfs::FileSystem> archive_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<tape::TapeLibrary> library_;
+  std::unique_ptr<hsm::HsmSystem> hsm_;
+  std::unique_ptr<fusefs::ArchiveFuse> fuse_;
+  std::unique_ptr<Trashcan> trashcan_;
+  pftool::RestartJournal journal_;
+  pfs::PolicyEngine policy_;
+  std::vector<std::unique_ptr<pftool::sim::PftoolJob>> jobs_;
+};
+
+}  // namespace cpa::archive

@@ -1,0 +1,81 @@
+#include "archive/trashcan.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace cpa::archive {
+
+Trashcan::Trashcan(pfs::FileSystem& fs, hsm::HsmSystem& hsm, std::string dir)
+    : fs_(fs), hsm_(hsm), dir_(std::move(dir)) {
+  fs_.mkdirs(dir_);
+}
+
+pfs::Errc Trashcan::trash(const std::string& path) {
+  const auto st = fs_.stat(path);
+  if (!st.ok()) return st.error();
+  if (entries_.count(path) != 0) return pfs::Errc::Exists;
+  char name[64];
+  std::snprintf(name, sizeof(name), "t%08llu_%s",
+                static_cast<unsigned long long>(counter_++),
+                pfs::base_name(path).c_str());
+  const std::string trash_path = pfs::join_path(dir_, name);
+  if (const pfs::Errc e = fs_.rename(path, trash_path); e != pfs::Errc::Ok) {
+    return e;
+  }
+  Entry entry;
+  entry.trash_path = trash_path;
+  entry.original_path = path;
+  entry.trashed_at = fs_.sim().now();
+  entry.size = st.value().size;
+  entries_.emplace(path, std::move(entry));
+  return pfs::Errc::Ok;
+}
+
+pfs::Errc Trashcan::undelete(const std::string& original_path) {
+  auto it = entries_.find(original_path);
+  if (it == entries_.end()) return pfs::Errc::NotFound;
+  if (const pfs::Errc e = fs_.rename(it->second.trash_path, original_path);
+      e != pfs::Errc::Ok) {
+    return e;
+  }
+  entries_.erase(it);
+  return pfs::Errc::Ok;
+}
+
+std::vector<Trashcan::Entry> Trashcan::entries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [orig, e] : entries_) out.push_back(e);
+  return out;
+}
+
+void Trashcan::purge_older_than(sim::Tick cutoff,
+                                std::function<void(std::size_t)> done) {
+  auto victims = std::make_shared<std::vector<std::string>>();
+  for (const auto& [orig, e] : entries_) {
+    if (e.trashed_at <= cutoff) victims->push_back(orig);
+  }
+  auto purged = std::make_shared<std::size_t>(0);
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  *step = [this, victims, purged, step, done = std::move(done)](std::size_t i) {
+    if (i >= victims->size()) {
+      if (done) done(*purged);
+      return;
+    }
+    auto it = entries_.find((*victims)[i]);
+    if (it == entries_.end()) {
+      (*step)(i + 1);
+      return;
+    }
+    const std::string trash_path = it->second.trash_path;
+    entries_.erase(it);
+    // Synchronous delete: file-system entry and tape object die together.
+    hsm_.synchronous_delete(trash_path, [purged, step, i](pfs::Errc e) {
+      if (e == pfs::Errc::Ok) ++*purged;
+      (*step)(i + 1);
+    });
+  };
+  (*step)(0);
+}
+
+}  // namespace cpa::archive

@@ -1,0 +1,59 @@
+// The trashcan (Sec 4.2.7).
+//
+// "From a user's perspective, the trashcan is identical to the Windows
+// Recycle Bin."  Deletes inside the chroot jail rename files here instead
+// of unlinking; a policy pass later feeds aged entries to the synchronous
+// deleter, "thereby deleting data without leaving orphans on tape or
+// requiring a costly reconciliation process.  Before this policy is run,
+// we can also un-delete."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hsm/hsm.hpp"
+#include "pfs/filesystem.hpp"
+
+namespace cpa::archive {
+
+class Trashcan {
+ public:
+  Trashcan(pfs::FileSystem& fs, hsm::HsmSystem& hsm,
+           std::string dir = "/.trashcan");
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// User-facing delete: moves the file into the trashcan.  Works for
+  /// resident, premigrated and migrated files alike — nothing is
+  /// destroyed, so no tape orphan can appear.
+  pfs::Errc trash(const std::string& path);
+
+  /// Restores an accidentally deleted file to its original location.
+  pfs::Errc undelete(const std::string& original_path);
+
+  struct Entry {
+    std::string trash_path;
+    std::string original_path;
+    sim::Tick trashed_at = 0;
+    std::uint64_t size = 0;
+  };
+  [[nodiscard]] std::vector<Entry> entries() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// The aging policy: synchronously deletes (file system + tape object
+  /// together) every entry trashed at or before `cutoff`.  `done` receives
+  /// the number purged.
+  void purge_older_than(sim::Tick cutoff, std::function<void(std::size_t)> done);
+
+ private:
+  pfs::FileSystem& fs_;
+  hsm::HsmSystem& hsm_;
+  std::string dir_;
+  std::uint64_t counter_ = 0;
+  std::map<std::string, Entry> entries_;  // keyed by original path
+};
+
+}  // namespace cpa::archive

@@ -1,0 +1,193 @@
+#include "fusefs/archive_fuse.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace cpa::fusefs {
+namespace {
+
+/// Order-dependent tag combination: matches what byte-order-sensitive
+/// concatenation would produce for real content.
+std::uint64_t mix_tags(std::uint64_t acc, std::uint64_t tag) {
+  acc ^= tag + 0x9E3779B97F4A7C15ULL + (acc << 6) + (acc >> 2);
+  return acc;
+}
+
+}  // namespace
+
+ArchiveFuse::ArchiveFuse(pfs::FileSystem& fs, FuseConfig cfg)
+    : fs_(fs), cfg_(std::move(cfg)) {
+  assert(cfg_.chunk_size > 0);
+  fs_.mkdirs(cfg_.trash_dir);
+}
+
+std::uint64_t ArchiveFuse::chunk_count(std::uint64_t size) const {
+  if (size == 0) return 1;
+  return (size + cfg_.chunk_size - 1) / cfg_.chunk_size;
+}
+
+std::uint64_t ArchiveFuse::chunk_bytes(const Meta& m, std::uint64_t index) const {
+  const std::uint64_t start = index * cfg_.chunk_size;
+  if (start >= m.size) return 0;
+  return std::min(cfg_.chunk_size, m.size - start);
+}
+
+std::string ArchiveFuse::shadow_dir(const std::string& path) const {
+  return path + ".__fusechunks__";
+}
+
+std::string ArchiveFuse::chunk_path(const std::string& path,
+                                    std::uint64_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "c%08llu",
+                static_cast<unsigned long long>(index));
+  return shadow_dir(path) + "/" + name;
+}
+
+pfs::Errc ArchiveFuse::create(const std::string& path, std::uint64_t size) {
+  if (is_chunked(path)) {
+    // Overwrite interception: old chunks go to the trashcan (Sec 6.3).
+    if (const pfs::Errc e = trash_chunks(path); e != pfs::Errc::Ok) return e;
+    files_.erase(path);
+  }
+  const std::string dir = shadow_dir(path);
+  if (fs_.exists(dir)) return pfs::Errc::Exists;
+  if (const pfs::Errc e = fs_.mkdirs(dir); e != pfs::Errc::Ok) return e;
+  Meta meta;
+  meta.size = size;
+  meta.marks.assign(chunk_count(size), ChunkMark::Missing);
+  for (std::uint64_t i = 0; i < meta.marks.size(); ++i) {
+    const auto r = fs_.create(chunk_path(path, i));
+    if (!r.ok()) return r.error();
+  }
+  files_.emplace(path, std::move(meta));
+  return pfs::Errc::Ok;
+}
+
+pfs::Errc ArchiveFuse::write_chunk(const std::string& path, std::uint64_t index,
+                                   std::uint64_t content_tag) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  Meta& meta = it->second;
+  if (index >= meta.marks.size()) return pfs::Errc::InvalidArgument;
+  const pfs::Errc e =
+      fs_.write_all(chunk_path(path, index), chunk_bytes(meta, index), content_tag);
+  if (e != pfs::Errc::Ok) return e;
+  meta.marks[index] = ChunkMark::Good;
+  return pfs::Errc::Ok;
+}
+
+pfs::Errc ArchiveFuse::mark_chunk(const std::string& path, std::uint64_t index,
+                                  ChunkMark m) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  if (index >= it->second.marks.size()) return pfs::Errc::InvalidArgument;
+  it->second.marks[index] = m;
+  return pfs::Errc::Ok;
+}
+
+pfs::Result<LogicalStat> ArchiveFuse::stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  const Meta& meta = it->second;
+  LogicalStat st;
+  st.size = meta.size;
+  st.chunk_size = cfg_.chunk_size;
+  st.chunk_count = meta.marks.size();
+  for (const ChunkMark m : meta.marks) {
+    if (m == ChunkMark::Good) ++st.good_chunks;
+  }
+  st.complete = st.good_chunks == st.chunk_count;
+  return st;
+}
+
+pfs::Result<std::vector<ChunkInfo>> ArchiveFuse::chunks(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  const Meta& meta = it->second;
+  std::vector<ChunkInfo> out;
+  out.reserve(meta.marks.size());
+  for (std::uint64_t i = 0; i < meta.marks.size(); ++i) {
+    ChunkInfo ci;
+    ci.index = i;
+    ci.chunk_path = chunk_path(path, i);
+    ci.offset = i * cfg_.chunk_size;
+    ci.bytes = chunk_bytes(meta, i);
+    ci.mark = meta.marks[i];
+    out.push_back(std::move(ci));
+  }
+  return out;
+}
+
+pfs::Result<std::vector<std::uint64_t>> ArchiveFuse::pending_chunks(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < it->second.marks.size(); ++i) {
+    if (it->second.marks[i] != ChunkMark::Good) out.push_back(i);
+  }
+  return out;
+}
+
+pfs::Result<std::uint64_t> ArchiveFuse::logical_tag(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  const Meta& meta = it->second;
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < meta.marks.size(); ++i) {
+    if (meta.marks[i] != ChunkMark::Good) return pfs::Errc::InvalidArgument;
+    const auto tag = fs_.read_tag(chunk_path(path, i));
+    if (!tag.ok()) return tag.error();
+    acc = mix_tags(acc, tag.value());
+  }
+  return acc;
+}
+
+pfs::Errc ArchiveFuse::set_origin_tag(const std::string& path,
+                                      std::uint64_t tag) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  it->second.origin_tag = tag;
+  it->second.has_origin_tag = true;
+  return pfs::Errc::Ok;
+}
+
+pfs::Result<std::uint64_t> ArchiveFuse::origin_tag(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  if (!it->second.has_origin_tag) return pfs::Errc::InvalidArgument;
+  return it->second.origin_tag;
+}
+
+pfs::Errc ArchiveFuse::trash_chunks(const std::string& path) {
+  const std::string dir = shadow_dir(path);
+  if (!fs_.exists(dir)) return pfs::Errc::NotFound;
+  char name[64];
+  std::snprintf(name, sizeof(name), "fuse%08llu_%s",
+                static_cast<unsigned long long>(trash_counter_++),
+                pfs::base_name(path).c_str());
+  return fs_.rename(dir, pfs::join_path(cfg_.trash_dir, name));
+}
+
+pfs::Errc ArchiveFuse::unlink(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return pfs::Errc::NotFound;
+  if (const pfs::Errc e = trash_chunks(path); e != pfs::Errc::Ok) return e;
+  files_.erase(it);
+  return pfs::Errc::Ok;
+}
+
+bool ArchiveFuse::is_chunked(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+std::vector<std::string> ArchiveFuse::logical_files() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, meta] : files_) out.push_back(path);
+  return out;
+}
+
+}  // namespace cpa::fusefs

@@ -1,0 +1,129 @@
+// ArchiveFUSE: the chunking layer over the archive file system.
+//
+// The paper's problem (Sec 4.1.2): archiving a very large file (>100 GB)
+// as one object means N writers funnel into one N-to-1 stream and one tape
+// — slow on both counts.  LANL's fix: "we built an ArchiveFUSE file system
+// on top of the GPFS file system, and can successfully transfer very large
+// files broken down in to N equal size chunk files ... We have
+// successfully converted an N-to-1 parallel I/O operation into an N-to-N
+// parallel I/O operation."
+//
+// A chunked logical file at `path` is backed by chunk files in a shadow
+// directory `path + ".__fusechunks__"`; each chunk is an ordinary file the
+// HSM migrates/recalls independently (that is the point).  The layer also:
+//   * tracks per-chunk good/bad marks, the paper's restartable-transfer
+//     mechanism ("we mark regular file chunks or FUSE file chunks as good
+//     or bad so that we don't have to re-send known good chunks", Sec 4.5);
+//   * intercepts unlink and overwrite, moving old chunks into the trashcan
+//     instead of destroying them — closing the truncate hole the
+//     synchronous deleter cannot see (Sec 6.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pfs/filesystem.hpp"
+#include "simcore/units.hpp"
+
+namespace cpa::fusefs {
+
+struct FuseConfig {
+  /// Chunk size for splitting very large files ("Fuse ChunkSize" runtime
+  /// tunable, Sec 4.1.2).
+  std::uint64_t chunk_size = 16ULL * kGB;
+  /// Where intercepted deletes/overwrites park old chunks.
+  std::string trash_dir = "/.trashcan";
+};
+
+enum class ChunkMark : std::uint8_t { Missing, Good, Bad };
+
+struct ChunkInfo {
+  std::uint64_t index = 0;
+  std::string chunk_path;
+  std::uint64_t offset = 0;  // within the logical file
+  std::uint64_t bytes = 0;
+  ChunkMark mark = ChunkMark::Missing;
+};
+
+struct LogicalStat {
+  std::uint64_t size = 0;
+  std::uint64_t chunk_size = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t good_chunks = 0;
+  bool complete = false;
+};
+
+class ArchiveFuse {
+ public:
+  ArchiveFuse(pfs::FileSystem& fs, FuseConfig cfg);
+
+  [[nodiscard]] const FuseConfig& config() const { return cfg_; }
+
+  /// Number of chunks a file of `size` splits into (>= 1).
+  [[nodiscard]] std::uint64_t chunk_count(std::uint64_t size) const;
+
+  /// Registers a chunked logical file and creates its (empty) chunk files.
+  /// If a chunked file already exists at `path`, it is overwritten: the
+  /// old chunks move to the trashcan first (the Sec 6.3 interception).
+  pfs::Errc create(const std::string& path, std::uint64_t size);
+
+  /// Writes chunk `index` (full chunk) with the given content tag and
+  /// marks it good.  The underlying write charges pool space.
+  pfs::Errc write_chunk(const std::string& path, std::uint64_t index,
+                        std::uint64_t content_tag);
+
+  /// Flags a chunk bad (failure injection / interrupted transfer).
+  pfs::Errc mark_chunk(const std::string& path, std::uint64_t index, ChunkMark m);
+
+  [[nodiscard]] pfs::Result<LogicalStat> stat(const std::string& path) const;
+  [[nodiscard]] pfs::Result<std::vector<ChunkInfo>> chunks(const std::string& path) const;
+
+  /// Indices that still need (re)sending: everything not marked Good.
+  [[nodiscard]] pfs::Result<std::vector<std::uint64_t>> pending_chunks(
+      const std::string& path) const;
+
+  /// Combined content tag over all chunks, defined only when complete.
+  [[nodiscard]] pfs::Result<std::uint64_t> logical_tag(const std::string& path) const;
+
+  /// Records/reads the original whole-file content tag, so tools can
+  /// verify logical equality between a chunked copy and its plain source
+  /// (pfcm across representations).
+  pfs::Errc set_origin_tag(const std::string& path, std::uint64_t tag);
+  [[nodiscard]] pfs::Result<std::uint64_t> origin_tag(const std::string& path) const;
+
+  /// Intercepted unlink: chunks move to the trashcan; the logical file
+  /// disappears.  Nothing is destroyed, so tape copies never orphan.
+  pfs::Errc unlink(const std::string& path);
+
+  /// True if `path` names a chunked logical file on this mount.
+  [[nodiscard]] bool is_chunked(const std::string& path) const;
+
+  /// All logical files on this mount (deterministic order).
+  [[nodiscard]] std::vector<std::string> logical_files() const;
+
+  /// Path of chunk `index`'s backing file.
+  [[nodiscard]] std::string chunk_path(const std::string& path,
+                                       std::uint64_t index) const;
+  [[nodiscard]] std::string shadow_dir(const std::string& path) const;
+
+ private:
+  struct Meta {
+    std::uint64_t size = 0;
+    std::uint64_t origin_tag = 0;
+    bool has_origin_tag = false;
+    std::vector<ChunkMark> marks;
+  };
+
+  [[nodiscard]] std::uint64_t chunk_bytes(const Meta& m, std::uint64_t index) const;
+  /// Moves the shadow directory into the trashcan under a unique name.
+  pfs::Errc trash_chunks(const std::string& path);
+
+  pfs::FileSystem& fs_;
+  FuseConfig cfg_;
+  std::map<std::string, Meta> files_;
+  std::uint64_t trash_counter_ = 0;
+};
+
+}  // namespace cpa::fusefs

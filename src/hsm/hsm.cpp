@@ -1,0 +1,1023 @@
+#include "hsm/hsm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "hsm/balance.hpp"
+
+namespace cpa::hsm {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Job state
+// ---------------------------------------------------------------------------
+
+struct HsmSystem::MigrateJob {
+  struct Item {
+    std::string path;
+    std::uint64_t size = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t fid = 0;
+  };
+  struct WriteUnit {
+    std::vector<std::size_t> items;  // indices into `items`
+    std::uint64_t bytes = 0;
+    bool aggregate = false;
+  };
+
+  tape::NodeId node = 0;
+  std::string group;
+  std::vector<Item> items;
+  std::vector<WriteUnit> units;
+  std::size_t next_unit = 0;
+  /// 0 = primary pool; 1..tape_copies-1 = copy-pool passes over the same
+  /// units (run before files are punched, while data is still on disk).
+  unsigned copy_phase = 0;
+  MigrateReport report;
+  tape::TapeDrive* drive = nullptr;
+  tape::Cartridge* cart = nullptr;
+  std::function<void(const MigrateReport&)> done;
+
+  [[nodiscard]] std::string phase_group() const {
+    return copy_phase == 0 ? group
+                           : group + "~copy" + std::to_string(copy_phase);
+  }
+};
+
+struct HsmSystem::RecallJob {
+  struct Entry {
+    std::string path;
+    std::uint64_t size = 0;
+    std::uint64_t seq = 0;
+    tape::NodeId node = 0;
+  };
+  struct CartWork {
+    tape::Cartridge* cart = nullptr;
+    std::vector<Entry> entries;
+  };
+
+  RecallOptions options;
+  std::vector<CartWork> work;
+  std::size_t next_work = 0;   // next cartridge job to launch
+  unsigned active = 0;
+  RecallReport report;
+  std::function<void(const RecallReport&)> done;
+};
+
+struct HsmSystem::UnitRecorder {
+  std::uint64_t unit_oid = 0;
+  std::uint64_t cart_id = 0;
+  std::uint64_t seq = 0;
+  std::size_t next_item = 0;
+  std::uint64_t agg_offset = 0;
+  std::vector<std::uint64_t> member_ids;
+  bool aggregate_recorded = false;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+HsmSystem::HsmSystem(sim::Simulation& sim, sim::FlowNetwork& net,
+                     pfs::FileSystem& fs, tape::TapeLibrary& library,
+                     Fabric fabric, HsmConfig cfg)
+    : sim_(sim),
+      net_(net),
+      fs_(fs),
+      lib_(library),
+      fabric_(std::move(fabric)),
+      cfg_(cfg) {
+  assert(cfg_.server_count >= 1);
+  for (unsigned i = 0; i < cfg_.server_count; ++i) {
+    ServerConfig sc = cfg_.server;
+    // Disjoint id ranges keep object ids globally unique across servers.
+    sc.object_id_base = 1 + static_cast<std::uint64_t>(i) * (1ULL << 44);
+    servers_.push_back(std::make_unique<ArchiveServer>(
+        sim_, net_, "tsm" + std::to_string(i), sc));
+  }
+  fs_.set_dmapi_listener(this);
+}
+
+HsmSystem::~HsmSystem() { fs_.set_dmapi_listener(nullptr); }
+
+ArchiveServer& HsmSystem::server_for(const std::string& path) {
+  if (servers_.size() == 1) return *servers_[0];
+  return *servers_[fnv1a(path) % servers_.size()];
+}
+
+std::vector<sim::PathLeg> HsmSystem::net_legs(tape::NodeId node,
+                                              const std::string& fs_path) const {
+  std::vector<sim::PathLeg> pools;
+  if (cfg_.lan_free) {
+    for (const sim::PathLeg& p : fabric_.san_path(node)) pools.push_back(p);
+  } else {
+    for (const sim::PathLeg& p : fabric_.lan_path(node)) pools.push_back(p);
+    // All server-routed data squeezes through the server's connection.
+    pools.push_back(
+        const_cast<HsmSystem*>(this)->server_for(fs_path).data_pool());
+  }
+  return pools;
+}
+
+std::vector<sim::PathLeg> HsmSystem::data_path(tape::NodeId node,
+                                               const std::string& fs_path,
+                                               std::uint64_t bytes) const {
+  std::vector<sim::PathLeg> pools = fabric_.disk_path(fs_path, 0, bytes);
+  for (const sim::PathLeg& p : net_legs(node, fs_path)) pools.push_back(p);
+  return pools;
+}
+
+// ---------------------------------------------------------------------------
+// Migration
+// ---------------------------------------------------------------------------
+
+void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
+                              std::string group,
+                              std::function<void(const MigrateReport&)> done) {
+  auto job = std::make_shared<MigrateJob>();
+  job->node = node;
+  job->group = std::move(group);
+  job->done = std::move(done);
+  job->report.started = sim_.now();
+
+  for (const std::string& path : paths) {
+    const auto st = fs_.stat(path);
+    if (!st.ok() || st.value().kind != pfs::FileKind::Regular ||
+        st.value().dmapi != pfs::DmapiState::Resident) {
+      ++job->report.files_failed;
+      continue;
+    }
+    job->items.push_back(MigrateJob::Item{path, st.value().size,
+                                          st.value().content_tag,
+                                          st.value().fid.packed()});
+  }
+
+  // Build write units: optional aggregation of small files.
+  if (cfg_.aggregation_enabled) {
+    MigrateJob::WriteUnit agg;
+    agg.aggregate = true;
+    for (std::size_t i = 0; i < job->items.size(); ++i) {
+      const auto& item = job->items[i];
+      if (item.size < cfg_.aggregate_threshold) {
+        if (agg.bytes + item.size > cfg_.aggregate_target && !agg.items.empty()) {
+          job->units.push_back(std::move(agg));
+          agg = MigrateJob::WriteUnit{};
+          agg.aggregate = true;
+        }
+        agg.items.push_back(i);
+        agg.bytes += item.size;
+      } else {
+        job->units.push_back(MigrateJob::WriteUnit{{i}, item.size, false});
+      }
+    }
+    if (!agg.items.empty()) job->units.push_back(std::move(agg));
+    // An "aggregate" of one file is just a file.
+    for (auto& u : job->units) {
+      if (u.items.size() == 1) u.aggregate = false;
+    }
+  } else {
+    for (std::size_t i = 0; i < job->items.size(); ++i) {
+      job->units.push_back(
+          MigrateJob::WriteUnit{{i}, job->items[i].size, false});
+    }
+  }
+
+  if (job->units.empty()) {
+    sim_.after(0, [job] {
+      job->report.finished = job->report.started;
+      if (job->done) job->done(job->report);
+    });
+    return;
+  }
+
+  lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
+    job->drive = &drive;
+    run_migrate_unit(job);
+  });
+}
+
+void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
+  if (job->next_unit >= job->units.size()) {
+    // Copy-pool passes re-write every unit to a separate volume family
+    // while the data is still on disk; files punch only after the last.
+    if (job->copy_phase + 1 < cfg_.tape_copies) {
+      ++job->copy_phase;
+      job->next_unit = 0;
+      if (job->cart != nullptr) {
+        lib_.checkin_cartridge(*job->cart);
+        job->cart = nullptr;
+      }
+      run_migrate_unit(job);
+      return;
+    }
+    if (cfg_.tape_copies > 1) {
+      // All copies exist; space management may now punch the disk data
+      // (only for files that actually made it to tape).
+      for (const auto& item : job->items) {
+        if (owner_object_id(item.path) == 0) continue;
+        if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
+            cfg_.punch_after_migrate) {
+          fs_.punch(item.path);
+        }
+      }
+    }
+    finish_migrate(job);
+    return;
+  }
+  const auto& unit = job->units[job->next_unit];
+
+  // An object larger than a whole volume cannot be stored at all — the
+  // paper's issue list item 2: "No way to get immense file from HSM disk
+  // to parallel tapes and back (single stream of tapes)".  ArchiveFUSE
+  // chunking exists precisely to keep objects below this limit.
+  if (unit.bytes > lib_.config().cartridge_capacity) {
+    job->report.files_failed += static_cast<unsigned>(unit.items.size());
+    ++job->next_unit;
+    run_migrate_unit(job);
+    return;
+  }
+
+  // Volume management: roll to a new cartridge when the current one cannot
+  // hold the unit.
+  if (job->cart == nullptr || !job->cart->fits(unit.bytes)) {
+    if (job->cart != nullptr) lib_.checkin_cartridge(*job->cart);
+    job->cart = &lib_.checkout_cartridge(job->phase_group(), unit.bytes);
+    lib_.ensure_mounted(*job->drive, *job->cart,
+                        [this, job] { run_migrate_unit(job); });
+    return;
+  }
+
+  // Disk-side pools: the union of the unit's members' stripe servers.
+  // Members stream back to back into one tape object, so the load spreads
+  // across the distinct servers — normalize weights to 1/N rather than
+  // summing per-member weights.
+  std::vector<sim::PathLeg> pools;
+  for (const std::size_t idx : unit.items) {
+    const auto& item = job->items[idx];
+    for (const sim::PathLeg& leg : fabric_.disk_path(item.path, 0, item.size)) {
+      bool seen = false;
+      for (const sim::PathLeg& have : pools) {
+        if (have.pool == leg.pool) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) pools.push_back(leg);
+    }
+  }
+  if (!pools.empty()) {
+    const double w = 1.0 / static_cast<double>(pools.size());
+    for (sim::PathLeg& leg : pools) leg.weight = w;
+  }
+  for (const sim::PathLeg& leg :
+       net_legs(job->node, job->items[unit.items.front()].path)) {
+    pools.push_back(leg);
+  }
+
+  ArchiveServer& server = server_for(job->items[unit.items.front()].path);
+  std::uint64_t unit_oid = 0;
+  if (job->copy_phase == 0) {
+    unit_oid = server.allocate_object_id();
+  } else {
+    // Copy pass: the tape segment carries the owner object's id so media
+    // reclamation (mark_deleted) works uniformly across copies.
+    unit_oid = owner_object_id(job->items[unit.items.front()].path);
+    if (unit_oid == 0) {  // primary never landed; skip the copy
+      ++job->next_unit;
+      run_migrate_unit(job);
+      return;
+    }
+  }
+
+  job->drive->write_object(
+      job->node, unit_oid, unit.bytes, std::move(pools),
+      [this, job, unit_oid](const tape::Segment* seg) {
+        const auto& unit = job->units[job->next_unit];
+        if (seg == nullptr) {
+          if (job->copy_phase == 0) {
+            job->report.files_failed += static_cast<unsigned>(unit.items.size());
+          }
+          ++job->next_unit;
+          run_migrate_unit(job);
+          return;
+        }
+        ++job->report.tape_objects_written;
+        if (job->copy_phase > 0) {
+          // One transaction registers the replica on the owner object.
+          ArchiveServer& owner_server =
+              server_for(job->items[unit.items.front()].path);
+          const std::uint64_t cart_id = job->cart->id();
+          const std::uint64_t seq = seg->seq;
+          owner_server.metadata_txn([this, job, unit_oid, cart_id, seq,
+                                     &owner_server] {
+            if (const ArchiveObject* obj = owner_server.object(unit_oid)) {
+              ArchiveObject updated = *obj;
+              updated.copies.push_back(ArchiveObject::Replica{cart_id, seq});
+              owner_server.record_object(std::move(updated));
+            }
+            ++job->next_unit;
+            run_migrate_unit(job);
+          });
+          return;
+        }
+        auto rec = std::make_shared<UnitRecorder>();
+        rec->unit_oid = unit_oid;
+        rec->cart_id = job->cart->id();
+        rec->seq = seg->seq;
+        record_unit_objects(job, rec);
+      });
+}
+
+std::uint64_t HsmSystem::owner_object_id(const std::string& path) {
+  ArchiveServer& server = server_for(path);
+  const metadb::TapeObjectRow* row = server.export_db().by_path(path);
+  if (row == nullptr) return 0;
+  const ArchiveObject* obj = server.object(row->object_id);
+  if (obj == nullptr) return 0;
+  return obj->is_member() ? obj->aggregate_id : obj->object_id;
+}
+
+void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
+                                    std::shared_ptr<UnitRecorder> rec) {
+  const auto& unit = job->units[job->next_unit];
+
+  // One metadata transaction per object, chained on the owning server's
+  // queue (TSM semantics).
+  if (rec->next_item < unit.items.size()) {
+    const std::size_t idx = unit.items[rec->next_item++];
+    const auto& item = job->items[idx];
+    const bool member = unit.aggregate;
+    ArchiveServer& owner = server_for(item.path);
+    ArchiveObject obj;
+    obj.object_id = member ? owner.allocate_object_id() : rec->unit_oid;
+    obj.path = item.path;
+    obj.gpfs_file_id = item.fid;
+    obj.size_bytes = item.size;
+    obj.content_tag = item.tag;
+    obj.cartridge_id = rec->cart_id;
+    obj.tape_seq = rec->seq;
+    obj.colocation_group = job->group;
+    if (member) {
+      obj.aggregate_id = rec->unit_oid;
+      obj.aggregate_offset = rec->agg_offset;
+      rec->agg_offset += item.size;
+      rec->member_ids.push_back(obj.object_id);
+    }
+    owner.metadata_txn([this, job, rec, obj = std::move(obj), &owner]() mutable {
+      owner.record_object(std::move(obj));
+      record_unit_objects(job, rec);
+    });
+    return;
+  }
+
+  // Members recorded; add the aggregate container object if needed.
+  if (unit.aggregate && !rec->aggregate_recorded) {
+    rec->aggregate_recorded = true;
+    ArchiveServer& server = server_for(job->items[unit.items.front()].path);
+    ArchiveObject agg;
+    agg.object_id = rec->unit_oid;
+    agg.size_bytes = unit.bytes;
+    agg.cartridge_id = rec->cart_id;
+    agg.tape_seq = rec->seq;
+    agg.colocation_group = job->group;
+    agg.members = rec->member_ids;
+    server.metadata_txn(
+        [this, job, rec, agg = std::move(agg), &server]() mutable {
+          server.record_object(std::move(agg));
+          record_unit_objects(job, rec);
+        });
+    return;
+  }
+
+  // Transition file states and continue.  With copy pools configured the
+  // punch waits until the last copy pass — the disk data is its source.
+  for (const std::size_t idx : unit.items) {
+    const auto& item = job->items[idx];
+    if (cfg_.tape_copies == 1) {
+      if (fs_.premigrate(item.path) == pfs::Errc::Ok && cfg_.punch_after_migrate) {
+        fs_.punch(item.path);
+      }
+    }
+    ++job->report.files_migrated;
+    job->report.bytes += item.size;
+  }
+  ++job->next_unit;
+  run_migrate_unit(job);
+}
+
+void HsmSystem::finish_migrate(std::shared_ptr<MigrateJob> job) {
+  if (job->cart != nullptr) {
+    lib_.checkin_cartridge(*job->cart);
+    job->cart = nullptr;
+  }
+  if (job->drive != nullptr) {
+    // Leave the volume mounted: the library migrates it lazily when some
+    // other job needs the drive or the volume.
+    lib_.release_drive(*job->drive);
+    job->drive = nullptr;
+  }
+  job->report.finished = sim_.now();
+  if (job->done) job->done(job->report);
+}
+
+void HsmSystem::parallel_migrate(std::vector<std::string> paths,
+                                 std::vector<tape::NodeId> nodes,
+                                 DistributionStrategy strategy, std::string group,
+                                 std::function<void(const MigrateReport&)> done) {
+  assert(!nodes.empty());
+  std::vector<std::uint64_t> weights;
+  weights.reserve(paths.size());
+  for (const auto& p : paths) {
+    const auto st = fs_.stat(p);
+    weights.push_back(st.ok() ? st.value().size : 0);
+  }
+  const Distribution dist =
+      strategy == DistributionStrategy::SizeBalanced
+          ? size_balanced_distribute(weights, static_cast<unsigned>(nodes.size()))
+          : naive_distribute(weights, static_cast<unsigned>(nodes.size()));
+
+  struct Combined {
+    MigrateReport report;
+    unsigned outstanding = 0;
+    std::function<void(const MigrateReport&)> done;
+  };
+  auto combined = std::make_shared<Combined>();
+  combined->report.started = sim_.now();
+  combined->done = std::move(done);
+
+  std::vector<std::vector<std::string>> bins(dist.size());
+  for (std::size_t b = 0; b < dist.size(); ++b) {
+    for (const WorkItem& w : dist[b]) bins[b].push_back(paths[w.index]);
+  }
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (bins[b].empty()) continue;
+    ++combined->outstanding;
+  }
+  if (combined->outstanding == 0) {
+    sim_.after(0, [combined] {
+      combined->report.finished = combined->report.started;
+      if (combined->done) combined->done(combined->report);
+    });
+    return;
+  }
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (bins[b].empty()) continue;
+    migrate_batch(nodes[b], std::move(bins[b]), group,
+                  [this, combined](const MigrateReport& r) {
+                    combined->report.files_migrated += r.files_migrated;
+                    combined->report.files_failed += r.files_failed;
+                    combined->report.bytes += r.bytes;
+                    combined->report.tape_objects_written +=
+                        r.tape_objects_written;
+                    if (--combined->outstanding == 0) {
+                      combined->report.finished = sim_.now();
+                      if (combined->done) combined->done(combined->report);
+                    }
+                  });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recall
+// ---------------------------------------------------------------------------
+
+void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
+                       std::function<void(const RecallReport&)> done) {
+  assert(!options.nodes.empty());
+  auto job = std::make_shared<RecallJob>();
+  job->options = options;
+  job->done = std::move(done);
+  job->report.started = sim_.now();
+
+  // Resolve every path through the indexed export (Sec 4.2.5).
+  struct Resolved {
+    std::string path;
+    std::uint64_t size, cart, seq;
+  };
+  std::vector<Resolved> resolved;
+  for (const std::string& path : paths) {
+    ArchiveServer& server = server_for(path);
+    const metadb::TapeObjectRow* row = server.export_db().by_path(path);
+    if (row == nullptr) {
+      ++job->report.files_failed;
+      continue;
+    }
+    std::uint64_t cart = row->tape_id;
+    std::uint64_t seq = row->tape_seq;
+    // Media fallback: if the primary volume is damaged, recall from the
+    // first healthy copy-pool replica.
+    tape::Cartridge* primary = lib_.cartridge(cart);
+    if (primary != nullptr && primary->damaged()) {
+      bool recovered = false;
+      if (const std::uint64_t owner = owner_object_id(path)) {
+        if (const ArchiveObject* obj = server.object(owner)) {
+          for (const auto& replica : obj->copies) {
+            tape::Cartridge* copy = lib_.cartridge(replica.cartridge_id);
+            if (copy != nullptr && !copy->damaged()) {
+              cart = replica.cartridge_id;
+              seq = replica.tape_seq;
+              recovered = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!recovered) {
+        ++job->report.files_failed;
+        continue;
+      }
+    }
+    resolved.push_back(Resolved{path, row->size_bytes, cart, seq});
+  }
+
+  // Per-file round-robin assignment happens in arrival order, before any
+  // grouping — this is what the stock recall daemons do and is the root of
+  // the Sec 6.2 thrashing.
+  std::map<std::uint64_t, std::vector<RecallJob::Entry>> by_cart;
+  std::size_t file_rr = 0;
+  for (const Resolved& r : resolved) {
+    RecallJob::Entry e;
+    e.path = r.path;
+    e.size = r.size;
+    e.seq = r.seq;
+    if (options.assignment == RecallOptions::Assignment::RoundRobin) {
+      e.node = options.nodes[file_rr++ % options.nodes.size()];
+    }
+    by_cart[r.cart].push_back(std::move(e));
+  }
+  std::size_t cart_rr = 0;
+  for (auto& [cart_id, entries] : by_cart) {
+    if (options.assignment == RecallOptions::Assignment::TapeAffinity) {
+      const tape::NodeId node = options.nodes[cart_rr % options.nodes.size()];
+      for (auto& e : entries) e.node = node;
+    }
+    ++cart_rr;
+    if (options.tape_ordered) {
+      std::stable_sort(entries.begin(), entries.end(),
+                       [](const RecallJob::Entry& a, const RecallJob::Entry& b) {
+                         return a.seq < b.seq;
+                       });
+    }
+    RecallJob::CartWork w;
+    w.cart = lib_.cartridge(cart_id);
+    w.entries = std::move(entries);
+    if (w.cart == nullptr) {
+      job->report.files_failed += static_cast<unsigned>(w.entries.size());
+      continue;
+    }
+    job->work.push_back(std::move(w));
+  }
+
+  if (job->work.empty()) {
+    sim_.after(0, [job] {
+      job->report.finished = job->report.started;
+      if (job->done) job->done(job->report);
+    });
+    return;
+  }
+
+  // Launch up to max_parallel_tapes cartridge jobs; the rest start as
+  // earlier ones finish (and drive contention throttles further).
+  const unsigned launch = static_cast<unsigned>(std::min<std::size_t>(
+      job->work.size(), job->options.max_parallel_tapes));
+  for (unsigned i = 0; i < launch; ++i) {
+    ++job->active;
+    ++job->next_work;
+    run_recall_cart(job, i);
+  }
+}
+
+void HsmSystem::run_recall_cart(std::shared_ptr<RecallJob> job,
+                                std::size_t work_idx) {
+  lib_.acquire_drive([this, job, work_idx](tape::TapeDrive& drive) {
+    auto& work = job->work[work_idx];
+    lib_.ensure_mounted(drive, *work.cart, [this, job, work_idx, &drive] {
+      run_recall_entry(job, work_idx, 0, drive);
+    });
+  });
+}
+
+void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
+                                 std::size_t work_idx, std::size_t entry_idx,
+                                 tape::TapeDrive& drive) {
+  auto& work = job->work[work_idx];
+  if (entry_idx >= work.entries.size()) {
+    lib_.release_drive(drive);
+    if (job->next_work < job->work.size()) {
+      const std::size_t next = job->next_work++;
+      run_recall_cart(job, next);
+      return;
+    }
+    if (--job->active == 0) {
+      job->report.finished = sim_.now();
+      if (job->done) job->done(job->report);
+    }
+    return;
+  }
+  const auto& entry = work.entries[entry_idx];
+  std::vector<sim::PathLeg> pools = data_path(entry.node, entry.path, entry.size);
+  drive.read_object(
+      entry.node, entry.seq, std::move(pools),
+      [this, job, work_idx, entry_idx, &drive](const tape::Segment* seg) {
+        auto& work = job->work[work_idx];
+        const auto& entry = work.entries[entry_idx];
+        if (seg == nullptr) {
+          ++job->report.files_failed;
+          run_recall_entry(job, work_idx, entry_idx + 1, drive);
+          return;
+        }
+        job->report.tape_bytes += seg->bytes;
+        job->report.bytes += entry.size;
+        ++job->report.files_recalled;
+        fs_.mark_recalled(entry.path);  // no-op if not punched
+        server_for(entry.path).metadata_txn([this, job, work_idx, entry_idx,
+                                             &drive] {
+          run_recall_entry(job, work_idx, entry_idx + 1, drive);
+        });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous delete & reconcile
+// ---------------------------------------------------------------------------
+
+void HsmSystem::synchronous_delete(const std::string& path,
+                                   std::function<void(pfs::Errc)> done) {
+  if (!done) done = [](pfs::Errc) {};
+  const auto st = fs_.stat(path);
+  if (!st.ok()) {
+    sim_.after(0, [done, e = st.error()] { done(e); });
+    return;
+  }
+  if (st.value().dmapi == pfs::DmapiState::Resident) {
+    const pfs::Errc e = fs_.unlink(path);
+    sim_.after(0, [done, e] { done(e); });
+    return;
+  }
+  const std::uint64_t fid = st.value().fid.packed();
+  ArchiveServer& server = server_for(path);
+  // Txn 1: the GPFS-fid -> TSM-object join through the indexed export.
+  server.metadata_txn([this, path, fid, &server, done] {
+    const metadb::TapeObjectRow* row = server.export_db().by_gpfs_file_id(fid);
+    if (row == nullptr) {
+      fs_.unlink(path);
+      done(pfs::Errc::Ok);
+      return;
+    }
+    const std::uint64_t object_id = row->object_id;
+    // Txn 2: delete file system entry and tape object together.
+    server.metadata_txn([this, path, object_id, &server, done] {
+      const ArchiveObject* obj = server.object(object_id);
+      if (obj != nullptr) {
+        // Reclaims the owner's segment on the primary volume and every
+        // copy-pool replica.
+        auto reclaim_media = [this](const ArchiveObject& owner) {
+          if (tape::Cartridge* cart = lib_.cartridge(owner.cartridge_id)) {
+            cart->mark_deleted(owner.object_id);
+          }
+          for (const auto& replica : owner.copies) {
+            if (tape::Cartridge* cart = lib_.cartridge(replica.cartridge_id)) {
+              cart->mark_deleted(owner.object_id);
+            }
+          }
+        };
+        if (obj->is_member()) {
+          const std::uint64_t agg_id = obj->aggregate_id;
+          server.delete_object(object_id);
+          // Reclaim the aggregate's tape segment once every member died.
+          const ArchiveObject* agg = server.object(agg_id);
+          if (agg != nullptr) {
+            ArchiveObject updated = *agg;
+            updated.members.erase(
+                std::remove(updated.members.begin(), updated.members.end(),
+                            object_id),
+                updated.members.end());
+            if (updated.members.empty()) {
+              reclaim_media(updated);
+              server.delete_object(agg_id);
+            } else {
+              server.record_object(std::move(updated));
+            }
+          }
+        } else {
+          reclaim_media(*obj);
+          server.delete_object(object_id);
+        }
+      }
+      fs_.unlink(path);
+      done(pfs::Errc::Ok);
+    });
+  });
+}
+
+void HsmSystem::reconcile(bool delete_orphans,
+                          std::function<void(const ReconcileReport&)> done) {
+  ReconcileReport report;
+  // Phase 1: tree-walk the file system, noting every live managed file id.
+  std::set<std::uint64_t> live_fids;
+  fs_.for_each_inode([&](const std::string&, const pfs::InodeAttrs& a) {
+    ++report.inodes_walked;
+    if (a.kind == pfs::FileKind::Regular && a.dmapi != pfs::DmapiState::Resident) {
+      live_fids.insert(a.fid.packed());
+    }
+  });
+  // Phase 2: compare every object one by one.
+  struct Orphan {
+    ArchiveServer* server;
+    std::uint64_t object_id;
+    std::uint64_t cartridge_id;
+    std::uint64_t aggregate_id;
+  };
+  std::vector<Orphan> orphans;
+  for (auto& server : servers_) {
+    server->for_each_object([&](const ArchiveObject& obj) {
+      if (obj.is_aggregate()) return;  // containers checked via members
+      ++report.objects_checked;
+      if (live_fids.count(obj.gpfs_file_id) == 0) {
+        ++report.orphans_found;
+        orphans.push_back(Orphan{server.get(), obj.object_id, obj.cartridge_id,
+                                 obj.aggregate_id});
+      }
+    });
+  }
+  if (delete_orphans) {
+    for (const Orphan& o : orphans) {
+      if (o.aggregate_id == 0) {
+        if (tape::Cartridge* cart = lib_.cartridge(o.cartridge_id)) {
+          cart->mark_deleted(o.object_id);
+        }
+      }
+      o.server->delete_object(o.object_id);
+      ++report.orphans_deleted;
+    }
+  }
+  // Cost model: the agent is a serial tree walk plus one metadata
+  // transaction per object compared (Sec 4.2.6: "the overhead is
+  // unacceptable" at tens of millions of files).
+  report.duration =
+      report.inodes_walked * cfg_.reconcile_walk_cost +
+      report.objects_checked * cfg_.server.metadata_txn_cost;
+  sim_.after(report.duration, [report, done] {
+    if (done) done(report);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Space management (threshold migration)
+// ---------------------------------------------------------------------------
+
+void HsmSystem::space_management(
+    const std::string& pool, double high_water, double low_water,
+    std::function<void(const SpaceManagementReport&)> done) {
+  SpaceManagementReport report;
+  const auto pool_info = fs_.pool(pool);
+  if (!pool_info.ok() || pool_info.value().config.capacity_bytes == 0) {
+    sim_.after(0, [done = std::move(done), report] {
+      if (done) done(report);
+    });
+    return;
+  }
+  const double capacity =
+      static_cast<double>(pool_info.value().config.capacity_bytes);
+  report.used_fraction_before =
+      static_cast<double>(pool_info.value().used_bytes) / capacity;
+
+  std::uint64_t inodes = 0;
+  struct Candidate {
+    sim::Tick atime;
+    std::string path;
+    std::uint64_t size;
+  };
+  std::vector<Candidate> candidates;
+  if (report.used_fraction_before >= high_water) {
+    fs_.for_each_inode([&](const std::string& path, const pfs::InodeAttrs& a) {
+      ++inodes;
+      if (a.kind == pfs::FileKind::Regular && a.pool == pool &&
+          a.dmapi == pfs::DmapiState::Premigrated) {
+        candidates.push_back(Candidate{a.atime, path, a.size});
+      }
+    });
+    // Least recently used data leaves disk first.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.atime != b.atime ? a.atime < b.atime
+                                          : a.path < b.path;
+              });
+    std::uint64_t used = pool_info.value().used_bytes;
+    const auto target =
+        static_cast<std::uint64_t>(low_water * capacity);
+    for (const Candidate& c : candidates) {
+      if (used <= target) break;
+      if (fs_.punch(c.path) != pfs::Errc::Ok) continue;
+      ++report.files_punched;
+      report.bytes_freed += c.size;
+      used = used > c.size ? used - c.size : 0;
+    }
+  } else {
+    fs_.for_each_inode(
+        [&](const std::string&, const pfs::InodeAttrs&) { ++inodes; });
+  }
+  report.used_fraction_after =
+      static_cast<double>(fs_.pool(pool).value().used_bytes) / capacity;
+  report.duration = fs_.scan_duration(inodes, 1);
+  sim_.after(report.duration, [done = std::move(done), report] {
+    if (done) done(report);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Space reclamation
+// ---------------------------------------------------------------------------
+
+struct HsmSystem::ReclaimJob {
+  tape::NodeId node = 0;
+  std::vector<tape::CartridgeId> victims;
+  std::size_t next_victim = 0;
+  // Per-victim state.
+  tape::Cartridge* src = nullptr;
+  tape::Cartridge* dst = nullptr;
+  std::vector<tape::Segment> live;  // snapshot of live segments, seq order
+  tape::TapeDrive* src_drive = nullptr;
+  tape::TapeDrive* dst_drive = nullptr;
+  ReclaimReport report;
+  std::function<void(const ReclaimReport&)> done;
+};
+
+void HsmSystem::reclaim_volumes(double dead_fraction, tape::NodeId node,
+                                std::function<void(const ReclaimReport&)> done) {
+  auto job = std::make_shared<ReclaimJob>();
+  job->node = node;
+  job->done = std::move(done);
+  job->report.started = sim_.now();
+  lib_.for_each_cartridge([&](tape::Cartridge& cart) {
+    ++job->report.volumes_examined;
+    if (cart.bytes_used() == 0 || lib_.is_checked_out(cart.id())) return;
+    const double frac = static_cast<double>(cart.dead_bytes()) /
+                        static_cast<double>(cart.bytes_used());
+    const bool has_live = cart.dead_bytes() < cart.bytes_used();
+    if (frac >= dead_fraction && has_live) job->victims.push_back(cart.id());
+  });
+  run_reclaim_volume(job);
+}
+
+void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
+  // Release the previous victim's drives.
+  if (job->src_drive != nullptr) {
+    lib_.release_drive(*job->src_drive);
+    job->src_drive = nullptr;
+  }
+  if (job->dst_drive != nullptr) {
+    lib_.checkin_cartridge(*job->dst);
+    lib_.release_drive(*job->dst_drive);
+    job->dst_drive = nullptr;
+  }
+  if (job->next_victim >= job->victims.size()) {
+    job->report.finished = sim_.now();
+    if (job->done) {
+      auto done = std::move(job->done);
+      sim_.after(0, [done = std::move(done), report = job->report] {
+        done(report);
+      });
+    }
+    return;
+  }
+  job->src = lib_.cartridge(job->victims[job->next_victim++]);
+  if (job->src == nullptr) {
+    run_reclaim_volume(job);
+    return;
+  }
+  job->live.clear();
+  std::uint64_t live_bytes = 0;
+  for (const tape::Segment& s : job->src->segments()) {
+    if (s.object_id != 0) {
+      job->live.push_back(s);
+      live_bytes += s.bytes;
+    }
+  }
+  job->dst = &lib_.checkout_cartridge(job->src->colocation_group(), live_bytes,
+                                      job->src->id());
+  // Two drives: source and destination, mounted once per victim.
+  lib_.acquire_drive([this, job](tape::TapeDrive& src_drive) {
+    job->src_drive = &src_drive;
+    lib_.acquire_drive([this, job](tape::TapeDrive& dst_drive) {
+      job->dst_drive = &dst_drive;
+      lib_.ensure_mounted(*job->src_drive, *job->src, [this, job] {
+        lib_.ensure_mounted(*job->dst_drive, *job->dst, [this, job] {
+          run_reclaim_segment(job, 0);
+        });
+      });
+    });
+  });
+}
+
+void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
+                                    std::size_t seg_idx) {
+  if (seg_idx >= job->live.size()) {
+    ++job->report.volumes_reclaimed;
+    run_reclaim_volume(job);
+    return;
+  }
+  const tape::Segment seg = job->live[seg_idx];
+  // Tape-to-tape through the mover node's SAN legs; the two drive rate
+  // pools are added by the drives themselves.
+  job->src_drive->read_object(
+      job->node, seg.seq, net_legs(job->node, ""),
+      [this, job, seg, seg_idx](const tape::Segment* read) {
+        if (read == nullptr) {  // damaged or vanished: skip
+          run_reclaim_segment(job, seg_idx + 1);
+          return;
+        }
+        job->dst_drive->write_object(
+            job->node, seg.object_id, seg.bytes, net_legs(job->node, ""),
+            [this, job, seg, seg_idx](const tape::Segment* written) {
+              if (written == nullptr) {
+                run_reclaim_segment(job, seg_idx + 1);
+                return;
+              }
+              const std::uint64_t new_seq = written->seq;
+              ArchiveServer* server = find_object_server(seg.object_id);
+              if (server == nullptr) {
+                run_reclaim_segment(job, seg_idx + 1);
+                return;
+              }
+              server->metadata_txn([this, job, seg, seg_idx, new_seq] {
+                relocate_object(seg.object_id, job->src->id(), job->dst->id(),
+                                new_seq);
+                job->src->mark_deleted(seg.object_id);
+                ++job->report.objects_moved;
+                job->report.bytes_moved += seg.bytes;
+                run_reclaim_segment(job, seg_idx + 1);
+              });
+            });
+      });
+}
+
+ArchiveServer* HsmSystem::find_object_server(std::uint64_t object_id) {
+  for (auto& server : servers_) {
+    if (server->object(object_id) != nullptr) return server.get();
+  }
+  return nullptr;
+}
+
+void HsmSystem::relocate_object(std::uint64_t object_id, std::uint64_t old_cart,
+                                std::uint64_t new_cart, std::uint64_t new_seq) {
+  ArchiveServer* server = find_object_server(object_id);
+  if (server == nullptr) return;
+  const ArchiveObject* obj = server->object(object_id);
+  if (obj == nullptr) return;
+  ArchiveObject updated = *obj;
+  if (updated.cartridge_id == old_cart) {
+    updated.cartridge_id = new_cart;
+    updated.tape_seq = new_seq;
+  } else {
+    for (auto& replica : updated.copies) {
+      if (replica.cartridge_id == old_cart) {
+        replica.cartridge_id = new_cart;
+        replica.tape_seq = new_seq;
+        break;
+      }
+    }
+  }
+  const std::vector<std::uint64_t> members = updated.members;
+  server->record_object(std::move(updated));
+  // Aggregate members carry their own (exported) copy of the primary
+  // location; refresh them when the primary segment moved.
+  for (const std::uint64_t member_id : members) {
+    ArchiveServer* ms = find_object_server(member_id);
+    if (ms == nullptr) continue;
+    const ArchiveObject* member = ms->object(member_id);
+    if (member == nullptr) continue;
+    ArchiveObject mu = *member;
+    if (mu.cartridge_id == old_cart) {
+      mu.cartridge_id = new_cart;
+      mu.tape_seq = new_seq;
+      ms->record_object(std::move(mu));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DMAPI events
+// ---------------------------------------------------------------------------
+
+void HsmSystem::on_read_offline(const std::string&, pfs::FileId) {
+  ++offline_reads_;
+}
+
+void HsmSystem::on_managed_data_destroyed(const std::string&, pfs::FileId) {
+  ++destroys_;
+}
+
+}  // namespace cpa::hsm

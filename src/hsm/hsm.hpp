@@ -1,0 +1,241 @@
+// The hierarchical storage manager: migration, recall, reconciliation.
+//
+// This is the glue the paper builds between the archive parallel file
+// system (pfs) and the tape back end (tape), standing in for TSM HSM:
+//
+//   * migration batches (one drive, one mounted volume, many objects) with
+//     optional small-file aggregation (Sec 6.1's fix);
+//   * the Parallel Data Migrator (Sec 4.2.4): candidate lists distributed
+//     across mover nodes either naively (GPFS policy engine behaviour) or
+//     size-balanced (the paper's fix);
+//   * recall with pluggable node assignment: per-file round-robin (stock
+//     HSM recall daemons — causes the Sec 6.2 tape handoff thrashing) or
+//     tape-affinity (the paper's proposed fix), and optional tape-order
+//     sorting (Sec 4.2.5);
+//   * LAN-free vs server-routed data paths (Sec 4.2.2 / Figs 5-6);
+//   * the reconcile agent and the synchronous deleter it obsoletes
+//     (Sec 4.2.6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hsm/fabric.hpp"
+#include "hsm/object.hpp"
+#include "hsm/server.hpp"
+#include "pfs/filesystem.hpp"
+#include "simcore/units.hpp"
+#include "tape/library.hpp"
+
+namespace cpa::hsm {
+
+struct HsmConfig {
+  /// LAN-free: clients stream straight to drives over the SAN.  Otherwise
+  /// all data squeezes through the archive server's network connection.
+  bool lan_free = true;
+  /// Punch files to stubs once safely on tape (space management); when
+  /// false files are left premigrated (pure backup semantics).
+  bool punch_after_migrate = true;
+  /// Bundle files below `aggregate_threshold` into aggregates of up to
+  /// `aggregate_target` bytes before writing to tape.
+  bool aggregation_enabled = false;
+  std::uint64_t aggregate_threshold = 50 * kMB;
+  std::uint64_t aggregate_target = 4 * kGB;
+  /// Total tape copies of every object (1 = primary only).  Extra copies
+  /// land in per-group copy pools ("<group>~copyN") on separate volumes;
+  /// recall falls back to them when the primary volume is damaged.
+  unsigned tape_copies = 1;
+  unsigned server_count = 1;
+  ServerConfig server;
+  /// Reconcile tree-walk cost per inode visited (Sec 4.2.6: the agent
+  /// "does a directory tree-walk and compares each file one by one").
+  sim::Tick reconcile_walk_cost = sim::msecs(2);
+};
+
+struct MigrateReport {
+  unsigned files_migrated = 0;
+  unsigned files_failed = 0;
+  std::uint64_t bytes = 0;
+  unsigned tape_objects_written = 0;  // < files when aggregating
+  sim::Tick started = 0;
+  sim::Tick finished = 0;
+  [[nodiscard]] double mean_rate_bps() const {
+    const double dt = sim::to_seconds(finished - started);
+    return dt > 0 ? static_cast<double>(bytes) / dt : 0.0;
+  }
+};
+
+struct RecallOptions {
+  /// Sort each cartridge's recalls by tape sequence (PFTool's optimization).
+  bool tape_ordered = true;
+  enum class Assignment {
+    TapeAffinity,  // all recalls for one tape handled by one node (fix)
+    RoundRobin,    // per-file round-robin over nodes (stock HSM daemons)
+  };
+  Assignment assignment = Assignment::TapeAffinity;
+  std::vector<tape::NodeId> nodes = {0};
+  /// Cap on cartridges recalled concurrently (each needs a drive).
+  unsigned max_parallel_tapes = 0xFFFFFFFFu;
+};
+
+struct RecallReport {
+  unsigned files_recalled = 0;
+  unsigned files_failed = 0;
+  std::uint64_t bytes = 0;          // logical file bytes recalled
+  std::uint64_t tape_bytes = 0;     // tape bytes actually read (aggregates)
+  sim::Tick started = 0;
+  sim::Tick finished = 0;
+  [[nodiscard]] double mean_rate_bps() const {
+    const double dt = sim::to_seconds(finished - started);
+    return dt > 0 ? static_cast<double>(bytes) / dt : 0.0;
+  }
+};
+
+struct SpaceManagementReport {
+  std::uint64_t files_punched = 0;
+  std::uint64_t bytes_freed = 0;
+  double used_fraction_before = 0.0;
+  double used_fraction_after = 0.0;
+  sim::Tick duration = 0;  // policy-scan time charged
+};
+
+struct ReclaimReport {
+  unsigned volumes_examined = 0;
+  unsigned volumes_reclaimed = 0;
+  unsigned objects_moved = 0;
+  std::uint64_t bytes_moved = 0;
+  sim::Tick started = 0;
+  sim::Tick finished = 0;
+};
+
+struct ReconcileReport {
+  std::uint64_t inodes_walked = 0;
+  std::uint64_t objects_checked = 0;
+  std::uint64_t orphans_found = 0;
+  std::uint64_t orphans_deleted = 0;
+  sim::Tick duration = 0;
+};
+
+enum class DistributionStrategy {
+  NaiveRoundRobin,  // GPFS policy-engine behaviour
+  SizeBalanced,     // the paper's sorted, size-even distribution
+};
+
+class HsmSystem : public pfs::DmapiListener {
+ public:
+  HsmSystem(sim::Simulation& sim, sim::FlowNetwork& net, pfs::FileSystem& fs,
+            tape::TapeLibrary& library, Fabric fabric, HsmConfig cfg);
+  ~HsmSystem() override;
+
+  [[nodiscard]] const HsmConfig& config() const { return cfg_; }
+  [[nodiscard]] pfs::FileSystem& fs() { return fs_; }
+  [[nodiscard]] tape::TapeLibrary& library() { return lib_; }
+
+  /// The server responsible for a path (hash routing when server_count>1;
+  /// the paper's "tether multiple archive file systems" idea, Sec 6.4).
+  [[nodiscard]] ArchiveServer& server_for(const std::string& path);
+  [[nodiscard]] unsigned server_count() const { return static_cast<unsigned>(servers_.size()); }
+  [[nodiscard]] ArchiveServer& server(unsigned i) { return *servers_[i]; }
+
+  /// Migrates `paths` from node `node` on a single drive: mounts one
+  /// volume of `group` and streams objects back to back.
+  void migrate_batch(tape::NodeId node, std::vector<std::string> paths,
+                     std::string group,
+                     std::function<void(const MigrateReport&)> done);
+
+  /// The Parallel Data Migrator: distributes `paths` across `nodes`
+  /// (each node = one concurrent migrate_batch) per `strategy`.
+  void parallel_migrate(std::vector<std::string> paths,
+                        std::vector<tape::NodeId> nodes,
+                        DistributionStrategy strategy, std::string group,
+                        std::function<void(const MigrateReport&)> done);
+
+  /// Recalls `paths` from tape into the archive file system.
+  void recall(std::vector<std::string> paths, RecallOptions options,
+              std::function<void(const RecallReport&)> done);
+
+  /// Synchronous delete (Sec 4.2.6): joins the GPFS file id to the TSM
+  /// object through the indexed export and deletes file-system entry and
+  /// tape object together — no orphan, no reconcile needed.
+  void synchronous_delete(const std::string& path,
+                          std::function<void(pfs::Errc)> done);
+
+  /// The classic reconcile agent: tree-walks the file system, compares
+  /// every object one by one, and reports (optionally deletes) orphans.
+  void reconcile(bool delete_orphans,
+                 std::function<void(const ReconcileReport&)> done);
+
+  /// HSM space management (threshold migration): when `pool`'s usage is
+  /// at or above `high_water`, punch premigrated files — least recently
+  /// accessed first — until usage drops to `low_water`.  Only files whose
+  /// data is already safe on tape are eligible; the run costs one policy
+  /// scan of the namespace.  This is how the archive operates with
+  /// punch_after_migrate=false (premigrate-then-punch-on-demand).
+  void space_management(const std::string& pool, double high_water,
+                        double low_water,
+                        std::function<void(const SpaceManagementReport&)> done);
+
+  /// Space reclamation: volumes whose dead fraction is at least
+  /// `dead_fraction` have their live segments copied tape-to-tape (two
+  /// drives: source + destination in the same volume family) and every
+  /// owning object's location updated; the drained volume becomes
+  /// all-dead scratch.  Runs volumes sequentially on `node`.
+  void reclaim_volumes(double dead_fraction, tape::NodeId node,
+                       std::function<void(const ReclaimReport&)> done);
+
+  // --- DmapiListener (events observed from the file system) ---------------
+  void on_read_offline(const std::string& path, pfs::FileId fid) override;
+  void on_managed_data_destroyed(const std::string& path, pfs::FileId fid) override;
+
+  [[nodiscard]] std::uint64_t offline_read_events() const { return offline_reads_; }
+  [[nodiscard]] std::uint64_t destroy_events() const { return destroys_; }
+
+ private:
+  struct MigrateJob;
+  struct RecallJob;
+  struct UnitRecorder;
+  struct ReclaimJob;
+
+  void run_reclaim_volume(std::shared_ptr<ReclaimJob> job);
+  void run_reclaim_segment(std::shared_ptr<ReclaimJob> job, std::size_t seg_idx);
+  /// Finds the server holding `object_id` (ids are globally unique because
+  /// each server hands out ids from its own counter but lookups scan all).
+  ArchiveServer* find_object_server(std::uint64_t object_id);
+  /// Updates the owner's recorded location after a segment moved from
+  /// `old_cart` to (new_cart, new_seq), including members and export rows.
+  void relocate_object(std::uint64_t object_id, std::uint64_t old_cart,
+                       std::uint64_t new_cart, std::uint64_t new_seq);
+
+  void run_migrate_unit(std::shared_ptr<MigrateJob> job);
+  /// Chains one metadata transaction per object in the just-written unit.
+  void record_unit_objects(std::shared_ptr<MigrateJob> job,
+                           std::shared_ptr<UnitRecorder> rec);
+  void finish_migrate(std::shared_ptr<MigrateJob> job);
+  void run_recall_cart(std::shared_ptr<RecallJob> job, std::size_t work_idx);
+  void run_recall_entry(std::shared_ptr<RecallJob> job, std::size_t work_idx,
+                        std::size_t entry_idx, tape::TapeDrive& drive);
+  /// Network-side legs only (SAN or LAN+server), no disk.
+  [[nodiscard]] std::vector<sim::PathLeg> net_legs(tape::NodeId node,
+                                                   const std::string& fs_path) const;
+  /// The object owning a path's tape segment (the aggregate for members),
+  /// or 0 when the path is not on tape.
+  std::uint64_t owner_object_id(const std::string& path);
+  [[nodiscard]] std::vector<sim::PathLeg> data_path(tape::NodeId node,
+                                                   const std::string& fs_path,
+                                                   std::uint64_t bytes) const;
+
+  sim::Simulation& sim_;
+  sim::FlowNetwork& net_;
+  pfs::FileSystem& fs_;
+  tape::TapeLibrary& lib_;
+  Fabric fabric_;
+  HsmConfig cfg_;
+  std::vector<std::unique_ptr<ArchiveServer>> servers_;
+  std::uint64_t offline_reads_ = 0;
+  std::uint64_t destroys_ = 0;
+};
+
+}  // namespace cpa::hsm

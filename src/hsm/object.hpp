@@ -1,0 +1,42 @@
+// Archive objects: the server-side record of data stored on tape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpa::hsm {
+
+/// One managed object in the archive server's database.  A migrated file
+/// is one object; with aggregation enabled, many small files share one
+/// aggregate object (Sec 6.1: "bundling these small files into larger
+/// aggregates better suited to getting the tape drive up to full speed").
+struct ArchiveObject {
+  std::uint64_t object_id = 0;
+  std::string path;               // archive-file-system path ("" for aggregates)
+  std::uint64_t gpfs_file_id = 0; // packed FileId for the synchronous deleter
+  std::uint64_t size_bytes = 0;
+  std::uint64_t content_tag = 0;  // propagated for integrity verification
+  std::uint64_t cartridge_id = 0;
+  std::uint64_t tape_seq = 0;
+  std::string colocation_group;
+
+  // Aggregation linkage.
+  std::uint64_t aggregate_id = 0;     // parent aggregate (0 = standalone)
+  std::uint64_t aggregate_offset = 0; // byte offset within the aggregate
+  std::vector<std::uint64_t> members; // for aggregate objects: member ids
+
+  /// Additional tape copies (copy storage pools — Sec 3.1 item 7:
+  /// "multiple copies, remote copies, smart placement").  Recall falls
+  /// back to a copy when the primary volume is unreadable.
+  struct Replica {
+    std::uint64_t cartridge_id = 0;
+    std::uint64_t tape_seq = 0;
+  };
+  std::vector<Replica> copies;
+
+  [[nodiscard]] bool is_aggregate() const { return !members.empty(); }
+  [[nodiscard]] bool is_member() const { return aggregate_id != 0; }
+};
+
+}  // namespace cpa::hsm

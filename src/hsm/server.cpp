@@ -1,0 +1,64 @@
+#include "hsm/server.hpp"
+
+#include <utility>
+
+namespace cpa::hsm {
+
+ArchiveServer::ArchiveServer(sim::Simulation& sim, sim::FlowNetwork& net,
+                             std::string name, ServerConfig cfg)
+    : sim_(sim),
+      name_(std::move(name)),
+      cfg_(cfg),
+      objects_([](const ArchiveObject& o) { return o.object_id; }) {
+  next_object_id_ = cfg_.object_id_base;
+  data_pool_ = net.add_pool(name_ + ".data", cfg_.data_bandwidth_bps);
+}
+
+void ArchiveServer::metadata_txn(std::function<void()> done) {
+  queue_.push_back(std::move(done));
+  if (!busy_) pump();
+}
+
+void ArchiveServer::pump() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  auto done = std::move(queue_.front());
+  queue_.pop_front();
+  sim_.after(cfg_.metadata_txn_cost, [this, done = std::move(done)] {
+    ++txns_;
+    if (done) done();
+    pump();
+  });
+}
+
+void ArchiveServer::record_object(ArchiveObject obj) {
+  // Mirror into the indexed export before storing (aggregates have no
+  // single path/fid; they are not separately recallable by path).
+  if (!obj.path.empty()) {
+    export_.upsert(metadb::TapeObjectRow{obj.object_id, obj.gpfs_file_id,
+                                         obj.path, obj.size_bytes,
+                                         obj.cartridge_id, obj.tape_seq});
+  }
+  objects_.upsert(std::move(obj));
+}
+
+const ArchiveObject* ArchiveServer::object(std::uint64_t id) const {
+  return objects_.find(id);
+}
+
+bool ArchiveServer::delete_object(std::uint64_t id) {
+  const ArchiveObject* obj = objects_.find(id);
+  if (obj == nullptr) return false;
+  export_.erase_object(id);
+  return objects_.erase(id);
+}
+
+void ArchiveServer::for_each_object(
+    const std::function<void(const ArchiveObject&)>& fn) const {
+  objects_.for_each(fn);
+}
+
+}  // namespace cpa::hsm

@@ -1,0 +1,88 @@
+// The archive server (TSM stand-in).
+//
+// The server owns the object database and serializes metadata
+// transactions: every migrate, recall and delete performs server
+// round-trips that queue FIFO with a fixed per-transaction cost.  This is
+// deliberately a single choke point — Sec 6.4: "Having a single TSM server
+// creates a single point of a failure ... and a limitation when we need to
+// scale beyond what a single TSM server can provide."  Benchmarks
+// instantiate several servers to explore the paper's proposed fix.
+//
+// The server also terminates the non-LAN-free data path: without LAN-free,
+// "all data is passed to a central server via the network, making the TSM
+// server's network connection the bottleneck" (Sec 4.2.2) — modeled as the
+// `data_pool()` every server-routed flow must traverse.
+//
+// The indexed TSM export (`export_db`) is refreshed synchronously on every
+// object mutation, standing in for the periodic MySQL export job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hsm/object.hpp"
+#include "metadb/table.hpp"
+#include "metadb/tsm_export.hpp"
+#include "simcore/flow_network.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cpa::hsm {
+
+struct ServerConfig {
+  /// Service time of one metadata transaction (object insert/lookup/delete).
+  sim::Tick metadata_txn_cost = sim::msecs(5);
+  /// Bandwidth of the server's network connection, traversed by all
+  /// server-routed (non-LAN-free) data.
+  double data_bandwidth_bps = 80.0 * 1e6;
+  /// First object id this server hands out.  Multi-server deployments
+  /// give each server a disjoint range so ids stay globally unique.
+  std::uint64_t object_id_base = 1;
+};
+
+class ArchiveServer {
+ public:
+  ArchiveServer(sim::Simulation& sim, sim::FlowNetwork& net, std::string name,
+                ServerConfig cfg);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::PoolId data_pool() const { return data_pool_; }
+
+  /// Queues a metadata transaction; `done` fires after all earlier
+  /// transactions have been serviced plus this one's cost.
+  void metadata_txn(std::function<void()> done);
+
+  /// Number of transactions serviced (for utilization reporting).
+  [[nodiscard]] std::uint64_t txns_completed() const { return txns_; }
+  [[nodiscard]] std::size_t txn_queue_depth() const { return queue_.size(); }
+
+  // --- object database (call inside metadata_txn callbacks) ---------------
+  [[nodiscard]] std::uint64_t allocate_object_id() { return next_object_id_++; }
+  void record_object(ArchiveObject obj);
+  [[nodiscard]] const ArchiveObject* object(std::uint64_t id) const;
+  bool delete_object(std::uint64_t id);
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  void for_each_object(const std::function<void(const ArchiveObject&)>& fn) const;
+
+  /// The indexed export (Sec 4.2.5) kept in sync with the object table.
+  [[nodiscard]] metadb::TsmExportDb& export_db() { return export_; }
+  [[nodiscard]] const metadb::TsmExportDb& export_db() const { return export_; }
+
+ private:
+  void pump();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  ServerConfig cfg_;
+  sim::PoolId data_pool_;
+  bool busy_ = false;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t txns_ = 0;
+  std::uint64_t next_object_id_ = 1;
+  metadb::Table<ArchiveObject> objects_;
+  metadb::TsmExportDb export_;
+};
+
+}  // namespace cpa::hsm

@@ -1,0 +1,219 @@
+// Embedded, indexed, in-memory table store.
+//
+// The paper's archive cannot query TSM 5.5's proprietary database for the
+// (tape id, tape sequence) of a file — those fields are not indexed and
+// cannot be — so LANL exported the relevant TSM tables to MySQL and added
+// indexes; PFTool then queries MySQL to sort recalls into tape order
+// (Sec 4.2.5), and the synchronous deleter joins GPFS file ids to TSM
+// object ids through it (Sec 4.2.6).
+//
+// This module is the stand-in for that MySQL instance: a typed table with
+// a unique primary key and any number of secondary indexes supporting
+// point and range lookups.  Query counters distinguish indexed accesses
+// from full scans so benchmarks can demonstrate why the unindexed TSM
+// database was unusable for tape-ordered recall.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cpa::metadb {
+
+/// Aggregate access statistics for one table.
+struct TableStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t point_lookups = 0;
+  std::uint64_t index_lookups = 0;
+  std::uint64_t range_lookups = 0;
+  std::uint64_t full_scans = 0;
+  std::uint64_t rows_scanned = 0;  // rows touched by full scans
+};
+
+/// A table of `Row` keyed by a unique 64-bit primary key.
+///
+/// Secondary indexes must all be registered before the first insert (as
+/// with a real DDL schema); violating this throws std::logic_error.
+template <typename Row>
+class Table {
+ public:
+  using Key = std::uint64_t;
+  using IndexId = std::size_t;
+
+  explicit Table(std::function<Key(const Row&)> primary_key)
+      : pk_(std::move(primary_key)) {}
+
+  /// Registers a secondary index on a 64-bit attribute.
+  IndexId add_index_u64(std::function<std::uint64_t(const Row&)> key_fn) {
+    require_empty("add_index_u64");
+    u64_indexes_.push_back(U64Index{std::move(key_fn), {}});
+    return u64_indexes_.size() - 1;
+  }
+
+  /// Registers a secondary index on a string attribute.
+  IndexId add_index_str(std::function<std::string(const Row&)> key_fn) {
+    require_empty("add_index_str");
+    str_indexes_.push_back(StrIndex{std::move(key_fn), {}});
+    return str_indexes_.size() - 1;
+  }
+
+  /// Inserts a row; returns false (and changes nothing) if the primary key
+  /// already exists.
+  bool insert(Row row) {
+    const Key k = pk_(row);
+    auto [it, inserted] = rows_.emplace(k, std::move(row));
+    if (!inserted) return false;
+    index_row(it->second, k);
+    ++stats_.inserts;
+    return true;
+  }
+
+  /// Inserts or replaces by primary key.
+  void upsert(Row row) {
+    const Key k = pk_(row);
+    if (auto it = rows_.find(k); it != rows_.end()) {
+      deindex_row(it->second, k);
+      it->second = std::move(row);
+      index_row(it->second, k);
+    } else {
+      insert(std::move(row));
+    }
+  }
+
+  /// Point lookup by primary key; nullptr when absent.  The pointer stays
+  /// valid until this row is erased or upserted.
+  const Row* find(Key k) const {
+    ++stats_.point_lookups;
+    auto it = rows_.find(k);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  /// Erases by primary key; returns false when absent.
+  bool erase(Key k) {
+    auto it = rows_.find(k);
+    if (it == rows_.end()) return false;
+    deindex_row(it->second, k);
+    rows_.erase(it);
+    ++stats_.erases;
+    return true;
+  }
+
+  /// All rows whose indexed attribute equals `value`, in primary-key order.
+  std::vector<const Row*> lookup_u64(IndexId idx, std::uint64_t value) const {
+    ++stats_.index_lookups;
+    const auto& index = u64_indexes_.at(idx).map;
+    std::vector<Key> keys;
+    for (auto [it, end] = index.equal_range(value); it != end; ++it) {
+      keys.push_back(it->second);
+    }
+    return rows_for(keys);
+  }
+
+  std::vector<const Row*> lookup_str(IndexId idx, const std::string& value) const {
+    ++stats_.index_lookups;
+    const auto& index = str_indexes_.at(idx).map;
+    std::vector<Key> keys;
+    for (auto [it, end] = index.equal_range(value); it != end; ++it) {
+      keys.push_back(it->second);
+    }
+    return rows_for(keys);
+  }
+
+  /// All rows with indexed attribute in [lo, hi], ascending by attribute
+  /// (ties broken by primary key).
+  std::vector<const Row*> range_u64(IndexId idx, std::uint64_t lo,
+                                    std::uint64_t hi) const {
+    ++stats_.range_lookups;
+    const auto& index = u64_indexes_.at(idx).map;
+    std::vector<std::pair<std::uint64_t, Key>> hits;
+    for (auto it = index.lower_bound(lo);
+         it != index.end() && it->first <= hi; ++it) {
+      hits.emplace_back(it->first, it->second);
+    }
+    std::sort(hits.begin(), hits.end());
+    std::vector<const Row*> out;
+    out.reserve(hits.size());
+    for (const auto& [attr, key] : hits) out.push_back(&rows_.at(key));
+    return out;
+  }
+
+  /// Full-table scan with a predicate — the only query the un-exported TSM
+  /// database supports.  Deliberately counts every row touched.
+  std::vector<const Row*> scan(const std::function<bool(const Row&)>& pred) const {
+    ++stats_.full_scans;
+    std::vector<const Row*> out;
+    for (const auto& [k, row] : rows_) {
+      ++stats_.rows_scanned;
+      if (pred(row)) out.push_back(&row);
+    }
+    return out;
+  }
+
+  /// Visits every row (not counted as a scan; used for exports/backups).
+  void for_each(const std::function<void(const Row&)>& fn) const {
+    for (const auto& [k, row] : rows_) fn(row);
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+  [[nodiscard]] const TableStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct U64Index {
+    std::function<std::uint64_t(const Row&)> key_fn;
+    std::multimap<std::uint64_t, Key> map;
+  };
+  struct StrIndex {
+    std::function<std::string(const Row&)> key_fn;
+    std::multimap<std::string, Key> map;
+  };
+
+  /// Materializes rows for index hits in primary-key order.
+  std::vector<const Row*> rows_for(std::vector<Key>& keys) const {
+    std::sort(keys.begin(), keys.end());
+    std::vector<const Row*> out;
+    out.reserve(keys.size());
+    for (const Key k : keys) out.push_back(&rows_.at(k));
+    return out;
+  }
+
+  void require_empty(const char* op) const {
+    if (!rows_.empty()) {
+      throw std::logic_error(std::string(op) + " after rows were inserted");
+    }
+  }
+
+  void index_row(const Row& row, Key k) {
+    for (auto& idx : u64_indexes_) idx.map.emplace(idx.key_fn(row), k);
+    for (auto& idx : str_indexes_) idx.map.emplace(idx.key_fn(row), k);
+  }
+
+  void deindex_row(const Row& row, Key k) {
+    for (auto& idx : u64_indexes_) erase_entry(idx.map, idx.key_fn(row), k);
+    for (auto& idx : str_indexes_) erase_entry(idx.map, idx.key_fn(row), k);
+  }
+
+  template <typename Map, typename K>
+  static void erase_entry(Map& map, const K& key, Key pk) {
+    for (auto [it, end] = map.equal_range(key); it != end; ++it) {
+      if (it->second == pk) {
+        map.erase(it);
+        return;
+      }
+    }
+  }
+
+  std::function<Key(const Row&)> pk_;
+  std::map<Key, Row> rows_;
+  std::vector<U64Index> u64_indexes_;
+  std::vector<StrIndex> str_indexes_;
+  mutable TableStats stats_;
+};
+
+}  // namespace cpa::metadb

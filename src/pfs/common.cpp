@@ -1,0 +1,38 @@
+#include "pfs/common.hpp"
+
+namespace cpa::pfs {
+
+const char* to_string(DmapiState s) {
+  switch (s) {
+    case DmapiState::Resident: return "resident";
+    case DmapiState::Premigrated: return "premigrated";
+    case DmapiState::Migrated: return "migrated";
+  }
+  return "?";
+}
+
+const char* to_string(FileKind k) {
+  switch (k) {
+    case FileKind::Regular: return "regular";
+    case FileKind::Directory: return "directory";
+  }
+  return "?";
+}
+
+const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::Ok: return "ok";
+    case Errc::NotFound: return "not found";
+    case Errc::Exists: return "exists";
+    case Errc::NotADirectory: return "not a directory";
+    case Errc::IsADirectory: return "is a directory";
+    case Errc::NotEmpty: return "directory not empty";
+    case Errc::NoSpace: return "no space in pool";
+    case Errc::Stale: return "stale file id";
+    case Errc::InvalidArgument: return "invalid argument";
+    case Errc::Offline: return "data offline (migrated to tape)";
+  }
+  return "?";
+}
+
+}  // namespace cpa::pfs

@@ -1,0 +1,464 @@
+#include "pfs/filesystem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace cpa::pfs {
+
+bool split_path(const std::string& path, std::vector<std::string>* parts) {
+  parts->clear();
+  if (path.empty() || path[0] != '/') return false;
+  std::size_t i = 1;
+  while (i < path.size()) {
+    std::size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    if (j == i) return false;  // empty component ("//")
+    std::string comp = path.substr(i, j - i);
+    if (comp == "." || comp == "..") return false;
+    parts->push_back(std::move(comp));
+    i = j + 1;
+  }
+  return true;
+}
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir == "/") return "/" + name;
+  return dir + "/" + name;
+}
+
+std::string parent_path(const std::string& path) {
+  const std::size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos || pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string base_name(const std::string& path) {
+  const std::size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+FileSystem::FileSystem(sim::Simulation& sim, FsConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  assert(!cfg_.pools.empty() && "a file system needs at least one pool");
+  for (const auto& pc : cfg_.pools) {
+    pool_nsd_base_.push_back(total_nsds_);
+    total_nsds_ += std::max(1u, pc.nsd_count);
+    pools_.push_back(PoolInfo{pc, 0});
+  }
+  // Root directory.
+  Inode root;
+  root.id = next_inode_++;
+  root.gen = next_gen_++;
+  root.kind = FileKind::Directory;
+  root.ctime = root.mtime = root.atime = sim_.now();
+  root_ = root.id;
+  inodes_.emplace(root.id, std::move(root));
+}
+
+const FileSystem::Inode* FileSystem::resolve(const std::string& path) const {
+  std::vector<std::string> parts;
+  if (!split_path(path, &parts)) return nullptr;
+  const Inode* cur = &inodes_.at(root_);
+  for (const auto& comp : parts) {
+    if (cur->kind != FileKind::Directory) return nullptr;
+    auto it = cur->children.find(comp);
+    if (it == cur->children.end()) return nullptr;
+    cur = &inodes_.at(it->second);
+  }
+  return cur;
+}
+
+FileSystem::Inode* FileSystem::resolve(const std::string& path) {
+  return const_cast<Inode*>(std::as_const(*this).resolve(path));
+}
+
+FileSystem::Inode* FileSystem::resolve_parent(const std::string& path,
+                                              std::string* leaf, Errc* err) {
+  std::vector<std::string> parts;
+  if (!split_path(path, &parts) || parts.empty()) {
+    *err = Errc::InvalidArgument;
+    return nullptr;
+  }
+  *leaf = parts.back();
+  Inode* cur = &inodes_.at(root_);
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (cur->kind != FileKind::Directory) {
+      *err = Errc::NotADirectory;
+      return nullptr;
+    }
+    auto it = cur->children.find(parts[i]);
+    if (it == cur->children.end()) {
+      *err = Errc::NotFound;
+      return nullptr;
+    }
+    cur = &inodes_.at(it->second);
+  }
+  if (cur->kind != FileKind::Directory) {
+    *err = Errc::NotADirectory;
+    return nullptr;
+  }
+  *err = Errc::Ok;
+  return cur;
+}
+
+InodeAttrs FileSystem::attrs_of(const Inode& n) const {
+  InodeAttrs a;
+  a.fid = FileId{n.id, n.gen};
+  a.kind = n.kind;
+  a.size = n.size;
+  a.atime = n.atime;
+  a.mtime = n.mtime;
+  a.ctime = n.ctime;
+  a.pool = pools_[n.pool_idx].config.name;
+  a.dmapi = n.dmapi;
+  a.content_tag = n.content_tag;
+  return a;
+}
+
+std::string FileSystem::rebuild_path(const Inode& n) const {
+  if (n.id == root_) return "/";
+  std::vector<const std::string*> comps;
+  const Inode* cur = &n;
+  while (cur->id != root_) {
+    comps.push_back(&cur->name);
+    cur = &inodes_.at(cur->parent);
+  }
+  std::string out;
+  for (auto it = comps.rbegin(); it != comps.rend(); ++it) {
+    out += '/';
+    out += **it;
+  }
+  return out;
+}
+
+int FileSystem::pool_index(const std::string& name) const {
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    if (pools_[i].config.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Errc FileSystem::charge_pool(unsigned pool_idx, std::uint64_t bytes) {
+  PoolInfo& p = pools_[pool_idx];
+  if (p.config.capacity_bytes != 0 && p.used_bytes + bytes > p.config.capacity_bytes) {
+    return Errc::NoSpace;
+  }
+  p.used_bytes += bytes;
+  return Errc::Ok;
+}
+
+void FileSystem::credit_pool(unsigned pool_idx, std::uint64_t bytes) {
+  PoolInfo& p = pools_[pool_idx];
+  p.used_bytes = p.used_bytes > bytes ? p.used_bytes - bytes : 0;
+}
+
+void FileSystem::destroy_data(Inode& n, const std::string& path) {
+  const bool managed = n.dmapi != DmapiState::Resident;
+  // Migrated stubs hold no disk bytes; others do.
+  if (n.dmapi != DmapiState::Migrated) credit_pool(n.pool_idx, n.size);
+  if (managed && dmapi_ != nullptr) {
+    dmapi_->on_managed_data_destroyed(path, FileId{n.id, n.gen});
+  }
+  n.dmapi = DmapiState::Resident;
+  n.size = 0;
+  n.content_tag = 0;
+}
+
+Result<InodeId> FileSystem::mkdir(const std::string& path) {
+  std::string leaf;
+  Errc err = Errc::Ok;
+  Inode* parent = resolve_parent(path, &leaf, &err);
+  if (parent == nullptr) return err;
+  if (parent->children.count(leaf) != 0) return Errc::Exists;
+  Inode n;
+  n.id = next_inode_++;
+  n.gen = next_gen_++;
+  n.kind = FileKind::Directory;
+  n.atime = n.mtime = n.ctime = sim_.now();
+  n.parent = parent->id;
+  n.name = leaf;
+  const InodeId id = n.id;
+  parent->children.emplace(leaf, id);
+  parent->mtime = sim_.now();
+  inodes_.emplace(id, std::move(n));
+  return id;
+}
+
+Errc FileSystem::mkdirs(const std::string& path) {
+  std::vector<std::string> parts;
+  if (!split_path(path, &parts)) return Errc::InvalidArgument;
+  std::string cur;
+  for (const auto& comp : parts) {
+    cur += '/';
+    cur += comp;
+    const Inode* n = resolve(cur);
+    if (n == nullptr) {
+      auto r = mkdir(cur);
+      if (!r.ok()) return r.error();
+    } else if (n->kind != FileKind::Directory) {
+      return Errc::NotADirectory;
+    }
+  }
+  return Errc::Ok;
+}
+
+Result<FileId> FileSystem::create(const std::string& path,
+                                  const std::string& pool_hint) {
+  std::string leaf;
+  Errc err = Errc::Ok;
+  Inode* parent = resolve_parent(path, &leaf, &err);
+  if (parent == nullptr) return err;
+  if (parent->children.count(leaf) != 0) return Errc::Exists;
+  int pidx = 0;
+  if (!pool_hint.empty()) {
+    pidx = pool_index(pool_hint);
+    if (pidx < 0) return Errc::InvalidArgument;
+  }
+  Inode n;
+  n.id = next_inode_++;
+  n.gen = next_gen_++;
+  n.kind = FileKind::Regular;
+  n.atime = n.mtime = n.ctime = sim_.now();
+  n.pool_idx = static_cast<unsigned>(pidx);
+  n.parent = parent->id;
+  n.name = leaf;
+  const FileId fid{n.id, n.gen};
+  parent->children.emplace(leaf, n.id);
+  parent->mtime = sim_.now();
+  inodes_.emplace(n.id, std::move(n));
+  return fid;
+}
+
+Result<InodeAttrs> FileSystem::stat(const std::string& path) const {
+  const Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  return attrs_of(*n);
+}
+
+Result<std::string> FileSystem::path_of(FileId fid) const {
+  auto it = inodes_.find(fid.inode);
+  if (it == inodes_.end()) return Errc::NotFound;
+  if (it->second.gen != fid.gen) return Errc::Stale;
+  return rebuild_path(it->second);
+}
+
+Result<std::vector<DirEntry>> FileSystem::readdir(const std::string& path) const {
+  const Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Directory) return Errc::NotADirectory;
+  std::vector<DirEntry> out;
+  out.reserve(n->children.size());
+  for (const auto& [name, id] : n->children) {
+    const Inode& c = inodes_.at(id);
+    out.push_back(DirEntry{name, id, c.kind});
+  }
+  return out;
+}
+
+Errc FileSystem::unlink(const std::string& path) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind == FileKind::Directory) return Errc::IsADirectory;
+  destroy_data(*n, path);
+  Inode& parent = inodes_.at(n->parent);
+  parent.children.erase(n->name);
+  parent.mtime = sim_.now();
+  inodes_.erase(n->id);
+  return Errc::Ok;
+}
+
+Errc FileSystem::rmdir(const std::string& path) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Directory) return Errc::NotADirectory;
+  if (n->id == root_) return Errc::InvalidArgument;
+  if (!n->children.empty()) return Errc::NotEmpty;
+  Inode& parent = inodes_.at(n->parent);
+  parent.children.erase(n->name);
+  parent.mtime = sim_.now();
+  inodes_.erase(n->id);
+  return Errc::Ok;
+}
+
+Errc FileSystem::rename(const std::string& from, const std::string& to) {
+  Inode* src = resolve(from);
+  if (src == nullptr) return Errc::NotFound;
+  if (src->id == root_) return Errc::InvalidArgument;
+  std::string leaf;
+  Errc err = Errc::Ok;
+  Inode* new_parent = resolve_parent(to, &leaf, &err);
+  if (new_parent == nullptr) return err;
+  if (new_parent->children.count(leaf) != 0) return Errc::Exists;
+  // Reject moving a directory into its own subtree.
+  for (const Inode* a = new_parent; a->id != root_; a = &inodes_.at(a->parent)) {
+    if (a->id == src->id) return Errc::InvalidArgument;
+  }
+  Inode& old_parent = inodes_.at(src->parent);
+  old_parent.children.erase(src->name);
+  old_parent.mtime = sim_.now();
+  src->parent = new_parent->id;
+  src->name = leaf;
+  new_parent->children.emplace(leaf, src->id);
+  new_parent->mtime = sim_.now();
+  return Errc::Ok;
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  return resolve(path) != nullptr;
+}
+
+Errc FileSystem::write_all(const std::string& path, std::uint64_t size,
+                           std::uint64_t content_tag) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Regular) return Errc::IsADirectory;
+  // Overwrite destroys any managed (tape) copy first — this is exactly the
+  // truncate-hole the synchronous deleter cannot see (Sec 6.3).
+  destroy_data(*n, path);
+  if (const Errc e = charge_pool(n->pool_idx, size); e != Errc::Ok) return e;
+  n->size = size;
+  n->content_tag = content_tag;
+  n->mtime = n->atime = sim_.now();
+  return Errc::Ok;
+}
+
+Errc FileSystem::truncate(const std::string& path, std::uint64_t new_size) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Regular) return Errc::IsADirectory;
+  if (new_size != 0 && new_size == n->size) return Errc::Ok;
+  const std::uint64_t tag = n->content_tag;
+  destroy_data(*n, path);
+  if (const Errc e = charge_pool(n->pool_idx, new_size); e != Errc::Ok) return e;
+  n->size = new_size;
+  // Truncation changes content; derive a new tag so comparisons fail.
+  n->content_tag = new_size == 0 ? 0 : tag ^ (0x517CC1B727220A95ULL + new_size);
+  n->mtime = sim_.now();
+  return Errc::Ok;
+}
+
+Result<std::uint64_t> FileSystem::read_tag(const std::string& path) const {
+  const Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Regular) return Errc::IsADirectory;
+  if (n->dmapi == DmapiState::Migrated) {
+    if (dmapi_ != nullptr) {
+      dmapi_->on_read_offline(path, FileId{n->id, n->gen});
+    }
+    return Errc::Offline;
+  }
+  const_cast<Inode*>(n)->atime = sim_.now();
+  return n->content_tag;
+}
+
+Errc FileSystem::premigrate(const std::string& path) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Regular) return Errc::IsADirectory;
+  if (n->dmapi != DmapiState::Resident) return Errc::InvalidArgument;
+  n->dmapi = DmapiState::Premigrated;
+  return Errc::Ok;
+}
+
+Errc FileSystem::punch(const std::string& path) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->dmapi != DmapiState::Premigrated) return Errc::InvalidArgument;
+  credit_pool(n->pool_idx, n->size);  // disk blocks released; stub remains
+  n->dmapi = DmapiState::Migrated;
+  return Errc::Ok;
+}
+
+Errc FileSystem::mark_recalled(const std::string& path) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->dmapi != DmapiState::Migrated) return Errc::InvalidArgument;
+  if (const Errc e = charge_pool(n->pool_idx, n->size); e != Errc::Ok) return e;
+  n->dmapi = DmapiState::Premigrated;
+  n->atime = sim_.now();
+  return Errc::Ok;
+}
+
+Errc FileSystem::make_resident(const std::string& path) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->dmapi != DmapiState::Premigrated) return Errc::InvalidArgument;
+  n->dmapi = DmapiState::Resident;
+  return Errc::Ok;
+}
+
+Result<PoolInfo> FileSystem::pool(const std::string& name) const {
+  const int i = pool_index(name);
+  if (i < 0) return Errc::NotFound;
+  return pools_[static_cast<std::size_t>(i)];
+}
+
+std::vector<PoolInfo> FileSystem::pools() const { return pools_; }
+
+Errc FileSystem::move_to_pool(const std::string& path, const std::string& pool) {
+  Inode* n = resolve(path);
+  if (n == nullptr) return Errc::NotFound;
+  if (n->kind != FileKind::Regular) return Errc::IsADirectory;
+  const int pidx = pool_index(pool);
+  if (pidx < 0) return Errc::InvalidArgument;
+  const auto new_idx = static_cast<unsigned>(pidx);
+  if (new_idx == n->pool_idx) return Errc::Ok;
+  const bool holds_disk = n->dmapi != DmapiState::Migrated;
+  if (holds_disk) {
+    if (const Errc e = charge_pool(new_idx, n->size); e != Errc::Ok) return e;
+    credit_pool(n->pool_idx, n->size);
+  }
+  n->pool_idx = new_idx;
+  return Errc::Ok;
+}
+
+std::vector<unsigned> FileSystem::stripe_nsds(const std::string& path,
+                                              std::uint64_t offset,
+                                              std::uint64_t len) const {
+  const Inode* n = resolve(path);
+  std::vector<unsigned> out;
+  if (n == nullptr || n->kind != FileKind::Regular || len == 0) return out;
+  const PoolConfig& pc = pools_[n->pool_idx].config;
+  const unsigned nsds = std::max(1u, pc.nsd_count);
+  const unsigned base = pool_nsd_base_[n->pool_idx];
+  const std::uint64_t bs = cfg_.block_size;
+  const std::uint64_t first_block = offset / bs;
+  const std::uint64_t last_block = (offset + len - 1) / bs;
+  const std::uint64_t nblocks = last_block - first_block + 1;
+  // Round-robin striping with a per-inode start offset (GPFS randomizes
+  // the first disk per file to even out load).
+  const std::uint64_t start = n->id % nsds;
+  if (nblocks >= nsds) {
+    for (unsigned i = 0; i < nsds; ++i) out.push_back(base + i);
+  } else {
+    for (std::uint64_t b = first_block; b <= last_block; ++b) {
+      const unsigned s = static_cast<unsigned>((start + b) % nsds);
+      if (std::find(out.begin(), out.end(), base + s) == out.end()) {
+        out.push_back(base + s);
+      }
+    }
+  }
+  return out;
+}
+
+unsigned FileSystem::pool_nsd_base(const std::string& pool) const {
+  const int i = pool_index(pool);
+  return i < 0 ? 0 : pool_nsd_base_[static_cast<std::size_t>(i)];
+}
+
+void FileSystem::for_each_inode(
+    const std::function<void(const std::string&, const InodeAttrs&)>& fn) const {
+  for (const auto& [id, n] : inodes_) {
+    fn(rebuild_path(n), attrs_of(n));
+  }
+}
+
+sim::Tick FileSystem::scan_duration(std::uint64_t inodes, unsigned streams) const {
+  if (inodes == 0) return 0;
+  const double per_stream =
+      static_cast<double>(inodes) / std::max(1u, streams);
+  return sim::secs(per_stream / cfg_.inode_scan_rate);
+}
+
+}  // namespace cpa::pfs

@@ -1,0 +1,212 @@
+// GPFS surrogate: a striped, pool-aware parallel file system model.
+//
+// What is modeled (because the archive's behaviour depends on it):
+//   * a POSIX-like namespace with directories, rename, unlink;
+//   * GPFS file ids (inode + generation) for the synchronous deleter;
+//   * storage pools with capacity accounting and placement (Sec 4.2.1:
+//     "a fast fiber channel disk storage pool where all files are
+//     initially written and a 'slow' disk pool used to store small files");
+//   * DMAPI data residency (resident / premigrated / migrated) with stub
+//     files, driving HSM migrate/recall (Sec 4.2.2);
+//   * block striping across NSD servers, so the data path can be charged
+//     against per-server bandwidth pools;
+//   * a metadata scan-rate model calibrated to "GPFS can scan one million
+//     inodes in ten minutes" (Sec 4.2.1).
+//
+// What is NOT stored: file bytes.  Files carry a 64-bit content tag that
+// copy operations propagate and compare operations check; this is
+// sufficient for every integrity property the paper's tools exercise
+// (pfcm byte comparison, restart resume verification, corruption tests)
+// without hosting terabytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pfs/common.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cpa::pfs {
+
+struct PoolConfig {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  unsigned nsd_count = 1;       // disk servers backing the pool
+  bool is_external = false;     // GPFS 3.2 "external pool" (tape side)
+};
+
+struct PoolInfo {
+  PoolConfig config;
+  std::uint64_t used_bytes = 0;
+  [[nodiscard]] std::uint64_t free_bytes() const {
+    return config.capacity_bytes > used_bytes
+               ? config.capacity_bytes - used_bytes
+               : 0;
+  }
+};
+
+struct FsConfig {
+  std::string name = "gpfs";
+  std::uint64_t block_size = 4ULL << 20;  // striping granularity
+  std::vector<PoolConfig> pools;          // pools[0] = default placement
+  /// Inodes per second one policy-scan stream evaluates (1e6 / 600 s).
+  double inode_scan_rate = 1e6 / 600.0;
+};
+
+struct InodeAttrs {
+  FileId fid;
+  FileKind kind = FileKind::Regular;
+  std::uint64_t size = 0;
+  sim::Tick atime = 0;
+  sim::Tick mtime = 0;
+  sim::Tick ctime = 0;
+  std::string pool;
+  DmapiState dmapi = DmapiState::Resident;
+  std::uint64_t content_tag = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeId inode = kInvalidInode;
+  FileKind kind = FileKind::Regular;
+};
+
+/// Receives DMAPI-style data events.  The HSM registers itself here.
+class DmapiListener {
+ public:
+  virtual ~DmapiListener() = default;
+  /// A read touched a migrated file's data (auto-recall trigger).
+  virtual void on_read_offline(const std::string& path, FileId fid) = 0;
+  /// A managed file's data was destroyed (unlink or truncate) — the tape
+  /// copy is now orphaned unless the handler deletes it (Sec 4.2.6).
+  virtual void on_managed_data_destroyed(const std::string& path, FileId fid) = 0;
+};
+
+class FileSystem {
+ public:
+  FileSystem(sim::Simulation& sim, FsConfig cfg);
+
+  [[nodiscard]] const FsConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+
+  // --- namespace -----------------------------------------------------------
+  Result<InodeId> mkdir(const std::string& path);
+  /// mkdir -p: creates all missing components.
+  Errc mkdirs(const std::string& path);
+  /// Creates an empty regular file.  `pool_hint` overrides placement; empty
+  /// means "apply placement policy / default pool".
+  Result<FileId> create(const std::string& path, const std::string& pool_hint = "");
+  [[nodiscard]] Result<InodeAttrs> stat(const std::string& path) const;
+  [[nodiscard]] Result<std::string> path_of(FileId fid) const;
+  [[nodiscard]] Result<std::vector<DirEntry>> readdir(const std::string& path) const;
+  Errc unlink(const std::string& path);
+  Errc rmdir(const std::string& path);
+  /// Renames a file or directory.  The destination must not exist.
+  Errc rename(const std::string& from, const std::string& to);
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  // --- data (modeled) ------------------------------------------------------
+  /// Replaces content: sets size and content tag, charging pool capacity.
+  /// Overwriting a premigrated/migrated file destroys the managed data
+  /// (fires on_managed_data_destroyed) and makes the file resident.
+  Errc write_all(const std::string& path, std::uint64_t size, std::uint64_t content_tag);
+  Errc truncate(const std::string& path, std::uint64_t new_size);
+  /// Reads the content tag; Errc::Offline if the data is on tape.
+  /// (The caller — PFTool or the NFS layer — must recall first.)
+  [[nodiscard]] Result<std::uint64_t> read_tag(const std::string& path) const;
+
+  // --- DMAPI / HSM ---------------------------------------------------------
+  Errc premigrate(const std::string& path);    // resident    -> premigrated
+  Errc punch(const std::string& path);         // premigrated -> migrated (frees disk)
+  Errc mark_recalled(const std::string& path); // migrated    -> premigrated (re-charges disk)
+  Errc make_resident(const std::string& path); // premigrated -> resident
+  void set_dmapi_listener(DmapiListener* listener) { dmapi_ = listener; }
+
+  // --- pools ---------------------------------------------------------------
+  [[nodiscard]] Result<PoolInfo> pool(const std::string& name) const;
+  [[nodiscard]] std::vector<PoolInfo> pools() const;
+  /// ILM migration between disk pools; moves the charged bytes.
+  Errc move_to_pool(const std::string& path, const std::string& pool);
+
+  // --- striping ------------------------------------------------------------
+  /// Global NSD indices (across all pools, in declaration order) serving
+  /// the given byte range of a file.  Blocks are striped round-robin over
+  /// the file's pool's NSDs starting at a per-inode offset.
+  [[nodiscard]] std::vector<unsigned> stripe_nsds(const std::string& path,
+                                                  std::uint64_t offset,
+                                                  std::uint64_t len) const;
+  /// Global index of the first NSD of a pool.
+  [[nodiscard]] unsigned pool_nsd_base(const std::string& pool) const;
+  [[nodiscard]] unsigned total_nsds() const { return total_nsds_; }
+
+  // --- scans ---------------------------------------------------------------
+  /// Visits every inode (files and directories) in inode order with its
+  /// full path.  Pure traversal; pair with `scan_duration` for timing.
+  void for_each_inode(
+      const std::function<void(const std::string& path, const InodeAttrs&)>& fn) const;
+  /// Virtual time for a policy scan of `inodes` inodes split over
+  /// `streams` parallel scan streams (GPFS runs one per node).
+  [[nodiscard]] sim::Tick scan_duration(std::uint64_t inodes, unsigned streams) const;
+
+  [[nodiscard]] std::uint64_t total_inodes() const { return inodes_.size(); }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] const sim::Simulation& sim() const { return sim_; }
+
+ private:
+  struct Inode {
+    InodeId id = kInvalidInode;
+    std::uint64_t gen = 1;
+    FileKind kind = FileKind::Regular;
+    std::uint64_t size = 0;
+    sim::Tick atime = 0, mtime = 0, ctime = 0;
+    unsigned pool_idx = 0;
+    DmapiState dmapi = DmapiState::Resident;
+    std::uint64_t content_tag = 0;
+    // Tree links.
+    InodeId parent = kInvalidInode;
+    std::string name;                         // entry name in parent
+    std::map<std::string, InodeId> children;  // directories only
+  };
+
+  [[nodiscard]] const Inode* resolve(const std::string& path) const;
+  [[nodiscard]] Inode* resolve(const std::string& path);
+  /// Resolves the parent directory of `path`; sets `leaf` to the last
+  /// component.  Returns nullptr (with `err`) on failure.
+  Inode* resolve_parent(const std::string& path, std::string* leaf, Errc* err);
+  [[nodiscard]] InodeAttrs attrs_of(const Inode& n) const;
+  [[nodiscard]] std::string rebuild_path(const Inode& n) const;
+  [[nodiscard]] int pool_index(const std::string& name) const;
+  Errc charge_pool(unsigned pool_idx, std::uint64_t bytes);
+  void credit_pool(unsigned pool_idx, std::uint64_t bytes);
+  /// Destroys data bytes of a managed file and notifies the listener.
+  void destroy_data(Inode& n, const std::string& path);
+
+  sim::Simulation& sim_;
+  FsConfig cfg_;
+  std::vector<PoolInfo> pools_;
+  std::vector<unsigned> pool_nsd_base_;
+  unsigned total_nsds_ = 0;
+  std::map<InodeId, Inode> inodes_;  // ordered for deterministic scans
+  InodeId root_ = kInvalidInode;
+  InodeId next_inode_ = 1;
+  std::uint64_t next_gen_ = 1;
+  DmapiListener* dmapi_ = nullptr;
+};
+
+/// Splits an absolute path into components; returns false on malformed
+/// input (relative, empty component, "." or "..").
+bool split_path(const std::string& path, std::vector<std::string>* parts);
+
+/// Joins a directory path and entry name.
+std::string join_path(const std::string& dir, const std::string& name);
+
+/// Returns the parent directory of an absolute path ("/" for "/a").
+std::string parent_path(const std::string& path);
+
+/// Returns the last component of an absolute path.
+std::string base_name(const std::string& path);
+
+}  // namespace cpa::pfs

@@ -1,0 +1,13 @@
+// Shell-style glob matching for ILM policy rules ("WHERE path LIKE ...").
+// Supports `*` (any run, including '/'), `?` (any single char), and literal
+// characters.  `*` crossing '/' matches GPFS policy semantics, where rules
+// are written against full path names.
+#pragma once
+
+#include <string_view>
+
+namespace cpa::pfs {
+
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace cpa::pfs

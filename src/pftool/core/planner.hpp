@@ -1,0 +1,72 @@
+// Copy planning: how a file moves, and in how many pieces.
+//
+// Sec 4.1.2:  item 3 — "We divide a single large file into N equal-size
+// sub-chunks and assign them to available Workers ... a typical parallel
+// N-to-1 data copy."  Item 4 — very large files go through ArchiveFUSE,
+// "converted an N-to-1 parallel I/O operation into an N-to-N parallel I/O
+// operation."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pftool/core/options.hpp"
+
+namespace cpa::pftool {
+
+enum class CopyMode : std::uint8_t {
+  Whole,        // one worker, one piece
+  ChunkedNto1,  // N workers into one destination file
+  FuseNtoN,     // N workers into N chunk files via ArchiveFUSE
+};
+
+struct ChunkSpec {
+  std::uint64_t index = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct CopyPlan {
+  CopyMode mode = CopyMode::Whole;
+  std::uint64_t file_size = 0;
+  std::vector<ChunkSpec> chunks;  // exactly one for Whole
+};
+
+class ChunkPlanner {
+ public:
+  explicit ChunkPlanner(PlannerConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const PlannerConfig& config() const { return cfg_; }
+
+  [[nodiscard]] CopyMode mode_for(std::uint64_t size) const {
+    if (size >= cfg_.very_large_threshold) return CopyMode::FuseNtoN;
+    if (size >= cfg_.large_file_threshold) return CopyMode::ChunkedNto1;
+    return CopyMode::Whole;
+  }
+
+  [[nodiscard]] CopyPlan plan(std::uint64_t size) const {
+    CopyPlan plan;
+    plan.mode = mode_for(size);
+    plan.file_size = size;
+    const std::uint64_t piece = plan.mode == CopyMode::Whole   ? size
+                                : plan.mode == CopyMode::FuseNtoN
+                                    ? cfg_.fuse_chunk_size
+                                    : cfg_.copy_chunk_size;
+    if (plan.mode == CopyMode::Whole || size == 0) {
+      plan.chunks.push_back(ChunkSpec{0, 0, size});
+      return plan;
+    }
+    std::uint64_t offset = 0, index = 0;
+    while (offset < size) {
+      const std::uint64_t bytes = std::min(piece, size - offset);
+      plan.chunks.push_back(ChunkSpec{index++, offset, bytes});
+      offset += bytes;
+    }
+    return plan;
+  }
+
+ private:
+  PlannerConfig cfg_;
+};
+
+}  // namespace cpa::pftool

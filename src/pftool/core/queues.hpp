@@ -1,0 +1,76 @@
+// The Manager's work queues (Sec 4.1.1 / Figure 3).
+//
+//   DirQ    — exposed directories awaiting a ReadDir process;
+//   NameQ   — file names awaiting stat by a Worker;
+//   CopyQ   — stated regular copy jobs awaiting a Worker;
+//   TapeCQ  — per-cartridge restore queues ordered by tape sequence
+//             ("The tape files with the same Tape ID are put into a
+//              corresponding TapeCQ based on their ascending tape
+//              sequential number", Sec 4.1.2 item 2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace cpa::pftool {
+
+/// FIFO with high-watermark statistics (reported by OutPutProc).
+template <typename T>
+class WorkQueue {
+ public:
+  void push(T item) {
+    items_.push_back(std::move(item));
+    ++total_;
+    max_depth_ = std::max(max_depth_, items_.size());
+  }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  T pop() {
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+  [[nodiscard]] std::uint64_t total_enqueued() const { return total_; }
+  [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  std::deque<T> items_;
+  std::uint64_t total_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+/// Per-cartridge restore queues, each kept in ascending tape-sequence
+/// order so a TapeProc reads front-to-back without rewinding.
+template <typename T>
+class TapeCopyQueues {
+ public:
+  void add(std::uint64_t cartridge, std::uint64_t seq, T item) {
+    queues_[cartridge].emplace(seq, std::move(item));
+    ++total_;
+  }
+  [[nodiscard]] bool empty() const { return queues_.empty(); }
+  [[nodiscard]] std::size_t cartridge_count() const { return queues_.size(); }
+  [[nodiscard]] std::uint64_t total_enqueued() const { return total_; }
+
+  /// Pops the entire queue for the lowest-id pending cartridge: the unit
+  /// of work handed to one TapeProc.  Returns false when empty.
+  bool pop_cartridge(std::uint64_t* cartridge, std::vector<T>* items) {
+    if (queues_.empty()) return false;
+    auto it = queues_.begin();
+    *cartridge = it->first;
+    items->clear();
+    items->reserve(it->second.size());
+    for (auto& [seq, item] : it->second) items->push_back(std::move(item));
+    queues_.erase(it);
+    return true;
+  }
+
+ private:
+  std::map<std::uint64_t, std::multimap<std::uint64_t, T>> queues_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cpa::pftool

@@ -1,0 +1,67 @@
+#include "pftool/core/report.hpp"
+
+#include <cstdio>
+
+#include "simcore/units.hpp"
+
+namespace cpa::pftool {
+
+std::string JobReport::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%s %s%s%s: %s%s\n", command.c_str(),
+                src_root.c_str(), dst_root.empty() ? "" : " -> ",
+                dst_root.c_str(), sim::format_duration(finished - started).c_str(),
+                aborted_by_watchdog ? "  [ABORTED BY WATCHDOG]" : "");
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  walked %llu dirs, stated %llu files\n",
+                static_cast<unsigned long long>(dirs_walked),
+                static_cast<unsigned long long>(files_stated));
+  out += line;
+  if (files_copied != 0 || bytes_copied != 0 || files_failed != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  copied %llu files / %s in %llu chunks (%s)\n",
+                  static_cast<unsigned long long>(files_copied),
+                  format_bytes(bytes_copied).c_str(),
+                  static_cast<unsigned long long>(chunks_copied),
+                  format_rate_mbs(rate_bps()).c_str());
+    out += line;
+  }
+  if (chunks_skipped_restart != 0) {
+    std::snprintf(line, sizeof(line), "  restart: skipped %llu known-good chunks\n",
+                  static_cast<unsigned long long>(chunks_skipped_restart));
+    out += line;
+  }
+  if (fuse_files != 0) {
+    std::snprintf(line, sizeof(line), "  %llu very large files via ArchiveFUSE\n",
+                  static_cast<unsigned long long>(fuse_files));
+    out += line;
+  }
+  if (files_restored != 0) {
+    std::snprintf(line, sizeof(line), "  restored %llu files from %llu tapes\n",
+                  static_cast<unsigned long long>(files_restored),
+                  static_cast<unsigned long long>(tapes_touched));
+    out += line;
+  }
+  if (files_compared != 0) {
+    std::snprintf(line, sizeof(line), "  compared %llu files: %llu match, %llu differ\n",
+                  static_cast<unsigned long long>(files_compared),
+                  static_cast<unsigned long long>(files_matched),
+                  static_cast<unsigned long long>(files_mismatched));
+    out += line;
+  }
+  if (files_failed != 0) {
+    std::snprintf(line, sizeof(line), "  FAILED: %llu files\n",
+                  static_cast<unsigned long long>(files_failed));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  queues: DirQ<=%zu NameQ<=%zu CopyQ<=%zu TapeCQ carts=%llu\n",
+                dirq_max_depth, nameq_max_depth, copyq_max_depth,
+                static_cast<unsigned long long>(tapecq_cartridges));
+  out += line;
+  return out;
+}
+
+}  // namespace cpa::pftool

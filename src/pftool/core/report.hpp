@@ -1,0 +1,70 @@
+// PFTool's end-of-job performance report ("A performance report is
+// generated after finishing each parallel archive job", Sec 4.1.1) and the
+// WatchDog's periodic progress record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cpa::pftool {
+
+struct JobReport {
+  std::string command;        // "pfls" / "pfcp" / "pfcm"
+  std::string src_root;
+  std::string dst_root;
+  sim::Tick started = 0;
+  sim::Tick finished = 0;
+  bool aborted_by_watchdog = false;
+
+  // Tree walk.
+  std::uint64_t dirs_walked = 0;
+  std::uint64_t files_stated = 0;
+
+  // Copy.
+  std::uint64_t files_copied = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t chunks_copied = 0;
+  std::uint64_t chunks_skipped_restart = 0;  // known-good on restart
+  std::uint64_t fuse_files = 0;              // very large via ArchiveFUSE
+  std::uint64_t files_failed = 0;
+
+  // Tape restore.
+  std::uint64_t files_restored = 0;
+  std::uint64_t tapes_touched = 0;
+
+  // Compare (pfcm).
+  std::uint64_t files_compared = 0;
+  std::uint64_t files_matched = 0;
+  std::uint64_t files_mismatched = 0;
+
+  // Queue high-watermarks (Manager diagnostics in the final report).
+  std::size_t dirq_max_depth = 0;
+  std::size_t nameq_max_depth = 0;
+  std::size_t copyq_max_depth = 0;
+  std::uint64_t tapecq_cartridges = 0;
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return sim::to_seconds(finished - started);
+  }
+  [[nodiscard]] double rate_bps() const {
+    const double dt = elapsed_seconds();
+    return dt > 0 ? static_cast<double>(bytes_copied) / dt : 0.0;
+  }
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string render() const;
+};
+
+/// One WatchDog sample: "records the current and historical statistics of
+/// PFTool such as ... number of bytes copied in the past T minutes".
+struct WatchdogSample {
+  sim::Tick at = 0;
+  std::uint64_t total_files = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t window_files = 0;
+  std::uint64_t window_bytes = 0;
+};
+
+}  // namespace cpa::pftool

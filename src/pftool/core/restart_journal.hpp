@@ -1,0 +1,57 @@
+// Restart-able file transfer (Sec 4.5).
+//
+// "What about restarting a 40 Terabyte file, we don't want to start it
+//  from the beginning.  To get around this, we mark regular file chunks or
+//  FUSE file chunks as good or bad so that we don't have to re-send known
+//  good chunks.  This is a unique incremental parallel archive feature."
+//
+// The journal records per-destination chunk completion.  A restarted
+// transfer asks `pending()` and re-sends only those chunks.  `serialize` /
+// `parse` give the thread-based engine durable journals on disk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpa::pftool {
+
+class RestartJournal {
+ public:
+  struct Entry {
+    std::uint64_t file_size = 0;
+    std::uint64_t chunk_count = 0;
+    std::vector<bool> good;
+  };
+
+  /// Registers (or resets) a transfer.  Existing good marks for the same
+  /// destination are preserved only when size and chunk count still match
+  /// — a changed source invalidates the journal.
+  void begin(const std::string& dst, std::uint64_t file_size,
+             std::uint64_t chunk_count);
+
+  void mark_good(const std::string& dst, std::uint64_t chunk);
+  void mark_bad(const std::string& dst, std::uint64_t chunk);
+
+  /// Chunks still needing transfer, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> pending(const std::string& dst) const;
+  [[nodiscard]] bool complete(const std::string& dst) const;
+  [[nodiscard]] bool known(const std::string& dst) const;
+  [[nodiscard]] std::uint64_t good_count(const std::string& dst) const;
+
+  /// Removes a finished transfer's record.
+  void forget(const std::string& dst);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Line-oriented text form: "dst|size|count|bitmap".
+  [[nodiscard]] std::string serialize() const;
+  static std::optional<RestartJournal> parse(const std::string& text);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cpa::pftool

@@ -1,0 +1,279 @@
+#include "pftool/rt/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace cpa::pftool::rt {
+namespace {
+
+PosixFileOps& default_ops() {
+  static PosixFileOps ops;
+  return ops;
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+std::string map_dst(const std::string& src_root, const std::string& dst_root,
+                    const std::string& src_path) {
+  if (src_path == src_root) return dst_root;
+  return dst_root + src_path.substr(src_root.size());
+}
+
+}  // namespace
+
+struct RtEngine::Task {
+  enum class Kind { Dir, Chunk } kind = Kind::Dir;
+  std::string src;
+  std::string dst;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  std::uint64_t chunk_index = 0;
+};
+
+struct RtEngine::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Task> queue;
+  unsigned active = 0;
+  Mode mode = Mode::List;
+  std::string src_root, dst_root;
+  RtReport report;
+
+  // Per-destination chunk completion tracking.
+  struct FileState {
+    std::uint64_t remaining = 0;
+    std::uint64_t size = 0;
+    bool failed = false;
+    bool mismatched = false;
+  };
+  std::map<std::string, FileState> files;
+
+  RestartJournal journal;
+  bool journaling = false;
+  unsigned journal_dirty = 0;
+};
+
+RtEngine::RtEngine(RtConfig cfg, FileOps* ops)
+    : cfg_(std::move(cfg)), ops_(ops != nullptr ? ops : &default_ops()) {}
+
+RtReport RtEngine::pfls(const std::string& root) {
+  return run(Mode::List, root, "");
+}
+
+RtReport RtEngine::pfcp(const std::string& src_root, const std::string& dst_root) {
+  return run(Mode::Copy, src_root, dst_root);
+}
+
+RtReport RtEngine::pfcm(const std::string& src_root, const std::string& dst_root) {
+  return run(Mode::Compare, src_root, dst_root);
+}
+
+RtReport RtEngine::run(Mode mode, const std::string& src_root,
+                       const std::string& dst_root) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Shared sh;
+  sh.mode = mode;
+  sh.src_root = src_root;
+  sh.dst_root = dst_root;
+  sh.journaling = mode == Mode::Copy && !cfg_.journal_path.empty();
+  if (sh.journaling) {
+    std::string text;
+    if (ops_->read_file(cfg_.journal_path, &text)) {
+      if (auto parsed = RestartJournal::parse(text)) sh.journal = std::move(*parsed);
+    }
+  }
+
+  // Enqueues the chunk tasks for one regular file (caller holds sh.mu).
+  auto plan_file = [&](const std::string& src, std::uint64_t size) {
+    ++sh.report.files_stated;
+    if (mode == Mode::List) return;
+    const std::string dst = map_dst(src_root, dst_root, src);
+    const std::uint64_t chunk =
+        size >= cfg_.large_file_threshold ? cfg_.chunk_size : std::max<std::uint64_t>(size, 1);
+    const std::uint64_t count = size == 0 ? 1 : (size + chunk - 1) / chunk;
+
+    std::vector<std::uint64_t> pending;
+    if (sh.journaling) {
+      sh.journal.begin(dst, size, count);
+      pending = sh.journal.pending(dst);
+      sh.report.chunks_skipped_restart += count - pending.size();
+    } else {
+      pending.resize(count);
+      for (std::uint64_t i = 0; i < count; ++i) pending[i] = i;
+    }
+
+    if (mode == Mode::Copy) {
+      FileInfo existing;
+      const bool have = ops_->stat(dst, &existing) && !existing.is_dir &&
+                        existing.size == size;
+      if (!have && !ops_->create_sized(dst, size)) {
+        ++sh.report.files_failed;
+        return;
+      }
+    }
+
+    auto& st = sh.files[dst];
+    st.remaining = pending.size();
+    st.size = size;
+    if (pending.empty()) {
+      // Fully restart-skipped file.
+      ++sh.report.files_copied;
+      sh.files.erase(dst);
+      if (sh.journaling) sh.journal.forget(dst);
+      return;
+    }
+    for (const std::uint64_t i : pending) {
+      Task t;
+      t.kind = Task::Kind::Chunk;
+      t.src = src;
+      t.dst = dst;
+      t.chunk_index = i;
+      t.offset = i * chunk;
+      t.len = std::min(chunk, size - std::min(size, t.offset));
+      sh.queue.push_back(std::move(t));
+    }
+  };
+
+  // Seed.
+  {
+    FileInfo root;
+    if (!ops_->stat(src_root, &root)) {
+      sh.report.files_failed = 1;
+      sh.report.elapsed_seconds = 0;
+      return sh.report;
+    }
+    if (mode == Mode::Copy) {
+      ops_->make_dirs(root.is_dir ? dst_root
+                                  : dst_root.substr(0, dst_root.find_last_of('/')));
+    }
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (root.is_dir) {
+      Task t;
+      t.kind = Task::Kind::Dir;
+      t.src = src_root;
+      sh.queue.push_back(std::move(t));
+    } else {
+      plan_file(src_root, root.size);
+    }
+  }
+
+  auto worker = [&] {
+    std::unique_lock<std::mutex> lock(sh.mu);
+    for (;;) {
+      sh.cv.wait(lock, [&] {
+        return !sh.queue.empty() || sh.active == 0;
+      });
+      if (sh.queue.empty()) {
+        if (sh.active == 0) return;  // drained
+        continue;
+      }
+      Task task = std::move(sh.queue.front());
+      sh.queue.pop_front();
+      ++sh.active;
+      lock.unlock();
+
+      if (task.kind == Task::Kind::Dir) {
+        std::vector<FileInfo> entries;
+        const bool ok = ops_->list_dir(task.src, &entries);
+        lock.lock();
+        ++sh.report.dirs_walked;
+        if (!ok) {
+          ++sh.report.files_failed;
+        } else {
+          for (const FileInfo& e : entries) {
+            const std::string child = join(task.src, e.path);
+            if (e.is_dir) {
+              if (mode == Mode::Copy) {
+                lock.unlock();
+                ops_->make_dirs(map_dst(src_root, dst_root, child));
+                lock.lock();
+              }
+              Task t;
+              t.kind = Task::Kind::Dir;
+              t.src = child;
+              sh.queue.push_back(std::move(t));
+            } else {
+              plan_file(child, e.size);
+            }
+          }
+        }
+      } else {
+        bool ok = true;
+        bool equal = true;
+        if (mode == Mode::Copy) {
+          ok = ops_->copy_range(task.src, task.dst, task.offset, task.len);
+        } else {
+          ok = ops_->compare_range(task.src, task.dst, task.offset, task.len,
+                                   &equal);
+        }
+        lock.lock();
+        auto it = sh.files.find(task.dst);
+        if (it != sh.files.end()) {
+          auto& st = it->second;
+          if (!ok) {
+            st.failed = true;
+            if (sh.journaling) sh.journal.mark_bad(task.dst, task.chunk_index);
+          } else if (mode == Mode::Copy) {
+            ++sh.report.chunks_copied;
+            sh.report.bytes_copied += task.len;
+            if (sh.journaling) {
+              sh.journal.mark_good(task.dst, task.chunk_index);
+              if (++sh.journal_dirty >= 32) {
+                sh.journal_dirty = 0;
+                const std::string text = sh.journal.serialize();
+                lock.unlock();
+                ops_->write_file(cfg_.journal_path, text);
+                lock.lock();
+                it = sh.files.find(task.dst);
+              }
+            }
+          } else if (!equal) {
+            st.mismatched = true;
+          }
+          if (it != sh.files.end() && --it->second.remaining == 0) {
+            const auto st_final = it->second;
+            sh.files.erase(it);
+            if (st_final.failed) {
+              ++sh.report.files_failed;
+            } else if (mode == Mode::Copy) {
+              ++sh.report.files_copied;
+              if (sh.journaling) sh.journal.forget(task.dst);
+            } else {
+              ++sh.report.files_compared;
+              if (st_final.mismatched) {
+                ++sh.report.files_mismatched;
+              } else {
+                ++sh.report.files_matched;
+              }
+            }
+          }
+        }
+      }
+      --sh.active;
+      sh.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.workers);
+  for (unsigned i = 0; i < std::max(1u, cfg_.workers); ++i) {
+    threads.emplace_back(worker);
+  }
+  for (auto& t : threads) t.join();
+
+  if (sh.journaling) {
+    ops_->write_file(cfg_.journal_path, sh.journal.serialize());
+  }
+  sh.report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return sh.report;
+}
+
+}  // namespace cpa::pftool::rt

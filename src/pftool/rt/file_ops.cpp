@@ -1,0 +1,138 @@
+#include "pftool/rt/file_ops.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+namespace cpa::pftool::rt {
+namespace fs = std::filesystem;
+namespace {
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+bool PosixFileOps::stat(const std::string& path, FileInfo* out) {
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec || st.type() == fs::file_type::not_found) return false;
+  out->path = path;
+  out->is_dir = fs::is_directory(st);
+  out->size = out->is_dir ? 0 : fs::file_size(path, ec);
+  return !ec;
+}
+
+bool PosixFileOps::list_dir(const std::string& path,
+                            std::vector<FileInfo>* entries) {
+  entries->clear();
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    FileInfo info;
+    info.path = entry.path().filename().string();
+    std::error_code sec;
+    info.is_dir = entry.is_directory(sec);
+    info.size = info.is_dir ? 0 : entry.file_size(sec);
+    entries->push_back(std::move(info));
+  }
+  if (ec) return false;
+  // Deterministic order for reproducible reports.
+  std::sort(entries->begin(), entries->end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.path < b.path; });
+  return true;
+}
+
+bool PosixFileOps::make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  return !ec || fs::is_directory(path);
+}
+
+bool PosixFileOps::create_sized(const std::string& path, std::uint64_t size) {
+  FdCloser fd{::open(path.c_str(), O_WRONLY | O_CREAT, 0644)};
+  if (fd.fd < 0) return false;
+  return ::ftruncate(fd.fd, static_cast<off_t>(size)) == 0;
+}
+
+bool PosixFileOps::copy_range(const std::string& src, const std::string& dst,
+                              std::uint64_t offset, std::uint64_t len) {
+  FdCloser in{::open(src.c_str(), O_RDONLY)};
+  if (in.fd < 0) return false;
+  FdCloser out{::open(dst.c_str(), O_WRONLY)};
+  if (out.fd < 0) return false;
+  constexpr std::size_t kBuf = 1 << 20;
+  const auto buf = std::make_unique<char[]>(kBuf);
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBuf, len - done));
+    const ssize_t n =
+        ::pread(in.fd, buf.get(), want, static_cast<off_t>(offset + done));
+    if (n < 0) return false;
+    if (n == 0) break;  // source shrank: treat as done
+    ssize_t written = 0;
+    while (written < n) {
+      const ssize_t w = ::pwrite(out.fd, buf.get() + written,
+                                 static_cast<std::size_t>(n - written),
+                                 static_cast<off_t>(offset + done + written));
+      if (w <= 0) return false;
+      written += w;
+    }
+    done += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+bool PosixFileOps::compare_range(const std::string& src, const std::string& dst,
+                                 std::uint64_t offset, std::uint64_t len,
+                                 bool* equal) {
+  FdCloser a{::open(src.c_str(), O_RDONLY)};
+  FdCloser b{::open(dst.c_str(), O_RDONLY)};
+  if (a.fd < 0 || b.fd < 0) return false;
+  constexpr std::size_t kBuf = 1 << 20;
+  const auto ba = std::make_unique<char[]>(kBuf);
+  const auto bb = std::make_unique<char[]>(kBuf);
+  std::uint64_t done = 0;
+  *equal = true;
+  while (done < len) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kBuf, len - done));
+    const ssize_t na = ::pread(a.fd, ba.get(), want, static_cast<off_t>(offset + done));
+    const ssize_t nb = ::pread(b.fd, bb.get(), want, static_cast<off_t>(offset + done));
+    if (na < 0 || nb < 0) return false;
+    if (na != nb || std::memcmp(ba.get(), bb.get(), static_cast<std::size_t>(na)) != 0) {
+      *equal = false;
+      return true;
+    }
+    if (na == 0) break;
+    done += static_cast<std::uint64_t>(na);
+  }
+  return true;
+}
+
+bool PosixFileOps::read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool PosixFileOps::write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << data;
+  return static_cast<bool>(out);
+}
+
+}  // namespace cpa::pftool::rt

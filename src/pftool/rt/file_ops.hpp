@@ -1,0 +1,58 @@
+// File-system operations for the thread-based (real) PFTool engine.
+//
+// The engine is written against this interface so tests can inject
+// failures; `PosixFileOps` is the production implementation over the local
+// file system (the "leverage all free file movement tools in Linux" side
+// of the paper: pfls/pfcp/pfcm run on ordinary directories).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpa::pftool::rt {
+
+struct FileInfo {
+  std::string path;
+  std::uint64_t size = 0;
+  bool is_dir = false;
+};
+
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// Stats a path; returns false if it does not exist.
+  virtual bool stat(const std::string& path, FileInfo* out) = 0;
+  /// Lists directory entries (names, not paths); false on error.
+  virtual bool list_dir(const std::string& path,
+                        std::vector<FileInfo>* entries) = 0;
+  virtual bool make_dirs(const std::string& path) = 0;
+  /// Ensures a file exists with exactly `size` bytes (sparse OK).
+  virtual bool create_sized(const std::string& path, std::uint64_t size) = 0;
+  /// Copies [offset, offset+len) from src into dst at the same offset.
+  virtual bool copy_range(const std::string& src, const std::string& dst,
+                          std::uint64_t offset, std::uint64_t len) = 0;
+  /// Byte-compares [offset, offset+len) of two files.
+  virtual bool compare_range(const std::string& src, const std::string& dst,
+                             std::uint64_t offset, std::uint64_t len,
+                             bool* equal) = 0;
+  virtual bool read_file(const std::string& path, std::string* out) = 0;
+  virtual bool write_file(const std::string& path, const std::string& data) = 0;
+};
+
+class PosixFileOps final : public FileOps {
+ public:
+  bool stat(const std::string& path, FileInfo* out) override;
+  bool list_dir(const std::string& path, std::vector<FileInfo>* entries) override;
+  bool make_dirs(const std::string& path) override;
+  bool create_sized(const std::string& path, std::uint64_t size) override;
+  bool copy_range(const std::string& src, const std::string& dst,
+                  std::uint64_t offset, std::uint64_t len) override;
+  bool compare_range(const std::string& src, const std::string& dst,
+                     std::uint64_t offset, std::uint64_t len, bool* equal) override;
+  bool read_file(const std::string& path, std::string* out) override;
+  bool write_file(const std::string& path, const std::string& data) override;
+};
+
+}  // namespace cpa::pftool::rt

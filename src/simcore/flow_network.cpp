@@ -1,0 +1,269 @@
+#include "simcore/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cpa::sim {
+namespace {
+// Bytes below this are considered "transferred" when deciding completion;
+// integer-tick rounding can leave sub-nanosecond residues.
+constexpr double kByteEps = 1e-6;
+}  // namespace
+
+PoolId FlowNetwork::add_pool(std::string name, double capacity_bps) {
+  assert(capacity_bps >= 0.0);
+  pools_.push_back(Pool{std::move(name), capacity_bps});
+  return PoolId{static_cast<std::uint32_t>(pools_.size() - 1)};
+}
+
+void FlowNetwork::set_pool_capacity(PoolId pool, double capacity_bps) {
+  assert(pool.valid() && pool.idx < pools_.size());
+  advance();
+  pools_[pool.idx].capacity = capacity_bps;
+  recompute_rates();
+  schedule_next_completion();
+}
+
+double FlowNetwork::pool_capacity(PoolId pool) const {
+  assert(pool.valid() && pool.idx < pools_.size());
+  return pools_[pool.idx].capacity;
+}
+
+const std::string& FlowNetwork::pool_name(PoolId pool) const {
+  assert(pool.valid() && pool.idx < pools_.size());
+  return pools_[pool.idx].name;
+}
+
+double FlowNetwork::pool_allocated(PoolId pool) const {
+  assert(pool.valid() && pool.idx < pools_.size());
+  double sum = 0.0;
+  for (const auto& [id, f] : flows_) {
+    for (const auto& [p, w] : f.pools) {
+      if (p == pool.idx) sum += f.rate * w;
+    }
+  }
+  return sum;
+}
+
+FlowId FlowNetwork::start_flow(std::vector<PathLeg> path, double bytes,
+                               std::function<void(const FlowStats&)> on_complete,
+                               double max_rate) {
+  assert(bytes >= 0.0);
+  assert(max_rate > 0.0);
+  Flow f;
+  f.pools.reserve(path.size());
+  for (const PathLeg& leg : path) {
+    assert(leg.pool.valid() && leg.pool.idx < pools_.size());
+    assert(leg.weight > 0.0);
+    bool merged = false;
+    for (auto& [p, w] : f.pools) {
+      if (p == leg.pool.idx) {
+        w += leg.weight;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) f.pools.emplace_back(leg.pool.idx, leg.weight);
+  }
+  f.bytes_total = bytes;
+  f.max_rate = max_rate;
+  f.started = sim_.now();
+  f.on_complete = std::move(on_complete);
+
+  const std::uint64_t id = next_flow_id_++;
+
+  if (bytes <= kByteEps) {
+    // Degenerate flow: complete immediately (via the event queue).
+    FlowStats st{f.started, sim_.now(), bytes};
+    sim_.after(0, [cb = std::move(f.on_complete), st] {
+      if (cb) cb(st);
+    });
+    return FlowId{id};
+  }
+
+  advance();
+  flows_.emplace(id, std::move(f));
+  recompute_rates();
+  schedule_next_completion();
+  return FlowId{id};
+}
+
+bool FlowNetwork::abort_flow(FlowId id) {
+  auto it = flows_.find(id.id);
+  if (it == flows_.end()) return false;
+  advance();
+  flows_.erase(it);
+  recompute_rates();
+  schedule_next_completion();
+  return true;
+}
+
+double FlowNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id.id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FlowNetwork::flow_bytes_done(FlowId id) const {
+  auto it = flows_.find(id.id);
+  if (it == flows_.end()) return 0.0;
+  const double dt = to_seconds(sim_.now() - last_update_);
+  return std::min(it->second.bytes_total,
+                  it->second.bytes_done + it->second.rate * dt);
+}
+
+void FlowNetwork::advance() {
+  const Tick now = sim_.now();
+  if (now == last_update_) return;
+  const double dt = to_seconds(now - last_update_);
+  for (auto& [id, f] : flows_) {
+    f.bytes_done = std::min(f.bytes_total, f.bytes_done + f.rate * dt);
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::recompute_rates() {
+  // Progressive filling (water-filling) with per-flow caps and per-leg
+  // weights.  All unfixed flows' rates rise together; pool p saturates at
+  // rate r = residual_p / W_p, where W_p is the total weight of unfixed
+  // flows through it:
+  //   1. the system-wide bottleneck share is min_p residual_p / W_p;
+  //   2. any unfixed flow whose cap is below that share is fixed at its
+  //      cap first (it cannot use its full fair share anywhere);
+  //   3. otherwise all unfixed flows through the bottleneck pool are fixed
+  //      at the bottleneck share.
+  // Each round fixes at least one flow, so this is O(F * (F + P)).
+  if (flows_.empty()) return;
+
+  std::vector<double> residual(pools_.size());
+  for (std::size_t i = 0; i < pools_.size(); ++i) residual[i] = pools_[i].capacity;
+
+  std::vector<Flow*> unfixed;
+  unfixed.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    f.rate = 0.0;
+    unfixed.push_back(&f);
+  }
+
+  std::vector<double> weight_sum(pools_.size(), 0.0);
+  while (!unfixed.empty()) {
+    std::fill(weight_sum.begin(), weight_sum.end(), 0.0);
+    for (const Flow* f : unfixed) {
+      for (const auto& [p, w] : f->pools) weight_sum[p] += w;
+    }
+
+    double share = std::numeric_limits<double>::infinity();
+    std::uint32_t bottleneck = std::uint32_t(-1);
+    for (std::uint32_t p = 0; p < pools_.size(); ++p) {
+      if (weight_sum[p] <= 0.0) continue;
+      const double s = std::max(residual[p], 0.0) / weight_sum[p];
+      if (s < share) {
+        share = s;
+        bottleneck = p;
+      }
+    }
+
+    auto fix_flow = [&](Flow* f, double rate) {
+      f->rate = rate;
+      for (const auto& [p, w] : f->pools) residual[p] -= rate * w;
+    };
+
+    // Flows that traverse no pools at all are limited only by their cap.
+    // (The archive always routes through at least one pool, but the model
+    // stays well-defined without.)
+    if (bottleneck == std::uint32_t(-1)) {
+      for (Flow* f : unfixed) {
+        f->rate = std::isinf(f->max_rate) ? 0.0 : f->max_rate;
+      }
+      unfixed.clear();
+      break;
+    }
+
+    // Step 2: cap-limited flows first.
+    bool fixed_any_capped = false;
+    for (std::size_t i = 0; i < unfixed.size();) {
+      Flow* f = unfixed[i];
+      if (f->max_rate <= share) {
+        fix_flow(f, f->max_rate);
+        unfixed[i] = unfixed.back();
+        unfixed.pop_back();
+        fixed_any_capped = true;
+      } else {
+        ++i;
+      }
+    }
+    if (fixed_any_capped) continue;
+
+    // Step 3: saturate the bottleneck pool.
+    for (std::size_t i = 0; i < unfixed.size();) {
+      Flow* f = unfixed[i];
+      bool through = false;
+      for (const auto& [p, w] : f->pools) {
+        if (p == bottleneck) {
+          through = true;
+          break;
+        }
+      }
+      if (through) {
+        fix_flow(f, share);
+        unfixed[i] = unfixed.back();
+        unfixed.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void FlowNetwork::schedule_next_completion() {
+  if (completion_event_.valid()) {
+    sim_.cancel(completion_event_);
+    completion_event_ = {};
+  }
+  if (flows_.empty()) return;
+
+  double earliest_s = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    const double remaining = f.bytes_total - f.bytes_done;
+    if (remaining <= kByteEps) {
+      earliest_s = 0.0;
+      break;
+    }
+    if (f.rate > 0.0) {
+      earliest_s = std::min(earliest_s, remaining / f.rate);
+    }
+  }
+  if (std::isinf(earliest_s)) return;  // everything stalled (capacity 0)
+
+  // Round up to the next tick so the flow is certainly finished when the
+  // event fires.
+  const Tick dt =
+      static_cast<Tick>(std::ceil(earliest_s * static_cast<double>(kTicksPerSec)));
+  completion_event_ = sim_.after(dt, [this] { on_completion_event(); });
+}
+
+void FlowNetwork::on_completion_event() {
+  completion_event_ = {};
+  advance();
+
+  // Collect finished flows first (callbacks may start new flows).
+  std::vector<std::pair<FlowStats, std::function<void(const FlowStats&)>>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& f = it->second;
+    if (f.bytes_total - f.bytes_done <= kByteEps) {
+      done.emplace_back(FlowStats{f.started, sim_.now(), f.bytes_total},
+                        std::move(f.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  recompute_rates();
+  schedule_next_completion();
+
+  for (auto& [st, cb] : done) {
+    if (cb) cb(st);
+  }
+}
+
+}  // namespace cpa::sim

@@ -1,0 +1,134 @@
+// Fluid-flow bandwidth model with max-min fair sharing.
+//
+// Every data movement in the simulated archive (client NIC -> 10GigE trunk
+// -> NSD disk server, or client HBA -> FC SAN -> tape drive) is a *flow*
+// that traverses a set of bandwidth *pools*.  Active flows share each pool
+// max-min fairly: rates are computed by progressive filling (repeatedly
+// saturate the tightest pool), which is the standard fluid approximation
+// for TCP-like fair sharing used in storage/network simulators.
+//
+// Rates change only when the set of flows or a pool capacity changes; the
+// network then advances accumulated progress and reschedules the single
+// earliest completion event.  Per-flow rate caps (e.g. a tape drive's
+// streaming rate) participate in the fairness computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+
+namespace cpa::sim {
+
+struct PoolId {
+  std::uint32_t idx = std::uint32_t(-1);
+  [[nodiscard]] bool valid() const { return idx != std::uint32_t(-1); }
+  friend bool operator==(PoolId a, PoolId b) { return a.idx == b.idx; }
+};
+
+struct FlowId {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+  friend bool operator==(FlowId a, FlowId b) { return a.id == b.id; }
+};
+
+/// One hop of a flow's path.  `weight` is the fraction of the flow's rate
+/// this pool carries: a serial leg (NIC, trunk, SAN, tape drive) carries
+/// the full rate (weight 1); a transfer striped over N disk servers
+/// charges each server only rate/N (weight 1/N), which is what lets wide
+/// stripes aggregate bandwidth.
+struct PathLeg {
+  PoolId pool;
+  double weight = 1.0;
+  PathLeg(PoolId p) : pool(p) {}  // NOLINT(google-explicit-constructor)
+  PathLeg(PoolId p, double w) : pool(p), weight(w) {}
+};
+
+struct FlowStats {
+  Tick started = 0;
+  Tick finished = 0;
+  double bytes = 0.0;
+  [[nodiscard]] double mean_rate() const {
+    const double dt = to_seconds(finished - started);
+    return dt > 0.0 ? bytes / dt : 0.0;
+  }
+};
+
+class FlowNetwork {
+ public:
+  static constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+  explicit FlowNetwork(Simulation& sim) : sim_(sim) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Registers a bandwidth pool with the given capacity in bytes/second.
+  PoolId add_pool(std::string name, double capacity_bps);
+
+  /// Changes a pool's capacity; active flow rates are recomputed.
+  void set_pool_capacity(PoolId pool, double capacity_bps);
+
+  [[nodiscard]] double pool_capacity(PoolId pool) const;
+  [[nodiscard]] const std::string& pool_name(PoolId pool) const;
+  /// Sum of current flow rates through the pool.
+  [[nodiscard]] double pool_allocated(PoolId pool) const;
+
+  /// Starts a flow of `bytes` through `path` (duplicate pools have their
+  /// weights summed).  `on_complete` fires through the event queue when
+  /// the last byte arrives.  `max_rate` caps the flow independently of
+  /// pool contention.  A zero-byte flow completes at the current time.
+  FlowId start_flow(std::vector<PathLeg> path, double bytes,
+                    std::function<void(const FlowStats&)> on_complete,
+                    double max_rate = kUnlimited);
+
+  /// Aborts an in-progress flow; its completion callback never fires.
+  /// Returns false if the flow already completed or does not exist.
+  bool abort_flow(FlowId id);
+
+  /// Current fair-share rate of a flow (0 if unknown / completed).
+  [[nodiscard]] double flow_rate(FlowId id) const;
+
+  /// Bytes transferred so far by a flow (includes progress accrued since
+  /// the last rate change).
+  [[nodiscard]] double flow_bytes_done(FlowId id) const;
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct Pool {
+    std::string name;
+    double capacity;
+  };
+  struct Flow {
+    // Deduplicated (pool, weight) pairs.
+    std::vector<std::pair<std::uint32_t, double>> pools;
+    double bytes_total;
+    double bytes_done = 0.0;
+    double rate = 0.0;
+    double max_rate;
+    Tick started;
+    std::function<void(const FlowStats&)> on_complete;
+  };
+
+  /// Accrues progress for all flows since `last_update_`.
+  void advance();
+  /// Progressive-filling max-min fairness over all active flows.
+  void recompute_rates();
+  /// Cancels and reschedules the single earliest-completion event.
+  void schedule_next_completion();
+  /// Fires from the completion event: completes every flow that is done.
+  void on_completion_event();
+
+  Simulation& sim_;
+  std::vector<Pool> pools_;
+  std::map<std::uint64_t, Flow> flows_;  // ordered: deterministic iteration
+  std::uint64_t next_flow_id_ = 1;
+  Tick last_update_ = 0;
+  Simulation::EventId completion_event_{};
+};
+
+}  // namespace cpa::sim

@@ -1,0 +1,55 @@
+#include "simcore/resource.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cpa::sim {
+
+Resource::Resource(Simulation& sim, std::string name, std::size_t capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+  assert(capacity_ > 0);
+}
+
+std::uint64_t Resource::acquire(Grant on_grant) {
+  const std::uint64_t ticket = next_ticket_++;
+  waiters_.push_back(Waiter{ticket, std::move(on_grant)});
+  if (in_use_ < capacity_) grant_one();
+  return ticket;
+}
+
+bool Resource::try_acquire(Grant on_grant) {
+  if (in_use_ >= capacity_ || !waiters_.empty()) return false;
+  const std::uint64_t ticket = next_ticket_++;
+  waiters_.push_back(Waiter{ticket, std::move(on_grant)});
+  grant_one();
+  return true;
+}
+
+void Resource::release() {
+  assert(in_use_ > 0);
+  --in_use_;
+  if (!waiters_.empty()) grant_one();
+}
+
+bool Resource::cancel_wait(std::uint64_t ticket) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->ticket == ticket) {
+      waiters_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Resource::grant_one() {
+  assert(!waiters_.empty() && in_use_ < capacity_);
+  ++in_use_;
+  ++grants_;
+  Grant fn = std::move(waiters_.front().fn);
+  waiters_.pop_front();
+  // Deliver through the event queue so grants are never re-entrant with the
+  // caller's stack frame.
+  sim_.after(0, std::move(fn));
+}
+
+}  // namespace cpa::sim

@@ -1,0 +1,59 @@
+// FCFS counted resource: models entities that serve at most `capacity`
+// concurrent holders (tape drives in a library, the robot arm, recall
+// daemon slots on a node, ...).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "simcore/simulation.hpp"
+
+namespace cpa::sim {
+
+class Resource {
+ public:
+  using Grant = std::function<void()>;
+
+  Resource(Simulation& sim, std::string name, std::size_t capacity);
+
+  /// Queues a request; `on_grant` is invoked (via the event queue, never
+  /// re-entrantly) once a slot is available.  Returns a ticket usable with
+  /// `cancel_wait`.
+  std::uint64_t acquire(Grant on_grant);
+
+  /// Acquires immediately if a slot is free (grant runs via the event
+  /// queue); returns false without queueing otherwise.
+  bool try_acquire(Grant on_grant);
+
+  /// Releases one held slot, waking the longest-waiting requester.
+  void release();
+
+  /// Removes a not-yet-granted request.  Returns false if it was already
+  /// granted (in which case the holder must still `release()`).
+  bool cancel_wait(std::uint64_t ticket);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiters_.size(); }
+  [[nodiscard]] std::uint64_t total_grants() const { return grants_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t ticket;
+    Grant fn;
+  };
+  void grant_one();
+
+  Simulation& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t grants_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace cpa::sim

@@ -1,0 +1,77 @@
+// Deterministic, splittable random number generation.
+//
+// We implement xoshiro256** seeded via SplitMix64 rather than using
+// <random> engines/distributions: libstdc++ and libc++ produce different
+// streams for the same distribution parameters, and this repository's
+// benchmark tables must be reproducible byte-for-byte.  `split()` derives
+// an independent child stream so that subsystems (workload generator, tape
+// robot, per-job jitter, ...) can be reseeded without coupling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cpa::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Derives an independent child generator (stable for a given parent
+  /// state; each call yields a distinct child).
+  Rng split();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability `p` of true.
+  bool chance(double p);
+
+  /// Exponential with the given mean (= 1/lambda).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Log-normal parameterized by its own mean and sigma-of-log; convenient
+  /// for calibrating file-size distributions to a target mean.
+  double lognormal_mean(double mean, double sigma_log);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed sizes).
+  double bounded_pareto(double alpha, double lo, double hi);
+
+  /// Index drawn from unnormalized weights.  Requires non-empty weights
+  /// with a positive sum.
+  std::size_t weighted_choice(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace cpa::sim

@@ -1,0 +1,82 @@
+#include "simcore/simulation.hpp"
+
+#include <utility>
+
+namespace cpa::sim {
+
+Simulation::EventId Simulation::at(Tick when, Callback fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{when, seq, std::move(fn)});
+  pending_seqs_.insert(seq);
+  ++live_;
+  return EventId{seq};
+}
+
+bool Simulation::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // The heap cannot be edited in place; removing the seq from the pending
+  // set makes the heap entry stale, and pop_live() discards stale entries.
+  if (pending_seqs_.erase(id.seq) == 0) return false;  // fired or cancelled
+  --live_;
+  return true;
+}
+
+bool Simulation::pop_live(Event& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the callback must be moved out, so we
+    // const_cast the non-key payload (the heap invariant does not depend on
+    // `fn`).
+    Event& top = const_cast<Event&>(heap_.top());
+    if (pending_seqs_.erase(top.seq) == 0) {
+      heap_.pop();  // stale: was cancelled
+      continue;
+    }
+    out.at = top.at;
+    out.seq = top.seq;
+    out.fn = std::move(top.fn);
+    heap_.pop();
+    --live_;
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  Event ev;
+  if (!pop_live(ev)) return false;
+  now_ = ev.at;
+  ++fired_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::size_t Simulation::run_until(Tick deadline) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && !heap_.empty()) {
+    const Event& top = heap_.top();
+    if (pending_seqs_.find(top.seq) == pending_seqs_.end()) {
+      heap_.pop();  // stale: was cancelled
+      continue;
+    }
+    if (top.at > deadline) break;
+    Event ev;
+    if (!pop_live(ev)) break;
+    now_ = ev.at;
+    ++fired_;
+    ev.fn();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace cpa::sim

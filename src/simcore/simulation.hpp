@@ -1,0 +1,100 @@
+// The discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a priority queue of events.  Every
+// simulated subsystem (file systems, tape drives, PFTool processes, ...)
+// advances exclusively by scheduling callbacks; there is no wall-clock or
+// thread dependence, so a given seed always produces the identical run.
+//
+// Ties are broken by insertion order (FIFO at equal timestamps), which the
+// rest of the code base relies on for determinism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cpa::sim {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle to a scheduled event; may be used to cancel it before it fires.
+  struct EventId {
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool valid() const { return seq != 0; }
+  };
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`.  Times in the past are clamped
+  /// to `now()` (the event still fires, after all already-queued events at
+  /// the current timestamp).
+  EventId at(Tick when, Callback fn);
+
+  /// Schedules `fn` after a relative delay.
+  EventId after(Tick delay, Callback fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event.  Returns false if it already fired, was
+  /// already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Fires the single next event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until no events remain or `stop()` is called.
+  /// Returns the number of events fired.
+  std::size_t run();
+
+  /// Runs all events with timestamp <= `deadline`, then sets the clock to
+  /// `deadline`.  Returns the number of events fired.
+  std::size_t run_until(Tick deadline);
+
+  /// Requests `run()`/`run_until()` to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of live (non-cancelled) pending events.
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Total events fired since construction (for capacity reporting).
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among equal timestamps
+    }
+  };
+
+  /// Pops the next live event into `out`; returns false if none.
+  bool pop_live(Event& out);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t live_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Seqs currently scheduled and not cancelled.  Membership here is the
+  // source of truth for cancellation: the heap may hold stale (cancelled)
+  // entries, which are skipped on pop.
+  std::unordered_set<std::uint64_t> pending_seqs_;
+};
+
+}  // namespace cpa::sim

@@ -1,0 +1,128 @@
+#include "simcore/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cpa::sim {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() {
+  if (sorted_) return;
+  sorted_xs_ = xs_;
+  std::sort(sorted_xs_.begin(), sorted_xs_.end());
+  sorted_ = true;
+}
+
+double Samples::percentile(double p) {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank with linear interpolation.
+  const double rank = p / 100.0 * static_cast<double>(sorted_xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_xs_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_xs_[lo] * (1.0 - frac) + sorted_xs_[hi] * frac;
+}
+
+double Samples::min() {
+  ensure_sorted();
+  return sorted_xs_.empty() ? 0.0 : sorted_xs_.front();
+}
+
+double Samples::max() {
+  ensure_sorted();
+  return sorted_xs_.empty() ? 0.0 : sorted_xs_.back();
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+void Log10Histogram::add(double x) {
+  ++total_;
+  if (x <= 0.0) x = base_;  // fold non-positive values into the first decade
+  const int decade = static_cast<int>(std::floor(std::log10(x / base_)));
+  if (bins_.empty()) {
+    offset_ = decade;
+    bins_.assign(1, 0);
+  } else if (decade < offset_) {
+    bins_.insert(bins_.begin(), static_cast<std::size_t>(offset_ - decade), 0);
+    offset_ = decade;
+  } else if (decade >= offset_ + static_cast<int>(bins_.size())) {
+    bins_.resize(static_cast<std::size_t>(decade - offset_) + 1, 0);
+  }
+  ++bins_[static_cast<std::size_t>(decade - offset_)];
+}
+
+std::string Log10Histogram::render(const std::string& label) const {
+  std::string out = label + " (n=" + std::to_string(total_) + ")\n";
+  std::uint64_t peak = 1;
+  for (const auto b : bins_) peak = std::max(peak, b);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const int decade = static_cast<int>(i) + offset_;
+    char line[160];
+    const double lo = base_ * std::pow(10.0, decade);
+    const double hi = lo * 10.0;
+    const int bar = static_cast<int>(50.0 * static_cast<double>(bins_[i]) /
+                                     static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "  [%10.3g, %10.3g) %6llu |", lo, hi,
+                  static_cast<unsigned long long>(bins_[i]));
+    out += line;
+    out.append(static_cast<std::size_t>(std::max(bar, 1)), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+void RateMeter::record(Tick now, std::uint64_t bytes, std::uint64_t files) {
+  entries_.push_back(Entry{now, bytes, files});
+  window_bytes_ += bytes;
+  window_files_ += files;
+  total_bytes_ += bytes;
+  total_files_ += files;
+  last_ = now;
+  expire(now);
+}
+
+void RateMeter::expire(Tick now) const {
+  const Tick cutoff = now > window_ ? now - window_ : 0;
+  while (head_ < entries_.size() && entries_[head_].at < cutoff) {
+    window_bytes_ -= entries_[head_].bytes;
+    window_files_ -= entries_[head_].files;
+    ++head_;
+  }
+  // Compact occasionally so memory stays bounded on long runs.
+  if (head_ > 1024 && head_ * 2 > entries_.size()) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+std::uint64_t RateMeter::bytes_in_window(Tick now) const {
+  expire(now);
+  return window_bytes_;
+}
+
+std::uint64_t RateMeter::files_in_window(Tick now) const {
+  expire(now);
+  return window_files_;
+}
+
+}  // namespace cpa::sim

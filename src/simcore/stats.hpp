@@ -1,0 +1,107 @@
+// Online statistics, sample collections, and log-scale histograms used by
+// the benchmark harnesses and the PFTool WatchDog.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cpa::sim {
+
+/// Welford online mean/variance with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Keeps every sample; supports exact percentiles.  Intended for the
+/// per-job campaign series (62 samples in the paper) — not for per-file data.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double percentile(double p);  // p in [0, 100]
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> xs_;
+  std::vector<double> sorted_xs_;
+  bool sorted_ = false;
+};
+
+/// Fixed-base log10 histogram, matching the paper's log10-scaled Figures
+/// 8-9.  Bin i covers [base * 10^i, base * 10^(i+1)).
+class Log10Histogram {
+ public:
+  explicit Log10Histogram(double base = 1.0) : base_(base) {}
+  void add(double x);
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Renders an ASCII histogram (one row per non-empty decade).
+  [[nodiscard]] std::string render(const std::string& label) const;
+
+ private:
+  double base_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> bins_;  // index shifted by offset_
+  int offset_ = 0;                   // bins_[i] covers decade (i + offset_)
+};
+
+/// Windowed byte/file counters driving the PFTool WatchDog's "progress in
+/// the past T minutes" report and its stall detector.
+class RateMeter {
+ public:
+  explicit RateMeter(Tick window = minutes(1)) : window_(window) {}
+
+  void record(Tick now, std::uint64_t bytes, std::uint64_t files);
+
+  /// Bytes observed inside the trailing window ending at `now`.
+  [[nodiscard]] std::uint64_t bytes_in_window(Tick now) const;
+  [[nodiscard]] std::uint64_t files_in_window(Tick now) const;
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_files() const { return total_files_; }
+  /// Virtual time of the most recent record, or 0 if none.
+  [[nodiscard]] Tick last_progress() const { return last_; }
+
+ private:
+  void expire(Tick now) const;
+
+  struct Entry {
+    Tick at;
+    std::uint64_t bytes;
+    std::uint64_t files;
+  };
+  Tick window_;
+  Tick last_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_files_ = 0;
+  mutable std::vector<Entry> entries_;  // expired lazily from the front
+  mutable std::size_t head_ = 0;
+  mutable std::uint64_t window_bytes_ = 0;
+  mutable std::uint64_t window_files_ = 0;
+};
+
+}  // namespace cpa::sim

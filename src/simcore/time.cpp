@@ -1,0 +1,23 @@
+#include "simcore/time.hpp"
+
+#include <cstdio>
+
+namespace cpa::sim {
+
+std::string format_duration(Tick t) {
+  const double total = to_seconds(t);
+  const auto h = static_cast<unsigned long long>(total / 3600.0);
+  const auto m = static_cast<unsigned>((total - static_cast<double>(h) * 3600.0) / 60.0);
+  const double s = total - static_cast<double>(h) * 3600.0 - m * 60.0;
+  char buf[64];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%lluh%02um%04.1fs", h, m, s);
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof(buf), "%um%04.1fs", m, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  }
+  return buf;
+}
+
+}  // namespace cpa::sim

@@ -1,0 +1,49 @@
+// Virtual time for the discrete-event simulation.
+//
+// All simulated components share a single monotonically increasing virtual
+// clock measured in integer nanoseconds ("ticks").  Using a fixed-point
+// integer clock keeps event ordering exact and platform independent, which
+// in turn keeps every benchmark in this repository bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cpa::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using Tick = std::uint64_t;
+
+/// Signed tick difference (for deltas that may be negative).
+using TickDelta = std::int64_t;
+
+inline constexpr Tick kTicksPerUsec = 1'000ULL;
+inline constexpr Tick kTicksPerMsec = 1'000'000ULL;
+inline constexpr Tick kTicksPerSec = 1'000'000'000ULL;
+
+/// Converts seconds (possibly fractional) to ticks, rounding to nearest.
+constexpr Tick secs(double s) {
+  return static_cast<Tick>(s * static_cast<double>(kTicksPerSec) + 0.5);
+}
+
+constexpr Tick msecs(double ms) {
+  return static_cast<Tick>(ms * static_cast<double>(kTicksPerMsec) + 0.5);
+}
+
+constexpr Tick usecs(double us) {
+  return static_cast<Tick>(us * static_cast<double>(kTicksPerUsec) + 0.5);
+}
+
+constexpr Tick minutes(double m) { return secs(m * 60.0); }
+constexpr Tick hours(double h) { return secs(h * 3600.0); }
+constexpr Tick days(double d) { return secs(d * 86400.0); }
+
+/// Converts ticks back to floating-point seconds.
+constexpr double to_seconds(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/// Human-readable rendering, e.g. "2h03m12.5s" — used in reports only.
+std::string format_duration(Tick t);
+
+}  // namespace cpa::sim

@@ -1,0 +1,30 @@
+#include "simcore/units.hpp"
+
+#include <cstdio>
+
+namespace cpa {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kTB) {
+    std::snprintf(buf, sizeof(buf), "%.2f TB", b / static_cast<double>(kTB));
+  } else if (bytes >= kGB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / static_cast<double>(kGB));
+  } else if (bytes >= kMB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / static_cast<double>(kMB));
+  } else if (bytes >= kKB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_rate_mbs(double bytes_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", bytes_per_sec / static_cast<double>(kMB));
+  return buf;
+}
+
+}  // namespace cpa

@@ -1,0 +1,30 @@
+// Byte-size units and formatting helpers.
+//
+// Tape and network hardware is conventionally specified in decimal units
+// (an LTO-4 drive streams at 100 MB/s = 1e8 bytes/s); file sizes in the
+// paper are also decimal.  We therefore use decimal units throughout and
+// provide binary units only where explicitly named (KiB, MiB, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cpa {
+
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+inline constexpr std::uint64_t kTB = 1000ULL * kGB;
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+/// Renders a byte count with an adaptive decimal unit, e.g. "2.44 TB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Renders a rate in MB/s (decimal), e.g. "575.2 MB/s".
+std::string format_rate_mbs(double bytes_per_sec);
+
+}  // namespace cpa

@@ -1,0 +1,43 @@
+#include "tape/cartridge.hpp"
+
+#include <cassert>
+
+namespace cpa::tape {
+
+const Segment& Cartridge::append(std::uint64_t object_id, std::uint64_t bytes) {
+  assert(fits(bytes));
+  Segment s;
+  s.object_id = object_id;
+  s.seq = next_seq_++;
+  s.offset = used_;
+  s.bytes = bytes;
+  used_ += bytes;
+  segments_.push_back(s);
+  return segments_.back();
+}
+
+const Segment* Cartridge::segment_by_seq(std::uint64_t seq) const {
+  if (seq == 0 || seq > segments_.size()) return nullptr;
+  const Segment& s = segments_[seq - 1];
+  return s.object_id == 0 ? nullptr : &s;  // deleted
+}
+
+const Segment* Cartridge::segment_by_object(std::uint64_t object_id) const {
+  for (const Segment& s : segments_) {
+    if (s.object_id == object_id) return &s;
+  }
+  return nullptr;
+}
+
+bool Cartridge::mark_deleted(std::uint64_t object_id) {
+  for (Segment& s : segments_) {
+    if (s.object_id == object_id) {
+      s.object_id = 0;
+      dead_bytes_ += s.bytes;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cpa::tape

@@ -1,0 +1,70 @@
+// A tape cartridge: an append-only sequence of data segments.
+//
+// Objects land on tape in strictly increasing sequence numbers; the
+// sequence number is what the TSM export (metadb) records and what
+// PFTool's tape-ordered recall sorts by (Sec 4.2.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpa::tape {
+
+using CartridgeId = std::uint64_t;
+
+struct Segment {
+  std::uint64_t object_id = 0;
+  std::uint64_t seq = 0;         // 1-based position on this cartridge
+  std::uint64_t offset = 0;      // starting byte on tape
+  std::uint64_t bytes = 0;
+};
+
+class Cartridge {
+ public:
+  Cartridge(CartridgeId id, std::uint64_t capacity_bytes,
+            std::string colocation_group = "")
+      : id_(id), capacity_(capacity_bytes), group_(std::move(colocation_group)) {}
+
+  [[nodiscard]] CartridgeId id() const { return id_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t bytes_used() const { return used_; }
+  [[nodiscard]] std::uint64_t bytes_free() const { return capacity_ - used_; }
+  [[nodiscard]] const std::string& colocation_group() const { return group_; }
+  [[nodiscard]] std::uint64_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+
+  [[nodiscard]] bool fits(std::uint64_t bytes) const { return used_ + bytes <= capacity_; }
+
+  /// Appends an object; returns the new segment (seq assigned).  The
+  /// caller must have checked `fits`.
+  const Segment& append(std::uint64_t object_id, std::uint64_t bytes);
+
+  /// Finds a segment by sequence number (1-based).
+  [[nodiscard]] const Segment* segment_by_seq(std::uint64_t seq) const;
+  [[nodiscard]] const Segment* segment_by_object(std::uint64_t object_id) const;
+
+  /// Marks a segment's object as deleted.  Tape is append-only, so the
+  /// bytes are not reclaimed — the segment becomes a dead region, exactly
+  /// like an orphan awaiting reclamation.
+  bool mark_deleted(std::uint64_t object_id);
+  [[nodiscard]] std::uint64_t dead_bytes() const { return dead_bytes_; }
+
+  /// Media failure injection: a damaged volume cannot be read; recalls
+  /// must fall back to copy-pool replicas.
+  void set_damaged(bool damaged) { damaged_ = damaged; }
+  [[nodiscard]] bool damaged() const { return damaged_; }
+
+ private:
+  CartridgeId id_;
+  std::uint64_t capacity_;
+  std::string group_;
+  std::uint64_t used_ = 0;
+  std::uint64_t dead_bytes_ = 0;
+  bool damaged_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace cpa::tape

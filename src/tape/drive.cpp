@@ -1,0 +1,176 @@
+#include "tape/drive.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cpa::tape {
+
+TapeDrive::TapeDrive(sim::Simulation& sim, sim::FlowNetwork& net,
+                     std::string name, TapeTimings timings)
+    : sim_(sim), net_(net), name_(std::move(name)), timings_(timings) {
+  rate_pool_ = net_.add_pool(name_ + ".rate", timings_.stream_rate_bps);
+}
+
+void TapeDrive::enqueue(std::function<void(std::function<void()>)> op) {
+  ops_.push_back(std::move(op));
+  if (!busy_) run_next();
+}
+
+void TapeDrive::run_next() {
+  if (ops_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  auto op = std::move(ops_.front());
+  ops_.pop_front();
+  // Each op receives a completion continuation that starts the next op.
+  op([this] { run_next(); });
+}
+
+void TapeDrive::with_ownership(NodeId node, std::function<void()> then) {
+  if (owner_ == node || owner_ == kNoNode) {
+    owner_ = node;
+    then();
+    return;
+  }
+  // LAN-free handoff: the new node rewinds the tape and re-verifies the
+  // label before it can use the mounted volume (Sec 6.2).
+  ++stats_.handoffs;
+  ++stats_.label_verifies;
+  const sim::Tick penalty = timings_.rewind_time(position_) + timings_.label_verify;
+  stats_.seek_time += timings_.rewind_time(position_);
+  position_ = 0;
+  owner_ = node;
+  sim_.after(penalty, std::move(then));
+}
+
+void TapeDrive::mount(Cartridge* cartridge, std::function<void()> done) {
+  assert(cartridge != nullptr);
+  enqueue([this, cartridge, done = std::move(done)](std::function<void()> next) {
+    assert(cartridge_ == nullptr && "drive already has a mounted cartridge");
+    const sim::Tick t = timings_.load + timings_.label_verify;
+    ++stats_.mounts;
+    ++stats_.label_verifies;
+    stats_.mount_time += t;
+    sim_.after(t, [this, cartridge, done, next] {
+      cartridge_ = cartridge;
+      position_ = 0;
+      owner_ = kNoNode;
+      if (done) done();
+      next();
+    });
+  });
+}
+
+void TapeDrive::unmount(std::function<void()> done) {
+  enqueue([this, done = std::move(done)](std::function<void()> next) {
+    assert(cartridge_ != nullptr && "no cartridge to unmount");
+    const sim::Tick rewind = timings_.rewind_time(position_);
+    const sim::Tick t = rewind + timings_.unload;
+    ++stats_.unmounts;
+    stats_.seek_time += rewind;
+    stats_.mount_time += timings_.unload;
+    sim_.after(t, [this, done, next] {
+      cartridge_ = nullptr;
+      position_ = 0;
+      owner_ = kNoNode;
+      if (done) done();
+      next();
+    });
+  });
+}
+
+void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
+                             std::uint64_t bytes, std::vector<sim::PathLeg> path,
+                             std::function<void(const Segment*)> done) {
+  enqueue([this, node, object_id, bytes, path = std::move(path),
+           done = std::move(done)](std::function<void()> next) mutable {
+    if (cartridge_ == nullptr || !cartridge_->fits(bytes)) {
+      if (done) done(nullptr);
+      next();
+      return;
+    }
+    with_ownership(node, [this, object_id, bytes, path = std::move(path), done,
+                          next]() mutable {
+      // Position to end-of-data for the append.
+      const std::uint64_t end = cartridge_->bytes_used();
+      const sim::Tick seek = timings_.seek_time(position_, end);
+      if (seek > 0) {
+        ++stats_.seeks;
+        stats_.seek_time += seek;
+      }
+      position_ = end;
+      sim_.after(seek, [this, object_id, bytes, path = std::move(path), done,
+                        next]() mutable {
+        path.push_back(rate_pool_);
+        const sim::Tick t0 = sim_.now();
+        net_.start_flow(
+            std::move(path), static_cast<double>(bytes),
+            [this, object_id, bytes, t0, done, next](const sim::FlowStats&) {
+              stats_.transfer_time += sim_.now() - t0;
+              // Copy: the cartridge's segment vector may reallocate before
+              // the backhitch completes.
+              const Segment seg = cartridge_->append(object_id, bytes);
+              position_ = seg.offset + seg.bytes;
+              ++stats_.write_txns;
+              stats_.bytes_written += bytes;
+              // HSM semantics: one file, one transaction — the drive stops
+              // after each object (Sec 6.1).
+              ++stats_.backhitches;
+              stats_.backhitch_time += timings_.backhitch;
+              sim_.after(timings_.backhitch, [done, seg, next] {
+                if (done) done(&seg);
+                next();
+              });
+            });
+      });
+    });
+  });
+}
+
+void TapeDrive::read_object(NodeId node, std::uint64_t seq,
+                            std::vector<sim::PathLeg> path,
+                            std::function<void(const Segment*)> done) {
+  enqueue([this, node, seq, path = std::move(path),
+           done = std::move(done)](std::function<void()> next) mutable {
+    const Segment* seg = cartridge_ != nullptr && !cartridge_->damaged()
+                             ? cartridge_->segment_by_seq(seq)
+                             : nullptr;
+    if (seg == nullptr) {
+      if (done) done(nullptr);
+      next();
+      return;
+    }
+    with_ownership(node, [this, seg, path = std::move(path), done,
+                          next]() mutable {
+      sim::Tick pre = 0;
+      if (position_ != seg->offset) {
+        // Non-sequential access: locate plus a repositioning stop.
+        const sim::Tick seek = timings_.seek_time(position_, seg->offset);
+        ++stats_.seeks;
+        stats_.seek_time += seek;
+        ++stats_.backhitches;
+        stats_.backhitch_time += timings_.backhitch;
+        pre = seek + timings_.backhitch;
+        position_ = seg->offset;
+      }
+      const Segment segv = *seg;  // copy against vector reallocation
+      sim_.after(pre, [this, segv, path = std::move(path), done, next]() mutable {
+        path.push_back(rate_pool_);
+        const sim::Tick t0 = sim_.now();
+        net_.start_flow(std::move(path), static_cast<double>(segv.bytes),
+                        [this, segv, t0, done, next](const sim::FlowStats&) {
+                          stats_.transfer_time += sim_.now() - t0;
+                          position_ = segv.offset + segv.bytes;
+                          ++stats_.read_txns;
+                          stats_.bytes_read += segv.bytes;
+                          if (done) done(&segv);
+                          next();
+                        });
+      });
+    });
+  });
+}
+
+}  // namespace cpa::tape

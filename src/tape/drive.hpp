@@ -1,0 +1,102 @@
+// A tape drive: a strictly serial device with expensive mechanical state.
+//
+// All operations queue FIFO on the drive and take virtual time per the
+// TapeTimings model.  The drive tracks which cluster node currently owns
+// the data path: in a LAN-free setup each node talks to the drive directly
+// over the SAN, and when a mounted tape's I/O hops between nodes the drive
+// must rewind and re-verify the volume label (the Sec 6.2 "massive
+// performance hit even though the tape is not physically dismounted").
+//
+// Data transfers are flows through the shared FlowNetwork: callers supply
+// the SAN/HBA pools on the path and the drive adds its own streaming-rate
+// pool, so concurrent drives contend realistically for SAN bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcore/flow_network.hpp"
+#include "simcore/simulation.hpp"
+#include "tape/cartridge.hpp"
+#include "tape/timings.hpp"
+
+namespace cpa::tape {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct DriveStats {
+  std::uint64_t mounts = 0;
+  std::uint64_t unmounts = 0;
+  std::uint64_t label_verifies = 0;
+  std::uint64_t handoffs = 0;       // ownership changes on a mounted tape
+  std::uint64_t seeks = 0;
+  std::uint64_t backhitches = 0;
+  std::uint64_t write_txns = 0;
+  std::uint64_t read_txns = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  sim::Tick mount_time = 0;
+  sim::Tick seek_time = 0;
+  sim::Tick backhitch_time = 0;
+  sim::Tick transfer_time = 0;
+};
+
+class TapeDrive {
+ public:
+  TapeDrive(sim::Simulation& sim, sim::FlowNetwork& net, std::string name,
+            TapeTimings timings);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const TapeTimings& timings() const { return timings_; }
+  [[nodiscard]] sim::PoolId rate_pool() const { return rate_pool_; }
+  [[nodiscard]] Cartridge* mounted() const { return cartridge_; }
+  [[nodiscard]] bool busy() const { return busy_ || !ops_.empty(); }
+  [[nodiscard]] const DriveStats& stats() const { return stats_; }
+
+  /// Mounts a cartridge (load + label verify).  Drive must be empty when
+  /// the operation runs.
+  void mount(Cartridge* cartridge, std::function<void()> done);
+
+  /// Rewinds and unloads the mounted cartridge.
+  void unmount(std::function<void()> done);
+
+  /// Appends an object to the mounted cartridge from `node`, streaming the
+  /// bytes through `path` (SAN / HBA pools).  The per-transaction stop
+  /// (backhitch) is charged afterwards.  Fails (done(nullptr)) if no
+  /// cartridge is mounted or it cannot fit the object.
+  void write_object(NodeId node, std::uint64_t object_id, std::uint64_t bytes,
+                    std::vector<sim::PathLeg> path,
+                    std::function<void(const Segment*)> done);
+
+  /// Reads the segment with sequence number `seq` from `node`.  Reading
+  /// the physically next segment streams without a seek or backhitch;
+  /// anything else pays a locate.  done(nullptr) when seq is absent.
+  void read_object(NodeId node, std::uint64_t seq,
+                   std::vector<sim::PathLeg> path,
+                   std::function<void(const Segment*)> done);
+
+ private:
+  void enqueue(std::function<void(std::function<void()>)> op);
+  void run_next();
+  /// Charges any owner-handoff penalty, then continues.
+  void with_ownership(NodeId node, std::function<void()> then);
+
+  sim::Simulation& sim_;
+  sim::FlowNetwork& net_;
+  std::string name_;
+  TapeTimings timings_;
+  sim::PoolId rate_pool_;
+
+  Cartridge* cartridge_ = nullptr;
+  std::uint64_t position_ = 0;  // current head byte position
+  NodeId owner_ = kNoNode;      // node owning the data path
+  bool busy_ = false;
+  std::deque<std::function<void(std::function<void()>)>> ops_;
+  DriveStats stats_;
+};
+
+}  // namespace cpa::tape

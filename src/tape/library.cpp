@@ -1,0 +1,189 @@
+#include "tape/library.hpp"
+
+#include <cassert>
+
+namespace cpa::tape {
+
+TapeLibrary::TapeLibrary(sim::Simulation& sim, sim::FlowNetwork& net,
+                         LibraryConfig cfg)
+    : sim_(sim), cfg_(cfg), robot_(sim, "robot", 1) {
+  assert(cfg_.drive_count > 0);
+  for (unsigned i = 0; i < cfg_.drive_count; ++i) {
+    drives_.push_back(std::make_unique<TapeDrive>(
+        sim, net, "drive" + std::to_string(i), cfg_.timings));
+    drive_busy_.push_back(false);
+  }
+}
+
+void TapeLibrary::acquire_drive(std::function<void(TapeDrive&)> on_grant) {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (!drive_busy_[i]) {
+      drive_busy_[i] = true;
+      TapeDrive* d = drives_[i].get();
+      sim_.after(0, [on_grant = std::move(on_grant), d] { on_grant(*d); });
+      return;
+    }
+  }
+  drive_waiters_.push_back(std::move(on_grant));
+}
+
+void TapeLibrary::release_drive(TapeDrive& drive) {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].get() == &drive) {
+      assert(drive_busy_[i]);
+      if (!drive_waiters_.empty()) {
+        auto waiter = std::move(drive_waiters_.front());
+        drive_waiters_.pop_front();
+        TapeDrive* d = drives_[i].get();
+        sim_.after(0, [waiter = std::move(waiter), d] { waiter(*d); });
+      } else {
+        drive_busy_[i] = false;
+      }
+      return;
+    }
+  }
+  assert(false && "release of a drive not in this library");
+}
+
+unsigned TapeLibrary::idle_drives() const {
+  unsigned n = 0;
+  for (const bool b : drive_busy_) {
+    if (!b) ++n;
+  }
+  return n;
+}
+
+Cartridge& TapeLibrary::new_cartridge(const std::string& group) {
+  const CartridgeId id = next_cartridge_id_++;
+  auto cart = std::make_unique<Cartridge>(id, cfg_.cartridge_capacity, group);
+  Cartridge& ref = *cart;
+  cartridges_.emplace(id, std::move(cart));
+  return ref;
+}
+
+Cartridge* TapeLibrary::cartridge(CartridgeId id) {
+  auto it = cartridges_.find(id);
+  return it == cartridges_.end() ? nullptr : it->second.get();
+}
+
+Cartridge& TapeLibrary::open_cartridge_for(const std::string& group,
+                                           std::uint64_t bytes) {
+  auto it = open_by_group_.find(group);
+  if (it != open_by_group_.end()) {
+    Cartridge* cart = cartridge(it->second);
+    if (cart != nullptr && cart->fits(bytes)) return *cart;
+  }
+  Cartridge& fresh = new_cartridge(group);
+  open_by_group_[group] = fresh.id();
+  return fresh;
+}
+
+Cartridge& TapeLibrary::checkout_cartridge(const std::string& group,
+                                           std::uint64_t bytes,
+                                           CartridgeId exclude) {
+  for (auto& [id, cart] : cartridges_) {
+    if (id == exclude) continue;
+    if (checked_out_.count(id) != 0) continue;
+    if (cart->colocation_group() != group) continue;
+    if (!cart->fits(bytes)) continue;
+    // Oldest id first: keeps appends clustered on partially filled volumes
+    // so co-location actually groups data.
+    checked_out_.insert(id);
+    return *cart;
+  }
+  Cartridge& fresh = new_cartridge(group);
+  checked_out_.insert(fresh.id());
+  return fresh;
+}
+
+void TapeLibrary::checkin_cartridge(Cartridge& cart) {
+  checked_out_.erase(cart.id());
+}
+
+void TapeLibrary::ensure_mounted(TapeDrive& drive, Cartridge& cart,
+                                 std::function<void()> done) {
+  if (!done) done = [] {};
+  if (drive.mounted() == &cart) {
+    sim_.after(0, std::move(done));
+    return;
+  }
+  // If the volume sits in another drive that is still working, wait for
+  // it — a volume is physically in one place, and yanking it mid-read
+  // would corrupt that drive's operation stream.
+  for (auto& d : drives_) {
+    if (d->mounted() == &cart && d.get() != &drive && d->busy()) {
+      sim_.after(sim::secs(5), [this, &drive, &cart, done = std::move(done)]() mutable {
+        ensure_mounted(drive, cart, std::move(done));
+      });
+      return;
+    }
+  }
+  // Robot serializes the physical exchange.
+  robot_.acquire([this, &drive, &cart, done = std::move(done)]() mutable {
+    auto do_mount = [this, &drive, &cart, done = std::move(done)]() mutable {
+      drive.mount(&cart, [this, done = std::move(done)] {
+        robot_.release();
+        done();
+      });
+    };
+    // If the volume idles in some other drive (left mounted after a prior
+    // batch), pull it from there first.
+    TapeDrive* holder = nullptr;
+    for (auto& d : drives_) {
+      if (d->mounted() == &cart && d.get() != &drive) {
+        holder = d.get();
+        break;
+      }
+    }
+    auto clear_own = [this, &drive, do_mount = std::move(do_mount)]() mutable {
+      if (drive.mounted() != nullptr) {
+        drive.unmount([do_mount = std::move(do_mount)]() mutable { do_mount(); });
+      } else {
+        do_mount();
+      }
+    };
+    if (holder != nullptr) {
+      holder->unmount([clear_own = std::move(clear_own)]() mutable { clear_own(); });
+    } else {
+      clear_own();
+    }
+  });
+}
+
+void TapeLibrary::dismount(TapeDrive& drive, std::function<void()> done) {
+  if (!done) done = [] {};
+  if (drive.mounted() == nullptr) {
+    sim_.after(0, std::move(done));
+    return;
+  }
+  robot_.acquire([this, &drive, done = std::move(done)]() mutable {
+    drive.unmount([this, done = std::move(done)] {
+      robot_.release();
+      done();
+    });
+  });
+}
+
+DriveStats TapeLibrary::aggregate_stats() const {
+  DriveStats total;
+  for (const auto& d : drives_) {
+    const DriveStats& s = d->stats();
+    total.mounts += s.mounts;
+    total.unmounts += s.unmounts;
+    total.label_verifies += s.label_verifies;
+    total.handoffs += s.handoffs;
+    total.seeks += s.seeks;
+    total.backhitches += s.backhitches;
+    total.write_txns += s.write_txns;
+    total.read_txns += s.read_txns;
+    total.bytes_written += s.bytes_written;
+    total.bytes_read += s.bytes_read;
+    total.mount_time += s.mount_time;
+    total.seek_time += s.seek_time;
+    total.backhitch_time += s.backhitch_time;
+    total.transfer_time += s.transfer_time;
+  }
+  return total;
+}
+
+}  // namespace cpa::tape

@@ -1,0 +1,92 @@
+// The automated tape library: drives, a robot arm, and a cartridge pool.
+//
+// Matches the paper's plant: "twenty-four LTO-4 tape drives connected to
+// the SAN" (Sec 4.3.1).  The library hands out idle drives FIFO, serializes
+// robot motion for mounts/unmounts, and manages scratch cartridges with
+// TSM-style co-location groups (Sec 4.1: "ILM stgpool and co-location
+// features in the archive back-end") so one group's objects cluster on few
+// cartridges.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simcore/resource.hpp"
+#include "tape/drive.hpp"
+
+namespace cpa::tape {
+
+struct LibraryConfig {
+  unsigned drive_count = 24;
+  std::uint64_t cartridge_capacity = 800ULL * kGB;  // LTO-4 native
+  TapeTimings timings;
+};
+
+class TapeLibrary {
+ public:
+  TapeLibrary(sim::Simulation& sim, sim::FlowNetwork& net, LibraryConfig cfg);
+
+  [[nodiscard]] const LibraryConfig& config() const { return cfg_; }
+  [[nodiscard]] unsigned drive_count() const { return static_cast<unsigned>(drives_.size()); }
+  [[nodiscard]] TapeDrive& drive(unsigned i) { return *drives_[i]; }
+
+  // --- drive allocation ----------------------------------------------------
+  /// Grants an idle drive FIFO; the callback receives the drive.
+  void acquire_drive(std::function<void(TapeDrive&)> on_grant);
+  void release_drive(TapeDrive& drive);
+  [[nodiscard]] unsigned idle_drives() const;
+
+  // --- cartridges ------------------------------------------------------------
+  Cartridge& new_cartridge(const std::string& colocation_group = "");
+  [[nodiscard]] Cartridge* cartridge(CartridgeId id);
+  /// The open append-target cartridge for a co-location group with at
+  /// least `bytes` free; allocates a fresh scratch cartridge if needed.
+  Cartridge& open_cartridge_for(const std::string& group, std::uint64_t bytes);
+  [[nodiscard]] std::size_t cartridge_count() const { return cartridges_.size(); }
+
+  /// Visits every cartridge (ascending id).
+  void for_each_cartridge(const std::function<void(Cartridge&)>& fn) {
+    for (auto& [id, cart] : cartridges_) fn(*cart);
+  }
+
+  /// Checks out a cartridge of `group` with at least `bytes` free for
+  /// exclusive append access (one writer per volume, as TSM enforces).
+  /// Prefers partially filled volumes; allocates scratch when none fit.
+  /// `exclude` skips one volume (reclamation must not pick its source).
+  Cartridge& checkout_cartridge(const std::string& group, std::uint64_t bytes,
+                                CartridgeId exclude = 0);
+  void checkin_cartridge(Cartridge& cart);
+  [[nodiscard]] bool is_checked_out(CartridgeId id) const {
+    return checked_out_.count(id) != 0;
+  }
+
+  // --- robot-mediated mount management ---------------------------------------
+  /// Ensures `drive` has `cart` mounted, unmounting any other cartridge
+  /// first.  Robot motions serialize across the library.
+  void ensure_mounted(TapeDrive& drive, Cartridge& cart, std::function<void()> done);
+  /// Unmounts whatever the drive holds (no-op when empty).
+  void dismount(TapeDrive& drive, std::function<void()> done);
+
+  /// Sums stats over all drives.
+  [[nodiscard]] DriveStats aggregate_stats() const;
+
+ private:
+  sim::Simulation& sim_;
+  LibraryConfig cfg_;
+  std::vector<std::unique_ptr<TapeDrive>> drives_;
+  std::vector<bool> drive_busy_;
+  std::deque<std::function<void(TapeDrive&)>> drive_waiters_;
+  sim::Resource robot_;
+  std::map<CartridgeId, std::unique_ptr<Cartridge>> cartridges_;
+  std::map<std::string, CartridgeId> open_by_group_;
+  std::set<CartridgeId> checked_out_;
+  CartridgeId next_cartridge_id_ = 1;
+};
+
+}  // namespace cpa::tape

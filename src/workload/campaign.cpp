@@ -1,0 +1,109 @@
+#include "workload/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cpa::workload {
+namespace {
+
+std::uint64_t clamp_u64(double x, std::uint64_t lo, std::uint64_t hi) {
+  if (x < static_cast<double>(lo)) return lo;
+  if (x > static_cast<double>(hi)) return hi;
+  return static_cast<std::uint64_t>(x);
+}
+
+}  // namespace
+
+std::vector<JobSpec> CampaignGenerator::generate() const {
+  sim::Rng rng(cfg_.seed);
+  sim::Rng size_rng = rng.split();
+  sim::Rng time_rng = rng.split();
+  sim::Rng file_rng = rng.split();
+
+  std::vector<sim::Tick> submit_times;
+  submit_times.reserve(cfg_.jobs);
+  for (unsigned j = 0; j < cfg_.jobs; ++j) {
+    submit_times.push_back(
+        sim::days(time_rng.uniform(0.0, cfg_.operation_days)));
+  }
+  std::sort(submit_times.begin(), submit_times.end());
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(cfg_.jobs);
+  for (unsigned j = 0; j < cfg_.jobs; ++j) {
+    JobSpec spec;
+    spec.job_id = j;
+    spec.submit_time = submit_times[j];
+    spec.total_bytes = clamp_u64(
+        size_rng.lognormal_mean(cfg_.mean_bytes, cfg_.sigma_log_bytes),
+        cfg_.min_bytes, cfg_.max_bytes);
+    spec.avg_file_size = clamp_u64(
+        size_rng.lognormal_mean(cfg_.mean_avg_file, cfg_.sigma_log_avg_file),
+        cfg_.min_avg_file, cfg_.max_avg_file);
+    spec.file_count = std::max<std::uint64_t>(
+        1, std::min(cfg_.max_files, spec.total_bytes / spec.avg_file_size));
+    // Integer division can push the recomputed average past the cap; add
+    // files until it fits again.
+    const std::uint64_t min_count =
+        (spec.total_bytes + cfg_.max_avg_file - 1) / cfg_.max_avg_file;
+    spec.file_count = std::max(spec.file_count, std::max<std::uint64_t>(1, min_count));
+    spec.avg_file_size = spec.total_bytes / spec.file_count;
+
+    // Materialize per-file sizes at the configured scale.
+    const std::uint64_t n = std::max<std::uint64_t>(
+        1, std::min(cfg_.max_materialized_files,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(spec.file_count) *
+                        cfg_.file_count_scale)));
+    const double scaled_bytes =
+        cfg_.preserve_total_bytes
+            ? static_cast<double>(spec.total_bytes)
+            : static_cast<double>(spec.total_bytes) *
+                  (static_cast<double>(n) / static_cast<double>(spec.file_count));
+    spec.file_sizes.reserve(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double s = file_rng.lognormal_mean(
+          static_cast<double>(spec.avg_file_size), cfg_.sigma_log_file);
+      spec.file_sizes.push_back(std::max<std::uint64_t>(
+          1024, static_cast<std::uint64_t>(s)));
+      sum += static_cast<double>(spec.file_sizes.back());
+    }
+    // Rescale so the job carries the intended (scaled) byte volume.
+    const double factor = sum > 0 ? scaled_bytes / sum : 1.0;
+    for (auto& s : spec.file_sizes) {
+      s = std::max<std::uint64_t>(
+          1024, static_cast<std::uint64_t>(static_cast<double>(s) * factor));
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+CampaignSummary CampaignGenerator::summarize(const std::vector<JobSpec>& jobs) {
+  CampaignSummary s;
+  if (jobs.empty()) return s;
+  s.min_files = s.min_bytes = s.min_avg_file = 1e300;
+  for (const JobSpec& j : jobs) {
+    const auto files = static_cast<double>(j.file_count);
+    const auto bytes = static_cast<double>(j.total_bytes);
+    const auto avg = static_cast<double>(j.avg_file_size);
+    s.mean_files += files;
+    s.mean_bytes += bytes;
+    s.mean_avg_file += avg;
+    s.min_files = std::min(s.min_files, files);
+    s.max_files = std::max(s.max_files, files);
+    s.min_bytes = std::min(s.min_bytes, bytes);
+    s.max_bytes = std::max(s.max_bytes, bytes);
+    s.min_avg_file = std::min(s.min_avg_file, avg);
+    s.max_avg_file = std::max(s.max_avg_file, avg);
+  }
+  const auto n = static_cast<double>(jobs.size());
+  s.mean_files /= n;
+  s.mean_bytes /= n;
+  s.mean_avg_file /= n;
+  return s;
+}
+
+}  // namespace cpa::workload

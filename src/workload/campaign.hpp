@@ -1,0 +1,97 @@
+// The Open Science archive workload (Sec 5.2).
+//
+// The paper reports 62 parallel archive jobs over 18 operation days with
+// these marginals (Figs 8-11):
+//   files/job:        1 .. 2,920,088   (mean 167,491)
+//   data/job:         4 GB .. 32,593 GB (mean 2,442 GB)
+//   avg file size/job: 4 KB .. 4,220 MB (mean 596 MB)
+//   data rate/job:    73 .. 1,868 MB/s (mean ~575 MB/s)  <- an OUTPUT
+//
+// The raw trace is not published, so the generator draws per-job
+// (total bytes, average file size) from clamped log-normal distributions
+// calibrated to those ranges/means and derives the file count; the rate
+// column is produced by pushing the jobs through the simulated plant.
+//
+// The `file_count_scale` knob shrinks per-job *file counts* (not bytes)
+// so host-side simulation cost stays sane; per-job rates are unaffected
+// to first order because per-file costs are small against transfer time
+// at the scaled counts used (documented in bench headers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/rng.hpp"
+#include "simcore/time.hpp"
+#include "simcore/units.hpp"
+
+namespace cpa::workload {
+
+struct JobSpec {
+  unsigned job_id = 0;
+  sim::Tick submit_time = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t file_count = 0;       // unscaled (what Fig 8 reports)
+  std::uint64_t avg_file_size = 0;    // total_bytes / file_count
+  /// Materialized per-file sizes at the configured scale; sums to
+  /// ~total_bytes * file_count_scale.
+  std::vector<std::uint64_t> file_sizes;
+};
+
+struct CampaignConfig {
+  unsigned jobs = 62;
+  double operation_days = 18.0;
+
+  std::uint64_t min_bytes = 4 * kGB;
+  std::uint64_t max_bytes = 32'593 * kGB;
+  double mean_bytes = 2'442.0 * static_cast<double>(kGB);
+  double sigma_log_bytes = 1.45;
+
+  std::uint64_t min_avg_file = 4 * kKB;
+  std::uint64_t max_avg_file = 4'220 * kMB;
+  /// Parameterizes the pre-clamp lognormal.  The clamp at 4,220 MB cuts
+  /// the heavy upper tail, so the raw mean is set above the paper's
+  /// 596 MB target; these values yield a post-clamp mean of ~596 MB and
+  /// ~140k files/job (paper: 167k) over many seeds.
+  double mean_avg_file = 1'500.0 * static_cast<double>(kMB);
+  double sigma_log_avg_file = 2.3;
+
+  std::uint64_t max_files = 2'920'088;
+
+  /// Per-file size spread around the job's average.
+  double sigma_log_file = 0.8;
+  /// Fraction of the unscaled file count that is materialized.
+  double file_count_scale = 1.0;
+  /// Cap on materialized files per job (simulation cost backstop).
+  std::uint64_t max_materialized_files = 200'000;
+  /// When true, the materialized files carry the job's FULL byte volume
+  /// (sizes inflate as counts shrink), so job durations — and therefore
+  /// job overlap — stay realistic under file-count scaling.
+  bool preserve_total_bytes = false;
+
+  std::uint64_t seed = 2009;
+};
+
+struct CampaignSummary {
+  double mean_files = 0, min_files = 0, max_files = 0;
+  double mean_bytes = 0, min_bytes = 0, max_bytes = 0;
+  double mean_avg_file = 0, min_avg_file = 0, max_avg_file = 0;
+};
+
+class CampaignGenerator {
+ public:
+  explicit CampaignGenerator(CampaignConfig cfg) : cfg_(cfg) {}
+
+  /// Generates the campaign: job specs sorted by submit time, each with
+  /// materialized (scaled) file sizes.
+  [[nodiscard]] std::vector<JobSpec> generate() const;
+
+  /// Marginal statistics of the *unscaled* job specs, for comparison with
+  /// the paper's figures.
+  static CampaignSummary summarize(const std::vector<JobSpec>& jobs);
+
+ private:
+  CampaignConfig cfg_;
+};
+
+}  // namespace cpa::workload

@@ -1,0 +1,106 @@
+#include "workload/posix_tree.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <cstring>
+#include <fstream>
+
+#include "simcore/rng.hpp"
+
+namespace cpa::workload {
+namespace fs = std::filesystem;
+namespace {
+
+/// Deterministic per-file byte stream: a dedicated RNG seeded from
+/// (tree seed, file index).
+void fill_file(std::ostream& out, std::uint64_t seed, std::uint64_t index,
+               std::uint64_t size) {
+  sim::Rng rng(seed ^ (index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+  std::uint64_t written = 0;
+  char buf[4096];
+  while (written < size) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(sizeof(buf), size - written));
+    for (std::size_t i = 0; i < chunk; i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      for (std::size_t b = 0; b < 8 && i + b < chunk; ++b) {
+        buf[i + b] = static_cast<char>((v >> (8 * b)) & 0xFF);
+      }
+    }
+    out.write(buf, static_cast<std::streamsize>(chunk));
+    written += chunk;
+  }
+}
+
+bool check_file(std::istream& in, std::uint64_t seed, std::uint64_t index,
+                std::uint64_t size) {
+  sim::Rng rng(seed ^ (index * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+  std::uint64_t read = 0;
+  char want[4096], have[4096];
+  while (read < size) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(sizeof(want), size - read));
+    for (std::size_t i = 0; i < chunk; i += 8) {
+      const std::uint64_t v = rng.next_u64();
+      for (std::size_t b = 0; b < 8 && i + b < chunk; ++b) {
+        want[i + b] = static_cast<char>((v >> (8 * b)) & 0xFF);
+      }
+    }
+    in.read(have, static_cast<std::streamsize>(chunk));
+    if (static_cast<std::size_t>(in.gcount()) != chunk) return false;
+    if (std::memcmp(want, have, chunk) != 0) return false;
+    read += chunk;
+  }
+  // File must not be longer than expected.
+  return in.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace
+
+std::string posix_tree_file_path(const PosixTreeSpec& spec,
+                                 std::uint64_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "d%04llu/f%06llu",
+                static_cast<unsigned long long>(index / spec.files_per_dir),
+                static_cast<unsigned long long>(index));
+  return (fs::path(spec.root) / buf).string();
+}
+
+PosixTreeReport build_posix_tree(const PosixTreeSpec& spec) {
+  PosixTreeReport report;
+  fs::create_directories(spec.root);
+  std::uint64_t current_dir = static_cast<std::uint64_t>(-1);
+  for (std::uint64_t i = 0; i < spec.file_sizes.size(); ++i) {
+    const std::uint64_t dir = i / spec.files_per_dir;
+    if (dir != current_dir) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "d%04llu",
+                    static_cast<unsigned long long>(dir));
+      fs::create_directories(fs::path(spec.root) / buf);
+      current_dir = dir;
+      ++report.dirs;
+    }
+    std::ofstream out(posix_tree_file_path(spec, i),
+                      std::ios::binary | std::ios::trunc);
+    if (!out) continue;
+    fill_file(out, spec.seed, i, spec.file_sizes[i]);
+    if (!out) continue;
+    ++report.files;
+    report.bytes += spec.file_sizes[i];
+  }
+  return report;
+}
+
+std::uint64_t verify_posix_tree(const PosixTreeSpec& spec,
+                                const std::string& root) {
+  PosixTreeSpec probe = spec;
+  if (!root.empty()) probe.root = root;
+  std::uint64_t bad = 0;
+  for (std::uint64_t i = 0; i < spec.file_sizes.size(); ++i) {
+    std::ifstream in(posix_tree_file_path(probe, i), std::ios::binary);
+    if (!in || !check_file(in, spec.seed, i, spec.file_sizes[i])) ++bad;
+  }
+  return bad;
+}
+
+}  // namespace cpa::workload

@@ -1,0 +1,39 @@
+// Synthetic POSIX directory trees for the thread-based (real) PFTool
+// engine: deterministic content from a seed, so copies can be verified
+// byte-for-byte and benchmarks of the real tool are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpa::workload {
+
+struct PosixTreeSpec {
+  std::string root;                       // directory to create
+  std::vector<std::uint64_t> file_sizes;  // one file per entry
+  unsigned files_per_dir = 256;
+  std::uint64_t seed = 1;                 // drives every file's bytes
+};
+
+struct PosixTreeReport {
+  std::uint64_t files = 0;
+  std::uint64_t dirs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Materializes the tree on the local file system (root/d0000/f000000...).
+/// Existing contents of `root` are left in place; files are overwritten.
+PosixTreeReport build_posix_tree(const PosixTreeSpec& spec);
+
+/// Path of file `index` within the layout build_posix_tree uses.
+[[nodiscard]] std::string posix_tree_file_path(const PosixTreeSpec& spec,
+                                               std::uint64_t index);
+
+/// Verifies that every file of the tree exists under `root` (defaulting
+/// to spec.root) with exactly the bytes the seed dictates.  Returns the
+/// number of mismatching or missing files.
+std::uint64_t verify_posix_tree(const PosixTreeSpec& spec,
+                                const std::string& root = "");
+
+}  // namespace cpa::workload

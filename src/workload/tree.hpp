@@ -1,0 +1,40 @@
+// Synthetic directory-tree builders for jobs and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfs/filesystem.hpp"
+#include "simcore/rng.hpp"
+
+namespace cpa::workload {
+
+struct TreeSpec {
+  std::string root;                       // absolute path to create
+  std::vector<std::uint64_t> file_sizes;  // one file per entry
+  unsigned files_per_dir = 1000;          // fan-out control
+  std::uint64_t tag_seed = 1;             // content tags derive from this
+};
+
+struct TreeReport {
+  std::uint64_t files = 0;
+  std::uint64_t dirs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Materializes the tree on a simulated file system: root/d0000/f000000...
+/// Content tags are deterministic functions of (tag_seed, index) so copies
+/// can be verified end to end.
+TreeReport build_tree(pfs::FileSystem& fs, const TreeSpec& spec);
+
+/// Content tag of file `index` in a tree with `tag_seed` (what build_tree
+/// assigned; verification helpers recompute it).
+[[nodiscard]] std::uint64_t tree_file_tag(std::uint64_t tag_seed,
+                                          std::uint64_t index);
+
+/// Path of file `index` within the tree layout build_tree uses.
+[[nodiscard]] std::string tree_file_path(const TreeSpec& spec,
+                                         std::uint64_t index);
+
+}  // namespace cpa::workload

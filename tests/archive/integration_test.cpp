@@ -1,0 +1,184 @@
+// End-to-end randomized property tests over the assembled system: for a
+// range of seeds, data must survive the full archive life cycle intact
+// and every layer's accounting must stay consistent.
+#include <gtest/gtest.h>
+
+#include "archive/system.hpp"
+#include "simcore/rng.hpp"
+#include "workload/tree.hpp"
+
+namespace cpa::archive {
+namespace {
+
+class LifecycleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LifecycleProperty, RandomTreeSurvivesArchiveMigrateRecallRestore) {
+  sim::Rng rng(GetParam());
+  CotsParallelArchive sys(SystemConfig::small());
+
+  // Random tree: mixed sizes, including zero-byte and multi-GB files.
+  workload::TreeSpec tree;
+  tree.root = "/scratch/run";
+  tree.tag_seed = GetParam();
+  tree.files_per_dir = static_cast<unsigned>(rng.uniform_u64(3, 40));
+  const unsigned n_files = static_cast<unsigned>(rng.uniform_u64(5, 60));
+  std::uint64_t total_bytes = 0;
+  for (unsigned i = 0; i < n_files; ++i) {
+    std::uint64_t size = 0;
+    switch (rng.uniform_u64(0, 3)) {
+      case 0: size = 0; break;
+      case 1: size = rng.uniform_u64(1, 64) * kKB; break;
+      case 2: size = rng.uniform_u64(1, 512) * kMB; break;
+      case 3: size = rng.uniform_u64(1, 4) * kGB; break;
+    }
+    tree.file_sizes.push_back(size);
+    total_bytes += size;
+  }
+  const auto built = workload::build_tree(sys.scratch(), tree);
+  ASSERT_EQ(built.files, n_files);
+  ASSERT_EQ(built.bytes, total_bytes);
+
+  // 1. Archive.
+  const auto cp = sys.pfcp_archive("/scratch/run", "/proj/run");
+  ASSERT_EQ(cp.files_copied, n_files);
+  ASSERT_EQ(cp.bytes_copied, total_bytes);
+  ASSERT_EQ(cp.files_failed, 0u);
+
+  // Invariant: archive pool holds exactly the copied bytes (no fuse files
+  // at these sizes, so the fast pool carries everything).
+  std::uint64_t pools_used = 0;
+  for (const auto& p : sys.archive_fs().pools()) pools_used += p.used_bytes;
+  EXPECT_EQ(pools_used, total_bytes);
+
+  // 2. Verify.
+  const auto cm = sys.pfcm("/scratch/run", "/proj/run");
+  EXPECT_EQ(cm.files_matched, n_files);
+  EXPECT_EQ(cm.files_mismatched, 0u);
+
+  // 3. Migrate everything (skip zero-byte files: nothing to put on tape,
+  //    and the policy below only selects non-empty resident files).
+  pfs::Rule rule;
+  rule.name = "mig";
+  rule.action = pfs::Rule::Action::List;
+  rule.where = {pfs::Condition::path_glob("/proj/*"),
+                pfs::Condition::size_ge(1),
+                pfs::Condition::dmapi_is(pfs::DmapiState::Resident)};
+  sys.policy().add_rule(rule);
+  unsigned nonempty = 0;
+  for (const auto s : tree.file_sizes) nonempty += s > 0 ? 1 : 0;
+  hsm::MigrateReport mig;
+  sys.run_migration_cycle("mig", "run",
+                          [&](const hsm::MigrateReport& r) { mig = r; });
+  sys.sim().run();
+  EXPECT_EQ(mig.files_migrated, nonempty);
+  EXPECT_EQ(mig.bytes, total_bytes);
+
+  // Invariant: tape holds exactly the migrated bytes; the export resolves
+  // every migrated file; disk was released by the punch.
+  EXPECT_EQ(sys.library().aggregate_stats().bytes_written, total_bytes);
+  pools_used = 0;
+  for (const auto& p : sys.archive_fs().pools()) pools_used += p.used_bytes;
+  EXPECT_EQ(pools_used, 0u);
+  unsigned resolvable = 0;
+  for (std::uint64_t i = 0; i < n_files; ++i) {
+    const std::string dst =
+        "/proj/run" + workload::tree_file_path(tree, i).substr(tree.root.size());
+    if (sys.hsm().server_for(dst).export_db().by_path(dst) != nullptr) {
+      ++resolvable;
+    }
+  }
+  EXPECT_EQ(resolvable, nonempty);
+
+  // 4. Restore to a fresh location and verify contents bit for bit.
+  const auto rs = sys.pfcp_restore("/proj/run", "/scratch/back");
+  EXPECT_EQ(rs.files_copied, n_files);
+  EXPECT_EQ(rs.files_restored, nonempty);
+  EXPECT_EQ(rs.files_failed, 0u);
+  for (std::uint64_t i = 0; i < n_files; ++i) {
+    const std::string back =
+        "/scratch/back" + workload::tree_file_path(tree, i).substr(tree.root.size());
+    const auto st = sys.scratch().stat(back);
+    ASSERT_TRUE(st.ok()) << back;
+    EXPECT_EQ(st.value().size, tree.file_sizes[i]);
+    if (tree.file_sizes[i] > 0) {
+      EXPECT_EQ(sys.scratch().read_tag(back).value(),
+                workload::tree_file_tag(tree.tag_seed, i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+class DeletionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeletionProperty, RandomDeletesNeverLeaveOrphansWhenSynchronous) {
+  sim::Rng rng(GetParam() * 131);
+  CotsParallelArchive sys(SystemConfig::small());
+  workload::TreeSpec tree;
+  tree.root = "/proj/data";
+  tree.tag_seed = GetParam();
+  const unsigned n = static_cast<unsigned>(rng.uniform_u64(10, 40));
+  for (unsigned i = 0; i < n; ++i) {
+    tree.file_sizes.push_back(rng.uniform_u64(1, 50) * kMB);
+  }
+  workload::build_tree(sys.archive_fs(), tree);
+  std::vector<std::string> paths;
+  for (unsigned i = 0; i < n; ++i) {
+    paths.push_back(workload::tree_file_path(tree, i));
+  }
+  sys.hsm().parallel_migrate(paths, {0, 1},
+                             hsm::DistributionStrategy::SizeBalanced, "g",
+                             nullptr);
+  sys.sim().run();
+
+  // Randomly: trash-then-purge, synchronous delete, or keep.
+  unsigned expected_remaining = n;
+  for (const auto& p : paths) {
+    switch (rng.uniform_u64(0, 2)) {
+      case 0:
+        ASSERT_EQ(sys.trashcan().trash(p), pfs::Errc::Ok);
+        --expected_remaining;
+        break;
+      case 1:
+        sys.hsm().synchronous_delete(p, nullptr);
+        --expected_remaining;
+        break;
+      default:
+        break;
+    }
+  }
+  sys.trashcan().purge_older_than(sys.sim().now(), nullptr);
+  sys.sim().run();
+
+  // Invariants: object count matches surviving files; reconcile is clean.
+  unsigned objects = 0;
+  for (unsigned s = 0; s < sys.hsm().server_count(); ++s) {
+    objects += static_cast<unsigned>(sys.hsm().server(s).object_count());
+  }
+  EXPECT_EQ(objects, expected_remaining);
+  hsm::ReconcileReport rec;
+  sys.hsm().reconcile(false, [&](const hsm::ReconcileReport& r) { rec = r; });
+  sys.sim().run();
+  EXPECT_EQ(rec.orphans_found, 0u);
+  // Surviving files are still recallable.
+  std::vector<std::string> survivors;
+  for (const auto& p : paths) {
+    if (sys.archive_fs().exists(p)) survivors.push_back(p);
+  }
+  ASSERT_EQ(survivors.size(), expected_remaining);
+  if (!survivors.empty()) {
+    hsm::RecallReport rr;
+    sys.hsm().recall(survivors, hsm::RecallOptions{},
+                     [&](const hsm::RecallReport& r) { rr = r; });
+    sys.sim().run();
+    EXPECT_EQ(rr.files_recalled, expected_remaining);
+    EXPECT_EQ(rr.files_failed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeletionProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cpa::archive

@@ -1,0 +1,39 @@
+#include "archive/jail.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::archive {
+namespace {
+
+TEST(CommandJail, DefaultAllowsPftoolAndMetadataTools) {
+  const CommandJail jail = CommandJail::lanl_default();
+  for (const char* c : {"pfls", "pfcp", "pfcm", "ls", "mkdir", "mv", "find",
+                        "stat", "du", "rm"}) {
+    EXPECT_TRUE(jail.is_allowed(c)) << c;
+  }
+}
+
+TEST(CommandJail, DefaultDeniesTapeDangerousTools) {
+  const CommandJail jail = CommandJail::lanl_default();
+  // "the grep from &*&(*&" and friends.
+  for (const char* c : {"grep", "cat", "tar", "cp", "md5sum", "less"}) {
+    EXPECT_FALSE(jail.is_allowed(c)) << c;
+  }
+}
+
+TEST(CommandJail, PolicyIsEditable) {
+  CommandJail jail = CommandJail::lanl_default();
+  jail.allow("tar");
+  EXPECT_TRUE(jail.is_allowed("tar"));
+  jail.deny("pfls");
+  EXPECT_FALSE(jail.is_allowed("pfls"));
+}
+
+TEST(CommandJail, AllowedCommandsEnumerates) {
+  const CommandJail jail = CommandJail::lanl_default();
+  const auto cmds = jail.allowed_commands();
+  EXPECT_GE(cmds.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cpa::archive

@@ -1,0 +1,134 @@
+#include "archive/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/units.hpp"
+
+namespace cpa::archive {
+namespace {
+
+pfs::FsConfig fs_config() {
+  pfs::FsConfig cfg;
+  cfg.pools = {pfs::PoolConfig{"fast", 0, 4, false},
+               pfs::PoolConfig{"slow", 0, 2, false}};
+  return cfg;
+}
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest() : fs_(sim_, fs_config()) {
+    // A small mixed namespace across two pools and three mtimes.
+    fs_.mkdirs("/proj/astro");
+    fs_.mkdirs("/proj/laser");
+    make("/proj/astro/big1", 10 * kGB, "");
+    make("/proj/astro/big2", 20 * kGB, "");
+    sim_.run_until(sim::hours(1));
+    make("/proj/astro/small1", 4 * kMB, "slow");
+    make("/proj/laser/small2", 8 * kMB, "slow");
+    sim_.run_until(sim::hours(2));
+    make("/proj/laser/mid", 500 * kMB, "");
+    // One migrated file.
+    fs_.premigrate("/proj/astro/big1");
+    fs_.punch("/proj/astro/big1");
+    catalog_.rebuild(fs_);
+  }
+
+  void make(const std::string& path, std::uint64_t size, const std::string& pool) {
+    ASSERT_TRUE(fs_.create(path, pool).ok());
+    ASSERT_EQ(fs_.write_all(path, size, 1), pfs::Errc::Ok);
+  }
+
+  sim::Simulation sim_;
+  pfs::FileSystem fs_;
+  MetadataCatalog catalog_;
+};
+
+TEST_F(SearchTest, RebuildIndexesAllRegularFiles) {
+  EXPECT_EQ(catalog_.size(), 5u);
+}
+
+TEST_F(SearchTest, RebuildReportsScanCost) {
+  MetadataCatalog fresh;
+  const sim::Tick t1 = fresh.rebuild(fs_, 1);
+  const sim::Tick t4 = fresh.rebuild(fs_, 4);
+  EXPECT_GT(t1, 0u);
+  EXPECT_GT(t1, t4);
+}
+
+TEST_F(SearchTest, SizeRangeQuery) {
+  SearchQuery q;
+  q.min_size = 1 * kGB;
+  const auto hits = catalog_.search(q);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].path, "/proj/astro/big1");
+  EXPECT_EQ(hits[1].path, "/proj/astro/big2");
+  // Index probe touched only the range, not the whole table.
+  EXPECT_LE(catalog_.last_rows_examined(), 2u);
+}
+
+TEST_F(SearchTest, MtimeRangeQuery) {
+  SearchQuery q;
+  q.min_mtime = sim::hours(2);
+  const auto hits = catalog_.search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "/proj/laser/mid");
+}
+
+TEST_F(SearchTest, PoolAndStateQueries) {
+  SearchQuery by_pool;
+  by_pool.pool = "slow";
+  EXPECT_EQ(catalog_.search(by_pool).size(), 2u);
+
+  SearchQuery by_state;
+  by_state.dmapi = pfs::DmapiState::Migrated;
+  const auto hits = catalog_.search(by_state);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "/proj/astro/big1");
+}
+
+TEST_F(SearchTest, MultiDimensionalConjunction) {
+  // "small files in the slow pool under /proj/laser, modified after 30min"
+  SearchQuery q;
+  q.max_size = 100 * kMB;
+  q.pool = "slow";
+  q.path_glob = "/proj/laser/*";
+  q.min_mtime = sim::minutes(30);
+  const auto hits = catalog_.search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path, "/proj/laser/small2");
+}
+
+TEST_F(SearchTest, GlobOnlyQueryFallsBackToScan) {
+  SearchQuery q;
+  q.path_glob = "/proj/astro/*";
+  const auto hits = catalog_.search(q);
+  EXPECT_EQ(hits.size(), 3u);
+  EXPECT_EQ(catalog_.last_rows_examined(), catalog_.size());
+}
+
+TEST_F(SearchTest, EmptyQueryReturnsEverything) {
+  EXPECT_EQ(catalog_.search(SearchQuery{}).size(), 5u);
+}
+
+TEST_F(SearchTest, IncrementalUpsertAndErase) {
+  CatalogEntry e;
+  e.fid = 0xDEAD;
+  e.path = "/proj/new";
+  e.size = 7 * kGB;
+  catalog_.upsert(e);
+  SearchQuery q;
+  q.min_size = 1 * kGB;
+  EXPECT_EQ(catalog_.search(q).size(), 3u);
+  EXPECT_TRUE(catalog_.erase(0xDEAD));
+  EXPECT_FALSE(catalog_.erase(0xDEAD));
+  EXPECT_EQ(catalog_.search(q).size(), 2u);
+}
+
+TEST_F(SearchTest, NoMatchesIsEmptyNotError) {
+  SearchQuery q;
+  q.min_size = 100 * kTB;
+  EXPECT_TRUE(catalog_.search(q).empty());
+}
+
+}  // namespace
+}  // namespace cpa::archive

@@ -1,0 +1,112 @@
+#include "archive/trashcan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "archive/system.hpp"
+
+namespace cpa::archive {
+namespace {
+
+class TrashcanTest : public ::testing::Test {
+ protected:
+  TrashcanTest() : sys_(SystemConfig::small()) {}
+
+  void make_archived_file(const std::string& path, std::uint64_t size,
+                          std::uint64_t tag) {
+    ASSERT_EQ(sys_.make_file(sys_.archive_fs(), path, size, tag), pfs::Errc::Ok);
+    sys_.hsm().migrate_batch(0, {path}, "g", nullptr);
+    sys_.sim().run();
+    ASSERT_EQ(sys_.archive_fs().stat(path).value().dmapi,
+              pfs::DmapiState::Migrated);
+  }
+
+  CotsParallelArchive sys_;
+};
+
+TEST_F(TrashcanTest, TrashMovesFileWithoutDestroyingData) {
+  make_archived_file("/arch/f", 10 * kMB, 1);
+  const auto destroys_before = sys_.hsm().destroy_events();
+  ASSERT_EQ(sys_.trashcan().trash("/arch/f"), pfs::Errc::Ok);
+  EXPECT_FALSE(sys_.archive_fs().exists("/arch/f"));
+  EXPECT_EQ(sys_.trashcan().size(), 1u);
+  // Rename destroys nothing: no DMAPI destroy event, no orphan.
+  EXPECT_EQ(sys_.hsm().destroy_events(), destroys_before);
+
+  bool checked = false;
+  sys_.hsm().reconcile(false, [&](const hsm::ReconcileReport& r) {
+    EXPECT_EQ(r.orphans_found, 0u);
+    checked = true;
+  });
+  sys_.sim().run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(TrashcanTest, UndeleteRestoresOriginalPath) {
+  make_archived_file("/arch/f", 10 * kMB, 0xAB);
+  ASSERT_EQ(sys_.trashcan().trash("/arch/f"), pfs::Errc::Ok);
+  ASSERT_EQ(sys_.trashcan().undelete("/arch/f"), pfs::Errc::Ok);
+  EXPECT_TRUE(sys_.archive_fs().exists("/arch/f"));
+  EXPECT_EQ(sys_.trashcan().size(), 0u);
+  // The file is still migrated, and still recallable.
+  bool recalled = false;
+  sys_.hsm().recall({"/arch/f"}, hsm::RecallOptions{},
+                    [&](const hsm::RecallReport& r) {
+                      EXPECT_EQ(r.files_recalled, 1u);
+                      recalled = true;
+                    });
+  sys_.sim().run();
+  EXPECT_TRUE(recalled);
+  EXPECT_EQ(sys_.archive_fs().read_tag("/arch/f").value(), 0xABu);
+}
+
+TEST_F(TrashcanTest, TrashErrors) {
+  EXPECT_EQ(sys_.trashcan().trash("/missing"), pfs::Errc::NotFound);
+  EXPECT_EQ(sys_.trashcan().undelete("/never/trashed"), pfs::Errc::NotFound);
+  make_archived_file("/arch/f", kMB, 1);
+  ASSERT_EQ(sys_.trashcan().trash("/arch/f"), pfs::Errc::Ok);
+  EXPECT_EQ(sys_.trashcan().trash("/arch/f"), pfs::Errc::NotFound);
+}
+
+TEST_F(TrashcanTest, PurgeDeletesAgedEntriesSynchronously) {
+  make_archived_file("/arch/old", 10 * kMB, 1);
+  ASSERT_EQ(sys_.trashcan().trash("/arch/old"), pfs::Errc::Ok);
+  const sim::Tick cutoff = sys_.sim().now();
+  sys_.sim().run_until(sys_.sim().now() + sim::days(1));
+  make_archived_file("/arch/new", 10 * kMB, 2);
+  ASSERT_EQ(sys_.trashcan().trash("/arch/new"), pfs::Errc::Ok);
+
+  std::size_t purged = 0;
+  sys_.trashcan().purge_older_than(cutoff, [&](std::size_t n) { purged = n; });
+  sys_.sim().run();
+  EXPECT_EQ(purged, 1u);
+  EXPECT_EQ(sys_.trashcan().size(), 1u);  // the fresh entry survives
+  // The purged file's tape object is gone (synchronous delete).
+  unsigned total_objects = 0;
+  for (unsigned s = 0; s < sys_.hsm().server_count(); ++s) {
+    total_objects += static_cast<unsigned>(sys_.hsm().server(s).object_count());
+  }
+  EXPECT_EQ(total_objects, 1u);
+
+  bool checked = false;
+  sys_.hsm().reconcile(false, [&](const hsm::ReconcileReport& r) {
+    EXPECT_EQ(r.orphans_found, 0u);
+    checked = true;
+  });
+  sys_.sim().run();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(TrashcanTest, EntriesReportMetadata) {
+  make_archived_file("/arch/f", 5 * kMB, 1);
+  const sim::Tick t = sys_.sim().now();
+  ASSERT_EQ(sys_.trashcan().trash("/arch/f"), pfs::Errc::Ok);
+  const auto entries = sys_.trashcan().entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].original_path, "/arch/f");
+  EXPECT_EQ(entries[0].size, 5 * kMB);
+  EXPECT_EQ(entries[0].trashed_at, t);
+  EXPECT_TRUE(sys_.archive_fs().exists(entries[0].trash_path));
+}
+
+}  // namespace
+}  // namespace cpa::archive

@@ -1,0 +1,200 @@
+#include "fusefs/archive_fuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hpp"
+#include "simcore/units.hpp"
+
+namespace cpa::fusefs {
+namespace {
+
+pfs::FsConfig fs_config() {
+  pfs::FsConfig cfg;
+  cfg.pools = {pfs::PoolConfig{"fast", 0, 4, false}};
+  return cfg;
+}
+
+class FuseTest : public ::testing::Test {
+ protected:
+  FuseTest() : fs_(sim_, fs_config()), fuse_(fs_, config()) {}
+  static FuseConfig config() {
+    FuseConfig cfg;
+    cfg.chunk_size = 100 * kMB;
+    return cfg;
+  }
+  sim::Simulation sim_;
+  pfs::FileSystem fs_{sim_, fs_config()};
+  ArchiveFuse fuse_{fs_, config()};
+};
+
+TEST_F(FuseTest, ChunkCountMath) {
+  EXPECT_EQ(fuse_.chunk_count(0), 1u);
+  EXPECT_EQ(fuse_.chunk_count(1), 1u);
+  EXPECT_EQ(fuse_.chunk_count(100 * kMB), 1u);
+  EXPECT_EQ(fuse_.chunk_count(100 * kMB + 1), 2u);
+  EXPECT_EQ(fuse_.chunk_count(1050 * kMB), 11u);
+}
+
+TEST_F(FuseTest, CreateMakesShadowDirWithChunkFiles) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/huge", 250 * kMB), pfs::Errc::Ok);
+  EXPECT_TRUE(fuse_.is_chunked("/arch/huge"));
+  EXPECT_TRUE(fs_.exists("/arch/huge.__fusechunks__"));
+  auto entries = fs_.readdir("/arch/huge.__fusechunks__");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 3u);
+
+  const auto st = fuse_.stat("/arch/huge");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 250 * kMB);
+  EXPECT_EQ(st.value().chunk_count, 3u);
+  EXPECT_EQ(st.value().good_chunks, 0u);
+  EXPECT_FALSE(st.value().complete);
+}
+
+TEST_F(FuseTest, ChunkGeometryCoversFileExactly) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 250 * kMB), pfs::Errc::Ok);
+  const auto chunks = fuse_.chunks("/arch/f");
+  ASSERT_TRUE(chunks.ok());
+  const auto& cs = chunks.value();
+  ASSERT_EQ(cs.size(), 3u);
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_EQ(cs[i].index, i);
+    EXPECT_EQ(cs[i].offset, covered);
+    covered += cs[i].bytes;
+  }
+  EXPECT_EQ(covered, 250 * kMB);
+  EXPECT_EQ(cs[0].bytes, 100 * kMB);
+  EXPECT_EQ(cs[2].bytes, 50 * kMB);
+}
+
+TEST_F(FuseTest, WriteChunkChargesPoolAndMarksGood) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 250 * kMB), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 0, 111), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 2, 333), pfs::Errc::Ok);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 150 * kMB);
+
+  const auto pending = fuse_.pending_chunks("/arch/f");
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(pending.value(), (std::vector<std::uint64_t>{1}));
+  EXPECT_FALSE(fuse_.stat("/arch/f").value().complete);
+
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 1, 222), pfs::Errc::Ok);
+  EXPECT_TRUE(fuse_.stat("/arch/f").value().complete);
+  EXPECT_TRUE(fuse_.pending_chunks("/arch/f").value().empty());
+}
+
+TEST_F(FuseTest, WriteChunkValidation) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 150 * kMB), pfs::Errc::Ok);
+  EXPECT_EQ(fuse_.write_chunk("/nope", 0, 1), pfs::Errc::NotFound);
+  EXPECT_EQ(fuse_.write_chunk("/arch/f", 5, 1), pfs::Errc::InvalidArgument);
+}
+
+TEST_F(FuseTest, LogicalTagRequiresCompleteness) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 200 * kMB), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 0, 1), pfs::Errc::Ok);
+  EXPECT_EQ(fuse_.logical_tag("/arch/f").error(), pfs::Errc::InvalidArgument);
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 1, 2), pfs::Errc::Ok);
+  ASSERT_TRUE(fuse_.logical_tag("/arch/f").ok());
+
+  // Tag depends on chunk order and content.
+  const auto tag_a = fuse_.logical_tag("/arch/f").value();
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 1, 3), pfs::Errc::Ok);
+  EXPECT_NE(fuse_.logical_tag("/arch/f").value(), tag_a);
+}
+
+TEST_F(FuseTest, SameContentSameTag) {
+  ASSERT_EQ(fs_.mkdirs("/a"), pfs::Errc::Ok);
+  ASSERT_EQ(fs_.mkdirs("/b"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/a/f", 200 * kMB), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/b/f", 200 * kMB), pfs::Errc::Ok);
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    ASSERT_EQ(fuse_.write_chunk("/a/f", i, 42 + i), pfs::Errc::Ok);
+    ASSERT_EQ(fuse_.write_chunk("/b/f", i, 42 + i), pfs::Errc::Ok);
+  }
+  EXPECT_EQ(fuse_.logical_tag("/a/f").value(), fuse_.logical_tag("/b/f").value());
+}
+
+TEST_F(FuseTest, MarkChunkBadReappearsInPending) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 300 * kMB), pfs::Errc::Ok);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(fuse_.write_chunk("/arch/f", i, i), pfs::Errc::Ok);
+  }
+  ASSERT_EQ(fuse_.mark_chunk("/arch/f", 1, ChunkMark::Bad), pfs::Errc::Ok);
+  EXPECT_EQ(fuse_.pending_chunks("/arch/f").value(),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_FALSE(fuse_.stat("/arch/f").value().complete);
+}
+
+TEST_F(FuseTest, UnlinkMovesChunksToTrashcan) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 200 * kMB), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 0, 1), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.unlink("/arch/f"), pfs::Errc::Ok);
+  EXPECT_FALSE(fuse_.is_chunked("/arch/f"));
+  EXPECT_FALSE(fs_.exists("/arch/f.__fusechunks__"));
+  // Chunks live on in the trashcan — no destroyed data, no tape orphan.
+  auto trash = fs_.readdir("/.trashcan");
+  ASSERT_TRUE(trash.ok());
+  ASSERT_EQ(trash.value().size(), 1u);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 100 * kMB);
+  EXPECT_EQ(fuse_.unlink("/arch/f"), pfs::Errc::NotFound);
+}
+
+TEST_F(FuseTest, OverwriteInterceptsAndTrashesOldChunks) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/f", 200 * kMB), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.write_chunk("/arch/f", 0, 1), pfs::Errc::Ok);
+  // Re-create (user overwrote the file): old chunks must end up in trash.
+  ASSERT_EQ(fuse_.create("/arch/f", 300 * kMB), pfs::Errc::Ok);
+  EXPECT_EQ(fuse_.stat("/arch/f").value().chunk_count, 3u);
+  EXPECT_EQ(fuse_.stat("/arch/f").value().good_chunks, 0u);
+  auto trash = fs_.readdir("/.trashcan");
+  ASSERT_TRUE(trash.ok());
+  EXPECT_EQ(trash.value().size(), 1u);
+}
+
+TEST_F(FuseTest, LogicalFilesEnumeration) {
+  ASSERT_EQ(fs_.mkdirs("/arch"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/a", kMB), pfs::Errc::Ok);
+  ASSERT_EQ(fuse_.create("/arch/b", kMB), pfs::Errc::Ok);
+  EXPECT_EQ(fuse_.logical_files(),
+            (std::vector<std::string>{"/arch/a", "/arch/b"}));
+}
+
+// Property sweep: chunk geometry is exact for arbitrary sizes.
+class FuseGeometry : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuseGeometry, ChunksPartitionTheFile) {
+  sim::Simulation sim;
+  pfs::FileSystem fs(sim, fs_config());
+  FuseConfig cfg;
+  cfg.chunk_size = 7919;  // prime, to exercise remainders
+  ArchiveFuse fuse(fs, cfg);
+  sim::Rng rng(GetParam());
+  const std::uint64_t size = rng.uniform_u64(1, 1'000'000);
+  ASSERT_EQ(fs.mkdirs("/t"), pfs::Errc::Ok);
+  ASSERT_EQ(fuse.create("/t/f", size), pfs::Errc::Ok);
+  const auto chunks = fuse.chunks("/t/f").value();
+  EXPECT_EQ(chunks.size(), (size + 7918) / 7919);
+  std::uint64_t covered = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.offset, covered);
+    EXPECT_GT(c.bytes, 0u);
+    EXPECT_LE(c.bytes, 7919u);
+    covered += c.bytes;
+  }
+  EXPECT_EQ(covered, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSizes, FuseGeometry,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace cpa::fusefs

@@ -1,0 +1,121 @@
+#include "hsm/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.hpp"
+
+namespace cpa::hsm {
+namespace {
+
+std::uint64_t total(const Distribution& d) {
+  std::uint64_t sum = 0;
+  for (const auto& bin : d) {
+    for (const WorkItem& w : bin) sum += w.weight;
+  }
+  return sum;
+}
+
+std::size_t item_count(const Distribution& d) {
+  std::size_t n = 0;
+  for (const auto& bin : d) n += bin.size();
+  return n;
+}
+
+TEST(Balance, NaiveRoundRobinIgnoresSize) {
+  // The paper's pathology: all large files land on one process.
+  // Alternating large/small with 2 bins puts every large file in bin 0.
+  std::vector<std::uint64_t> w;
+  for (int i = 0; i < 10; ++i) {
+    w.push_back(1000);  // even positions: large
+    w.push_back(1);     // odd positions: small
+  }
+  const Distribution d = naive_distribute(w, 2);
+  std::uint64_t load0 = 0, load1 = 0;
+  for (const WorkItem& it : d[0]) load0 += it.weight;
+  for (const WorkItem& it : d[1]) load1 += it.weight;
+  EXPECT_EQ(load0, 10000u);
+  EXPECT_EQ(load1, 10u);
+}
+
+TEST(Balance, SizeBalancedEvensOutTheSameWorkload) {
+  std::vector<std::uint64_t> w;
+  for (int i = 0; i < 10; ++i) {
+    w.push_back(1000);
+    w.push_back(1);
+  }
+  const Distribution d = size_balanced_distribute(w, 2);
+  std::uint64_t load0 = 0, load1 = 0;
+  for (const WorkItem& it : d[0]) load0 += it.weight;
+  for (const WorkItem& it : d[1]) load1 += it.weight;
+  EXPECT_EQ(load0 + load1, 10010u);
+  EXPECT_NEAR(static_cast<double>(load0), static_cast<double>(load1), 1000.0);
+}
+
+TEST(Balance, AllItemsAssignedExactlyOnce) {
+  std::vector<std::uint64_t> w{5, 3, 8, 1, 9, 2};
+  for (auto* fn : {&naive_distribute, &size_balanced_distribute}) {
+    const Distribution d = fn(w, 3);
+    EXPECT_EQ(item_count(d), w.size());
+    EXPECT_EQ(total(d), 28u);
+    std::vector<bool> seen(w.size(), false);
+    for (const auto& bin : d) {
+      for (const WorkItem& it : bin) {
+        EXPECT_FALSE(seen[it.index]);
+        seen[it.index] = true;
+        EXPECT_EQ(it.weight, w[it.index]);
+      }
+    }
+  }
+}
+
+TEST(Balance, MoreBinsThanItems) {
+  std::vector<std::uint64_t> w{7, 3};
+  const Distribution d = size_balanced_distribute(w, 5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(item_count(d), 2u);
+  EXPECT_EQ(max_bin_load(d), 7u);
+}
+
+TEST(Balance, ZeroBinsClampedToOne) {
+  std::vector<std::uint64_t> w{1, 2, 3};
+  EXPECT_EQ(naive_distribute(w, 0).size(), 1u);
+  EXPECT_EQ(size_balanced_distribute(w, 0).size(), 1u);
+}
+
+TEST(Balance, EmptyInput) {
+  std::vector<std::uint64_t> w;
+  EXPECT_EQ(max_bin_load(naive_distribute(w, 4)), 0u);
+  EXPECT_EQ(max_bin_load(size_balanced_distribute(w, 4)), 0u);
+}
+
+// Property: LPT makespan <= (4/3 - 1/(3m)) * OPT, where OPT >= max(mean
+// load, max item).  We verify against that lower bound.
+class LptBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LptBound, WithinClassicBoundOfLowerBound) {
+  cpa::sim::Rng rng(GetParam());
+  const unsigned m = static_cast<unsigned>(rng.uniform_u64(2, 12));
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_u64(1, 200));
+  std::vector<std::uint64_t> w(n);
+  std::uint64_t sum = 0, biggest = 0;
+  for (auto& x : w) {
+    x = rng.uniform_u64(1, 1'000'000);
+    sum += x;
+    biggest = std::max(biggest, x);
+  }
+  const double opt_lb =
+      std::max(static_cast<double>(sum) / m, static_cast<double>(biggest));
+  const double lpt = static_cast<double>(
+      max_bin_load(size_balanced_distribute(w, m)));
+  const double bound = (4.0 / 3.0 - 1.0 / (3.0 * m)) * opt_lb;
+  EXPECT_LE(lpt, bound * (1 + 1e-12));
+  // And LPT never loses to naive by more than rounding.
+  const double naive = static_cast<double>(max_bin_load(naive_distribute(w, m)));
+  EXPECT_LE(lpt, naive * (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, LptBound,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace cpa::hsm

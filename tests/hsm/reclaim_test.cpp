@@ -1,0 +1,132 @@
+// Volume space reclamation: live segments move off mostly-dead volumes
+// and the owning objects follow.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "hsm/hsm.hpp"
+#include "simcore/units.hpp"
+
+namespace cpa::hsm {
+namespace {
+
+pfs::FsConfig fs_config() {
+  pfs::FsConfig cfg;
+  cfg.pools = {pfs::PoolConfig{"fast", 0, 4, false}};
+  return cfg;
+}
+
+class ReclaimTest : public ::testing::Test {
+ protected:
+  ReclaimTest()
+      : fs_(sim_, fs_config()),
+        lib_(sim_, net_, lib_config()),
+        hsm_(sim_, net_, fs_, lib_, Fabric::unconstrained(), HsmConfig{}) {}
+
+  static tape::LibraryConfig lib_config() {
+    tape::LibraryConfig cfg;
+    cfg.drive_count = 4;
+    return cfg;
+  }
+
+  void make_file(const std::string& path, std::uint64_t size, std::uint64_t tag) {
+    ASSERT_EQ(fs_.mkdirs(pfs::parent_path(path)), pfs::Errc::Ok);
+    ASSERT_TRUE(fs_.create(path).ok());
+    ASSERT_EQ(fs_.write_all(path, size, tag), pfs::Errc::Ok);
+  }
+
+  /// Migrates n files to one volume, then sync-deletes all but `keep`.
+  std::vector<std::string> fragment_volume(unsigned n, unsigned keep) {
+    std::vector<std::string> paths;
+    for (unsigned i = 0; i < n; ++i) {
+      const std::string p = "/arch/f" + std::to_string(i);
+      make_file(p, 50 * kMB, 0x100 + i);
+      paths.push_back(p);
+    }
+    hsm_.migrate_batch(0, paths, "g", nullptr);
+    sim_.run();
+    for (unsigned i = keep; i < n; ++i) {
+      hsm_.synchronous_delete(paths[i], nullptr);
+    }
+    sim_.run();
+    paths.resize(keep);
+    return paths;
+  }
+
+  sim::Simulation sim_;
+  sim::FlowNetwork net_{sim_};
+  pfs::FileSystem fs_;
+  tape::TapeLibrary lib_;
+  HsmSystem hsm_;
+};
+
+TEST_F(ReclaimTest, MovesLiveSegmentsAndRetiresVolume) {
+  const auto survivors = fragment_volume(20, 4);  // 80% dead
+  ASSERT_EQ(lib_.cartridge_count(), 1u);
+  tape::Cartridge* old_cart = lib_.cartridge(1);
+  ASSERT_EQ(old_cart->dead_bytes(), 16 * 50 * kMB);
+
+  std::optional<ReclaimReport> report;
+  hsm_.reclaim_volumes(0.5, 0, [&](const ReclaimReport& r) { report = r; });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->volumes_examined, 1u);
+  EXPECT_EQ(report->volumes_reclaimed, 1u);
+  EXPECT_EQ(report->objects_moved, 4u);
+  EXPECT_EQ(report->bytes_moved, 4 * 50 * kMB);
+
+  // Old volume is now all-dead; survivors live on a fresh volume.
+  EXPECT_EQ(old_cart->dead_bytes(), old_cart->bytes_used());
+  EXPECT_EQ(lib_.cartridge_count(), 2u);
+  for (const auto& p : survivors) {
+    const auto* row = hsm_.server(0).export_db().by_path(p);
+    ASSERT_NE(row, nullptr) << p;
+    EXPECT_EQ(row->tape_id, 2u);
+  }
+}
+
+TEST_F(ReclaimTest, RecallWorksAfterReclaim) {
+  const auto survivors = fragment_volume(10, 3);
+  hsm_.reclaim_volumes(0.5, 0, nullptr);
+  sim_.run();
+  std::optional<RecallReport> rr;
+  hsm_.recall(survivors, RecallOptions{},
+              [&](const RecallReport& r) { rr = r; });
+  sim_.run();
+  EXPECT_EQ(rr->files_recalled, 3u);
+  EXPECT_EQ(rr->files_failed, 0u);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(fs_.read_tag(survivors[i]).value(), 0x100u + i);
+  }
+}
+
+TEST_F(ReclaimTest, BelowThresholdVolumesAreLeftAlone) {
+  fragment_volume(20, 15);  // only 25% dead
+  std::optional<ReclaimReport> report;
+  hsm_.reclaim_volumes(0.5, 0, [&](const ReclaimReport& r) { report = r; });
+  sim_.run();
+  EXPECT_EQ(report->volumes_reclaimed, 0u);
+  EXPECT_EQ(report->objects_moved, 0u);
+  EXPECT_EQ(lib_.cartridge_count(), 1u);
+}
+
+TEST_F(ReclaimTest, NoVolumesIsCleanNoOp) {
+  std::optional<ReclaimReport> report;
+  hsm_.reclaim_volumes(0.5, 0, [&](const ReclaimReport& r) { report = r; });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->volumes_examined, 0u);
+}
+
+TEST_F(ReclaimTest, AllDeadVolumeNeedsNoMove) {
+  fragment_volume(5, 0);
+  std::optional<ReclaimReport> report;
+  hsm_.reclaim_volumes(0.5, 0, [&](const ReclaimReport& r) { report = r; });
+  sim_.run();
+  // Nothing live to move: volume is scratch already, not "reclaimed".
+  EXPECT_EQ(report->objects_moved, 0u);
+  EXPECT_EQ(report->volumes_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace cpa::hsm

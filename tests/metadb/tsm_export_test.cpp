@@ -1,0 +1,74 @@
+#include "metadb/tsm_export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::metadb {
+namespace {
+
+TapeObjectRow row(std::uint64_t oid, std::uint64_t fid, std::string path,
+                  std::uint64_t tape, std::uint64_t seq) {
+  return TapeObjectRow{oid, fid, std::move(path), 1024, tape, seq};
+}
+
+TEST(TsmExportDb, LookupByEveryIndex) {
+  TsmExportDb db;
+  db.upsert(row(100, 1, "/arch/a", 7, 3));
+  db.upsert(row(101, 2, "/arch/b", 7, 1));
+  db.upsert(row(102, 3, "/arch/c", 8, 1));
+
+  ASSERT_NE(db.by_object_id(101), nullptr);
+  EXPECT_EQ(db.by_object_id(101)->path, "/arch/b");
+  EXPECT_EQ(db.by_object_id(999), nullptr);
+
+  ASSERT_NE(db.by_gpfs_file_id(3), nullptr);
+  EXPECT_EQ(db.by_gpfs_file_id(3)->object_id, 102u);
+  EXPECT_EQ(db.by_gpfs_file_id(999), nullptr);
+
+  ASSERT_NE(db.by_path("/arch/a"), nullptr);
+  EXPECT_EQ(db.by_path("/arch/a")->tape_id, 7u);
+  EXPECT_EQ(db.by_path("/nope"), nullptr);
+
+  EXPECT_EQ(db.on_tape(7).size(), 2u);
+  EXPECT_EQ(db.on_tape(8).size(), 1u);
+  EXPECT_TRUE(db.on_tape(9).empty());
+}
+
+TEST(TsmExportDb, EraseObjectRemovesFromAllIndexes) {
+  TsmExportDb db;
+  db.upsert(row(100, 1, "/arch/a", 7, 3));
+  EXPECT_TRUE(db.erase_object(100));
+  EXPECT_FALSE(db.erase_object(100));
+  EXPECT_EQ(db.by_path("/arch/a"), nullptr);
+  EXPECT_EQ(db.by_gpfs_file_id(1), nullptr);
+  EXPECT_TRUE(db.on_tape(7).empty());
+}
+
+TEST(TsmExportDb, UnindexedPathLookupScansWholeTable) {
+  TsmExportDb db;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    db.upsert(row(i, i, "/arch/f" + std::to_string(i), i % 10, i / 10));
+  }
+  db.reset_stats();
+  const auto* r = db.by_path_unindexed("/arch/f500");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->object_id, 500u);
+  EXPECT_EQ(db.stats().rows_scanned, 1000u);
+
+  // The indexed query touches no scan counter.
+  db.reset_stats();
+  ASSERT_NE(db.by_path("/arch/f500"), nullptr);
+  EXPECT_EQ(db.stats().rows_scanned, 0u);
+  EXPECT_EQ(db.stats().index_lookups, 1u);
+}
+
+TEST(TsmExportDb, UpsertReplacesTapeLocation) {
+  TsmExportDb db;
+  db.upsert(row(100, 1, "/arch/a", 7, 3));
+  db.upsert(row(100, 1, "/arch/a", 9, 1));  // re-migrated to another tape
+  EXPECT_TRUE(db.on_tape(7).empty());
+  ASSERT_EQ(db.on_tape(9).size(), 1u);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cpa::metadb

@@ -1,0 +1,344 @@
+#include "pfs/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/units.hpp"
+
+namespace cpa::pfs {
+namespace {
+
+FsConfig small_config() {
+  FsConfig cfg;
+  cfg.name = "testfs";
+  cfg.block_size = 1 * kMB;
+  cfg.pools = {
+      PoolConfig{"fast", 100 * kMB, 4, false},
+      PoolConfig{"slow", 50 * kMB, 2, false},
+      PoolConfig{"tape", 0, 1, true},
+  };
+  return cfg;
+}
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() : fs_(sim_, small_config()) {}
+  sim::Simulation sim_;
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, PathHelpers) {
+  std::vector<std::string> parts;
+  EXPECT_TRUE(split_path("/a/b/c", &parts));
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_path("/", &parts));
+  EXPECT_TRUE(parts.empty());
+  EXPECT_FALSE(split_path("relative", &parts));
+  EXPECT_FALSE(split_path("/a//b", &parts));
+  EXPECT_FALSE(split_path("/a/../b", &parts));
+  EXPECT_FALSE(split_path("", &parts));
+
+  EXPECT_EQ(join_path("/", "a"), "/a");
+  EXPECT_EQ(join_path("/a", "b"), "/a/b");
+  EXPECT_EQ(parent_path("/a/b"), "/a");
+  EXPECT_EQ(parent_path("/a"), "/");
+  EXPECT_EQ(base_name("/a/b"), "b");
+}
+
+TEST_F(FileSystemTest, MkdirCreateStat) {
+  ASSERT_TRUE(fs_.mkdir("/data").ok());
+  auto fid = fs_.create("/data/f1");
+  ASSERT_TRUE(fid.ok());
+  EXPECT_TRUE(fid.value().valid());
+
+  auto st = fs_.stat("/data/f1");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().kind, FileKind::Regular);
+  EXPECT_EQ(st.value().size, 0u);
+  EXPECT_EQ(st.value().pool, "fast");
+  EXPECT_EQ(st.value().dmapi, DmapiState::Resident);
+
+  EXPECT_EQ(fs_.stat("/data/missing").error(), Errc::NotFound);
+  EXPECT_EQ(fs_.mkdir("/data").error(), Errc::Exists);
+  EXPECT_EQ(fs_.create("/data/f1").error(), Errc::Exists);
+  EXPECT_EQ(fs_.create("/nodir/f").error(), Errc::NotFound);
+}
+
+TEST_F(FileSystemTest, MkdirsCreatesChain) {
+  EXPECT_EQ(fs_.mkdirs("/a/b/c/d"), Errc::Ok);
+  EXPECT_TRUE(fs_.exists("/a/b/c/d"));
+  EXPECT_EQ(fs_.mkdirs("/a/b/c/d"), Errc::Ok);  // idempotent
+  ASSERT_TRUE(fs_.create("/a/file").ok());
+  EXPECT_EQ(fs_.mkdirs("/a/file/x"), Errc::NotADirectory);
+}
+
+TEST_F(FileSystemTest, CreateWithPoolHint) {
+  auto fid = fs_.create("/small", "slow");
+  ASSERT_TRUE(fid.ok());
+  EXPECT_EQ(fs_.stat("/small").value().pool, "slow");
+  EXPECT_EQ(fs_.create("/bad", "nope").error(), Errc::InvalidArgument);
+}
+
+TEST_F(FileSystemTest, WriteChargesPoolAndSetsTag) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  EXPECT_EQ(fs_.write_all("/f", 10 * kMB, 0xABCD), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/f").value().size, 10 * kMB);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 10 * kMB);
+  EXPECT_EQ(fs_.read_tag("/f").value(), 0xABCDu);
+
+  // Overwrite re-charges, not accumulates.
+  EXPECT_EQ(fs_.write_all("/f", 4 * kMB, 0x1111), Errc::Ok);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 4 * kMB);
+}
+
+TEST_F(FileSystemTest, WriteBeyondPoolCapacityFails) {
+  ASSERT_TRUE(fs_.create("/big").ok());
+  EXPECT_EQ(fs_.write_all("/big", 200 * kMB, 1), Errc::NoSpace);
+  EXPECT_EQ(fs_.stat("/big").value().size, 0u);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 0u);
+}
+
+TEST_F(FileSystemTest, UnlinkFreesSpace) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 10 * kMB, 1), Errc::Ok);
+  EXPECT_EQ(fs_.unlink("/f"), Errc::Ok);
+  EXPECT_FALSE(fs_.exists("/f"));
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 0u);
+  EXPECT_EQ(fs_.unlink("/f"), Errc::NotFound);
+}
+
+TEST_F(FileSystemTest, RmdirOnlyWhenEmpty) {
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  ASSERT_TRUE(fs_.create("/d/f").ok());
+  EXPECT_EQ(fs_.rmdir("/d"), Errc::NotEmpty);
+  EXPECT_EQ(fs_.unlink("/d"), Errc::IsADirectory);
+  ASSERT_EQ(fs_.unlink("/d/f"), Errc::Ok);
+  EXPECT_EQ(fs_.rmdir("/d"), Errc::Ok);
+  EXPECT_EQ(fs_.rmdir("/"), Errc::InvalidArgument);
+}
+
+TEST_F(FileSystemTest, ReaddirListsSortedEntries) {
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  ASSERT_TRUE(fs_.create("/d/zz").ok());
+  ASSERT_TRUE(fs_.create("/d/aa").ok());
+  ASSERT_TRUE(fs_.mkdir("/d/mm").ok());
+  auto entries = fs_.readdir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 3u);
+  EXPECT_EQ(entries.value()[0].name, "aa");
+  EXPECT_EQ(entries.value()[1].name, "mm");
+  EXPECT_EQ(entries.value()[1].kind, FileKind::Directory);
+  EXPECT_EQ(entries.value()[2].name, "zz");
+  EXPECT_EQ(fs_.readdir("/d/aa").error(), Errc::NotADirectory);
+}
+
+TEST_F(FileSystemTest, RenameMovesSubtree) {
+  ASSERT_EQ(fs_.mkdirs("/a/b"), Errc::Ok);
+  ASSERT_TRUE(fs_.create("/a/b/f").ok());
+  ASSERT_TRUE(fs_.mkdir("/dst").ok());
+  EXPECT_EQ(fs_.rename("/a/b", "/dst/b2"), Errc::Ok);
+  EXPECT_TRUE(fs_.exists("/dst/b2/f"));
+  EXPECT_FALSE(fs_.exists("/a/b"));
+  // Destination exists.
+  ASSERT_TRUE(fs_.create("/x").ok());
+  EXPECT_EQ(fs_.rename("/x", "/dst/b2"), Errc::Exists);
+  // Cannot move a directory into itself.
+  EXPECT_EQ(fs_.rename("/dst", "/dst/b2/evil"), Errc::InvalidArgument);
+}
+
+TEST_F(FileSystemTest, FileIdStableAcrossRenameAndReverseLookup) {
+  auto fid = fs_.create("/orig");
+  ASSERT_TRUE(fid.ok());
+  ASSERT_TRUE(fs_.mkdir("/sub").ok());
+  ASSERT_EQ(fs_.rename("/orig", "/sub/moved"), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/sub/moved").value().fid, fid.value());
+  EXPECT_EQ(fs_.path_of(fid.value()).value(), "/sub/moved");
+}
+
+TEST_F(FileSystemTest, FileIdGenerationDetectsReuse) {
+  auto fid1 = fs_.create("/f");
+  ASSERT_TRUE(fid1.ok());
+  ASSERT_EQ(fs_.unlink("/f"), Errc::Ok);
+  auto fid2 = fs_.create("/f2");
+  ASSERT_TRUE(fid2.ok());
+  EXPECT_NE(fid1.value().packed(), fid2.value().packed());
+  EXPECT_EQ(fs_.path_of(fid1.value()).error(), Errc::NotFound);
+}
+
+TEST_F(FileSystemTest, DmapiLifecycle) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 10 * kMB, 7), Errc::Ok);
+
+  // resident -> premigrated: disk still charged.
+  EXPECT_EQ(fs_.premigrate("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/f").value().dmapi, DmapiState::Premigrated);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 10 * kMB);
+  EXPECT_EQ(fs_.read_tag("/f").value(), 7u);  // still readable
+
+  // premigrated -> migrated: disk released, stub remains, reads go offline.
+  EXPECT_EQ(fs_.punch("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/f").value().dmapi, DmapiState::Migrated);
+  EXPECT_EQ(fs_.stat("/f").value().size, 10 * kMB);  // logical size kept
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 0u);
+  EXPECT_EQ(fs_.read_tag("/f").error(), Errc::Offline);
+
+  // migrated -> premigrated (recall): disk charged again.
+  EXPECT_EQ(fs_.mark_recalled("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 10 * kMB);
+  EXPECT_EQ(fs_.read_tag("/f").value(), 7u);
+
+  EXPECT_EQ(fs_.make_resident("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/f").value().dmapi, DmapiState::Resident);
+}
+
+TEST_F(FileSystemTest, DmapiInvalidTransitions) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  EXPECT_EQ(fs_.punch("/f"), Errc::InvalidArgument);         // not premigrated
+  EXPECT_EQ(fs_.mark_recalled("/f"), Errc::InvalidArgument); // not migrated
+  EXPECT_EQ(fs_.make_resident("/f"), Errc::InvalidArgument); // not premigrated
+  ASSERT_EQ(fs_.premigrate("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.premigrate("/f"), Errc::InvalidArgument);    // already
+}
+
+struct RecordingListener : DmapiListener {
+  std::vector<std::string> offline_reads;
+  std::vector<std::string> destroyed;
+  void on_read_offline(const std::string& path, FileId) override {
+    offline_reads.push_back(path);
+  }
+  void on_managed_data_destroyed(const std::string& path, FileId) override {
+    destroyed.push_back(path);
+  }
+};
+
+TEST_F(FileSystemTest, ListenerFiresOnOfflineRead) {
+  RecordingListener listener;
+  fs_.set_dmapi_listener(&listener);
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", kMB, 1), Errc::Ok);
+  ASSERT_EQ(fs_.premigrate("/f"), Errc::Ok);
+  ASSERT_EQ(fs_.punch("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.read_tag("/f").error(), Errc::Offline);
+  ASSERT_EQ(listener.offline_reads.size(), 1u);
+  EXPECT_EQ(listener.offline_reads[0], "/f");
+}
+
+TEST_F(FileSystemTest, ListenerFiresWhenManagedDataDestroyed) {
+  RecordingListener listener;
+  fs_.set_dmapi_listener(&listener);
+  // Unlink of a migrated file orphans the tape copy.
+  ASSERT_TRUE(fs_.create("/m").ok());
+  ASSERT_EQ(fs_.write_all("/m", kMB, 1), Errc::Ok);
+  ASSERT_EQ(fs_.premigrate("/m"), Errc::Ok);
+  ASSERT_EQ(fs_.punch("/m"), Errc::Ok);
+  ASSERT_EQ(fs_.unlink("/m"), Errc::Ok);
+  // Overwrite of a premigrated file also destroys the tape copy's validity.
+  ASSERT_TRUE(fs_.create("/o").ok());
+  ASSERT_EQ(fs_.write_all("/o", kMB, 1), Errc::Ok);
+  ASSERT_EQ(fs_.premigrate("/o"), Errc::Ok);
+  ASSERT_EQ(fs_.write_all("/o", kMB, 2), Errc::Ok);
+  // Unlink of a plain resident file does NOT fire.
+  ASSERT_TRUE(fs_.create("/r").ok());
+  ASSERT_EQ(fs_.write_all("/r", kMB, 1), Errc::Ok);
+  ASSERT_EQ(fs_.unlink("/r"), Errc::Ok);
+
+  ASSERT_EQ(listener.destroyed.size(), 2u);
+  EXPECT_EQ(listener.destroyed[0], "/m");
+  EXPECT_EQ(listener.destroyed[1], "/o");
+}
+
+TEST_F(FileSystemTest, TruncateChangesTagAndAccounting) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 10 * kMB, 42), Errc::Ok);
+  ASSERT_EQ(fs_.truncate("/f", 2 * kMB), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/f").value().size, 2 * kMB);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 2 * kMB);
+  EXPECT_NE(fs_.read_tag("/f").value(), 42u);
+  ASSERT_EQ(fs_.truncate("/f", 0), Errc::Ok);
+  EXPECT_EQ(fs_.read_tag("/f").value(), 0u);
+}
+
+TEST_F(FileSystemTest, MoveToPoolTransfersCharge) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 10 * kMB, 1), Errc::Ok);
+  EXPECT_EQ(fs_.move_to_pool("/f", "slow"), Errc::Ok);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 0u);
+  EXPECT_EQ(fs_.pool("slow").value().used_bytes, 10 * kMB);
+  EXPECT_EQ(fs_.stat("/f").value().pool, "slow");
+  EXPECT_EQ(fs_.move_to_pool("/f", "absent"), Errc::InvalidArgument);
+}
+
+TEST_F(FileSystemTest, MoveToPoolOfMigratedStubMovesNoBytes) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 10 * kMB, 1), Errc::Ok);
+  ASSERT_EQ(fs_.premigrate("/f"), Errc::Ok);
+  ASSERT_EQ(fs_.punch("/f"), Errc::Ok);
+  // A stub holds no disk blocks; retargeting its pool charges nothing.
+  EXPECT_EQ(fs_.move_to_pool("/f", "slow"), Errc::Ok);
+  EXPECT_EQ(fs_.pool("fast").value().used_bytes, 0u);
+  EXPECT_EQ(fs_.pool("slow").value().used_bytes, 0u);
+  EXPECT_EQ(fs_.stat("/f").value().pool, "slow");
+  // The recall then charges the new pool.
+  EXPECT_EQ(fs_.mark_recalled("/f"), Errc::Ok);
+  EXPECT_EQ(fs_.pool("slow").value().used_bytes, 10 * kMB);
+}
+
+TEST_F(FileSystemTest, MoveToPoolRespectsDestinationCapacity) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 80 * kMB, 1), Errc::Ok);
+  EXPECT_EQ(fs_.move_to_pool("/f", "slow"), Errc::NoSpace);  // slow = 50 MB
+  EXPECT_EQ(fs_.stat("/f").value().pool, "fast");
+}
+
+TEST_F(FileSystemTest, StripingCoversPoolNsds) {
+  ASSERT_TRUE(fs_.create("/f").ok());
+  ASSERT_EQ(fs_.write_all("/f", 20 * kMB, 1), Errc::Ok);
+  // 20 blocks over 4 NSDs -> all 4 servers, global ids 0..3 (fast pool).
+  auto nsds = fs_.stripe_nsds("/f", 0, 20 * kMB);
+  EXPECT_EQ(nsds.size(), 4u);
+  for (const unsigned s : nsds) EXPECT_LT(s, 4u);
+  // A sub-block range touches exactly one server.
+  auto one = fs_.stripe_nsds("/f", 0, 1000);
+  EXPECT_EQ(one.size(), 1u);
+  // Slow pool files map to the slow pool's NSD range (global ids 4..5).
+  ASSERT_TRUE(fs_.create("/s", "slow").ok());
+  ASSERT_EQ(fs_.write_all("/s", 10 * kMB, 1), Errc::Ok);
+  for (const unsigned s : fs_.stripe_nsds("/s", 0, 10 * kMB)) {
+    EXPECT_GE(s, 4u);
+    EXPECT_LT(s, 6u);
+  }
+  EXPECT_EQ(fs_.pool_nsd_base("slow"), 4u);
+  EXPECT_EQ(fs_.total_nsds(), 7u);
+}
+
+TEST_F(FileSystemTest, ForEachInodeVisitsEverythingWithPaths) {
+  ASSERT_EQ(fs_.mkdirs("/a/b"), Errc::Ok);
+  ASSERT_TRUE(fs_.create("/a/b/f").ok());
+  std::vector<std::string> paths;
+  fs_.for_each_inode([&](const std::string& p, const InodeAttrs&) {
+    paths.push_back(p);
+  });
+  ASSERT_EQ(paths.size(), 4u);  // root, /a, /a/b, /a/b/f
+  EXPECT_EQ(paths[0], "/");
+  EXPECT_EQ(paths[3], "/a/b/f");
+}
+
+TEST_F(FileSystemTest, ScanDurationMatchesPaperCalibration) {
+  // 1M inodes at the paper's rate = 10 minutes on one stream.
+  EXPECT_EQ(fs_.scan_duration(1'000'000, 1), sim::minutes(10));
+  // Parallel streams divide the time.
+  EXPECT_EQ(fs_.scan_duration(1'000'000, 10), sim::minutes(1));
+  EXPECT_EQ(fs_.scan_duration(0, 4), 0u);
+}
+
+TEST_F(FileSystemTest, TimesComeFromVirtualClock) {
+  sim_.run_until(sim::secs(100));
+  ASSERT_TRUE(fs_.create("/f").ok());
+  EXPECT_EQ(fs_.stat("/f").value().ctime, sim::secs(100));
+  sim_.run_until(sim::secs(200));
+  ASSERT_EQ(fs_.write_all("/f", kMB, 1), Errc::Ok);
+  EXPECT_EQ(fs_.stat("/f").value().mtime, sim::secs(200));
+  EXPECT_EQ(fs_.stat("/f").value().ctime, sim::secs(100));
+}
+
+}  // namespace
+}  // namespace cpa::pfs

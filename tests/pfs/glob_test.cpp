@@ -1,0 +1,56 @@
+#include "pfs/glob.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::pfs {
+namespace {
+
+TEST(Glob, LiteralMatch) {
+  EXPECT_TRUE(glob_match("/a/b", "/a/b"));
+  EXPECT_FALSE(glob_match("/a/b", "/a/c"));
+  EXPECT_FALSE(glob_match("/a/b", "/a/bb"));
+  EXPECT_FALSE(glob_match("/a/bb", "/a/b"));
+}
+
+TEST(Glob, StarMatchesAnyRunIncludingSlash) {
+  EXPECT_TRUE(glob_match("/data/*", "/data/x"));
+  EXPECT_TRUE(glob_match("/data/*", "/data/sub/deep/file"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything/at/all"));
+  EXPECT_FALSE(glob_match("/data/*", "/other/x"));
+}
+
+TEST(Glob, SuffixAndInfixStars) {
+  EXPECT_TRUE(glob_match("*.dat", "run42.dat"));
+  EXPECT_FALSE(glob_match("*.dat", "run42.txt"));
+  EXPECT_TRUE(glob_match("/proj/*/ckpt*", "/proj/astro/ckpt-0001"));
+  EXPECT_FALSE(glob_match("/proj/*/ckpt*", "/proj/astro/dump-0001"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXcYYb"));
+}
+
+TEST(Glob, QuestionMarkMatchesExactlyOne) {
+  EXPECT_TRUE(glob_match("file?", "file1"));
+  EXPECT_FALSE(glob_match("file?", "file"));
+  EXPECT_FALSE(glob_match("file?", "file12"));
+  EXPECT_TRUE(glob_match("???", "abc"));
+}
+
+TEST(Glob, EmptyPatternMatchesOnlyEmpty) {
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(Glob, TrailingStarsCollapse) {
+  EXPECT_TRUE(glob_match("abc***", "abc"));
+  EXPECT_TRUE(glob_match("abc***", "abcdef"));
+}
+
+TEST(Glob, BacktrackingCase) {
+  // Requires re-expanding an earlier '*'.
+  EXPECT_TRUE(glob_match("*aab", "aaaab"));
+  EXPECT_TRUE(glob_match("*ab*ab", "abxabxab"));
+}
+
+}  // namespace
+}  // namespace cpa::pfs

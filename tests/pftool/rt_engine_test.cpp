@@ -1,0 +1,202 @@
+#include "pftool/rt/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+namespace cpa::pftool::rt {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RtEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("cpa_rt_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override { fs::remove_all(base_); }
+
+  [[nodiscard]] std::string path(const std::string& rel) const {
+    return (base_ / rel).string();
+  }
+
+  void write_random(const std::string& rel, std::size_t size,
+                    std::uint32_t seed) {
+    const fs::path p = base_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p, std::ios::binary);
+    std::mt19937 rng(seed);
+    for (std::size_t i = 0; i < size; ++i) {
+      out.put(static_cast<char>(rng() & 0xFF));
+    }
+  }
+
+  [[nodiscard]] static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path base_;
+};
+
+TEST_F(RtEngineTest, PflsCountsTree) {
+  write_random("src/a/f1", 100, 1);
+  write_random("src/a/f2", 200, 2);
+  write_random("src/b/f3", 300, 3);
+  RtEngine engine(RtConfig{});
+  const RtReport r = engine.pfls(path("src"));
+  EXPECT_EQ(r.dirs_walked, 3u);
+  EXPECT_EQ(r.files_stated, 3u);
+  EXPECT_EQ(r.files_failed, 0u);
+}
+
+TEST_F(RtEngineTest, PfcpCopiesTreeByteIdentical) {
+  write_random("src/d1/small", 1000, 10);
+  write_random("src/d1/medium", 100'000, 11);
+  write_random("src/d2/nested/deep", 5000, 12);
+  write_random("src/empty_file", 0, 13);
+  RtEngine engine(RtConfig{});
+  const RtReport r = engine.pfcp(path("src"), path("dst"));
+  EXPECT_EQ(r.files_copied, 4u);
+  EXPECT_EQ(r.files_failed, 0u);
+  EXPECT_EQ(r.bytes_copied, 106'000u);
+  EXPECT_EQ(slurp(path("src/d1/small")), slurp(path("dst/d1/small")));
+  EXPECT_EQ(slurp(path("src/d1/medium")), slurp(path("dst/d1/medium")));
+  EXPECT_EQ(slurp(path("src/d2/nested/deep")), slurp(path("dst/d2/nested/deep")));
+  EXPECT_TRUE(fs::exists(path("dst/empty_file")));
+  EXPECT_EQ(fs::file_size(path("dst/empty_file")), 0u);
+}
+
+TEST_F(RtEngineTest, LargeFileCopiedInParallelChunks) {
+  RtConfig cfg;
+  cfg.large_file_threshold = 64 * 1024;
+  cfg.chunk_size = 16 * 1024;
+  cfg.workers = 4;
+  write_random("src/big", 200 * 1024 + 17, 42);  // 13 chunks, odd tail
+  RtEngine engine(cfg);
+  const RtReport r = engine.pfcp(path("src"), path("dst"));
+  EXPECT_EQ(r.files_copied, 1u);
+  EXPECT_EQ(r.chunks_copied, 13u);
+  EXPECT_EQ(slurp(path("src/big")), slurp(path("dst/big")));
+}
+
+TEST_F(RtEngineTest, PfcmMatchesAndDetectsCorruption) {
+  write_random("src/f1", 50'000, 7);
+  write_random("src/f2", 50'000, 8);
+  RtEngine engine(RtConfig{});
+  engine.pfcp(path("src"), path("dst"));
+  RtReport r = engine.pfcm(path("src"), path("dst"));
+  EXPECT_EQ(r.files_compared, 2u);
+  EXPECT_EQ(r.files_matched, 2u);
+
+  // Flip one byte in the middle of dst/f2.
+  {
+    std::fstream f(path("dst/f2"), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(25'000);
+    f.put('\xFF');
+    f.seekp(25'001);
+    f.put('\x00');
+  }
+  r = engine.pfcm(path("src"), path("dst"));
+  EXPECT_EQ(r.files_compared, 2u);
+  EXPECT_EQ(r.files_mismatched, 1u);
+  EXPECT_EQ(r.files_matched, 1u);
+}
+
+TEST_F(RtEngineTest, PfcmFailsOnMissingDestination) {
+  write_random("src/f1", 100, 1);
+  RtEngine engine(RtConfig{});
+  const RtReport r = engine.pfcm(path("src"), path("nonexistent_dst"));
+  EXPECT_EQ(r.files_failed, 1u);
+}
+
+TEST_F(RtEngineTest, MissingSourceRootFails) {
+  RtEngine engine(RtConfig{});
+  const RtReport r = engine.pfcp(path("nope"), path("dst"));
+  EXPECT_EQ(r.files_failed, 1u);
+}
+
+TEST_F(RtEngineTest, SingleFileCopy) {
+  write_random("one.dat", 12345, 5);
+  RtEngine engine(RtConfig{});
+  const RtReport r = engine.pfcp(path("one.dat"), path("out/one.dat"));
+  EXPECT_EQ(r.files_copied, 1u);
+  EXPECT_EQ(slurp(path("one.dat")), slurp(path("out/one.dat")));
+}
+
+TEST_F(RtEngineTest, RestartSkipsJournaledChunks) {
+  RtConfig cfg;
+  cfg.large_file_threshold = 64 * 1024;
+  cfg.chunk_size = 64 * 1024;
+  cfg.journal_path = path("journal.txt");
+  write_random("src/big", 256 * 1024, 9);  // 4 chunks
+
+  // First, a full run to produce correct content and learn chunk layout.
+  RtEngine engine(cfg);
+  RtReport r = engine.pfcp(path("src"), path("dst"));
+  EXPECT_EQ(r.files_copied, 1u);
+  EXPECT_EQ(r.chunks_copied, 4u);
+
+  // Simulate an interrupted prior transfer: journal says chunks 0,1 done.
+  RestartJournal j;
+  const std::string dst_file = path("dst2") + "/big";
+  j.begin(dst_file, 256 * 1024, 4);
+  j.mark_good(dst_file, 0);
+  j.mark_good(dst_file, 1);
+  {
+    std::ofstream out(cfg.journal_path);
+    out << j.serialize();
+  }
+  // The interrupted run had created the sized destination and copied the
+  // first half.
+  fs::create_directories(path("dst2"));
+  {
+    std::ofstream out(dst_file, std::ios::binary);
+  }
+  fs::resize_file(dst_file, 256 * 1024);
+  PosixFileOps ops;
+  ASSERT_TRUE(ops.copy_range(path("src/big"), dst_file, 0, 128 * 1024));
+
+  r = engine.pfcp(path("src"), path("dst2"));
+  EXPECT_EQ(r.files_copied, 1u);
+  EXPECT_EQ(r.chunks_copied, 2u);
+  EXPECT_EQ(r.chunks_skipped_restart, 2u);
+  EXPECT_EQ(r.bytes_copied, 128u * 1024);
+  EXPECT_EQ(slurp(path("src/big")), slurp(dst_file));
+}
+
+TEST_F(RtEngineTest, PflsOnSingleFileRoot) {
+  write_random("lone.dat", 4242, 3);
+  RtEngine engine(RtConfig{});
+  const RtReport r = engine.pfls(path("lone.dat"));
+  EXPECT_EQ(r.files_stated, 1u);
+  EXPECT_EQ(r.dirs_walked, 0u);
+  EXPECT_EQ(r.files_failed, 0u);
+}
+
+TEST_F(RtEngineTest, ManySmallFilesWithManyWorkers) {
+  for (int i = 0; i < 200; ++i) {
+    write_random("src/d" + std::to_string(i % 10) + "/f" + std::to_string(i),
+                 512 + static_cast<std::size_t>(i), static_cast<std::uint32_t>(i));
+  }
+  RtConfig cfg;
+  cfg.workers = 8;
+  RtEngine engine(cfg);
+  const RtReport r = engine.pfcp(path("src"), path("dst"));
+  EXPECT_EQ(r.files_copied, 200u);
+  EXPECT_EQ(r.files_failed, 0u);
+  const RtReport v = engine.pfcm(path("src"), path("dst"));
+  EXPECT_EQ(v.files_matched, 200u);
+  EXPECT_EQ(v.files_mismatched, 0u);
+}
+
+}  // namespace
+}  // namespace cpa::pftool::rt

@@ -1,0 +1,52 @@
+#include "simcore/actor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::sim {
+namespace {
+
+class Echo : public Actor {
+ public:
+  using Actor::Actor;
+
+  void ping(Echo& peer, int hops) {
+    if (hops == 0) return;
+    send(peer, kDefaultMsgLatency, [this, &peer, hops] {
+      ++received_pings;
+      peer.ping(*this, hops - 1);
+    });
+  }
+
+  void schedule_tick(Tick dt) {
+    after(dt, [this] { ticked_at = sim().now(); });
+  }
+
+  int received_pings = 0;
+  Tick ticked_at = 0;
+};
+
+TEST(Actor, SendDeliversWithLatencyAndCountsMessages) {
+  Simulation sim;
+  Echo a(sim, "a");
+  Echo b(sim, "b");
+  a.ping(b, 4);  // a->b, b->a, a->b, b->a
+  sim.run();
+  EXPECT_EQ(sim.now(), 4 * kDefaultMsgLatency);
+  EXPECT_EQ(a.messages_sent(), 2u);
+  EXPECT_EQ(b.messages_sent(), 2u);
+  EXPECT_EQ(a.messages_received(), 2u);
+  EXPECT_EQ(b.messages_received(), 2u);
+  EXPECT_EQ(a.received_pings + b.received_pings, 4);
+}
+
+TEST(Actor, AfterSchedulesOnOwnTimeline) {
+  Simulation sim;
+  Echo a(sim, "a");
+  a.schedule_tick(secs(3));
+  sim.run();
+  EXPECT_EQ(a.ticked_at, secs(3));
+  EXPECT_EQ(a.name(), "a");
+}
+
+}  // namespace
+}  // namespace cpa::sim

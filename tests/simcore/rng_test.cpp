@@ -1,0 +1,162 @@
+#include "simcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace cpa::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(7);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Children differ from each other.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+  // Split is reproducible from the same parent state.
+  Rng parent2(7);
+  Rng child1b = parent2.split();
+  for (int i = 0; i < 100; ++i) {
+    (void)i;
+  }
+  Rng child1c = Rng(7).split();
+  EXPECT_EQ(child1c.next_u64(), child1b.next_u64());
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64CoversRangeInclusively) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_u64(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_u64(77, 77), 77u);
+}
+
+TEST(Rng, UniformI64HandlesNegativeBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCalibration) {
+  Rng r(19);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += r.lognormal_mean(100.0, 1.5);
+  // Heavy tail: generous tolerance.
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng r(23);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = r.bounded_pareto(1.2, 1e3, 1e9);
+    EXPECT_GE(x, 1e3);
+    EXPECT_LE(x, 1e9 * (1 + 1e-9));
+  }
+}
+
+TEST(Rng, WeightedChoiceRespectsWeights) {
+  Rng r(29);
+  const std::array<double, 3> w{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[r.weighted_choice(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng r(31);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  r.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace cpa::sim

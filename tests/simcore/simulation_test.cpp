@@ -1,0 +1,178 @@
+#include "simcore/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpa::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZeroWithNoEvents) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, FiresEventsInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(secs(3), [&] { order.push_back(3); });
+  sim.at(secs(1), [&] { order.push_back(1); });
+  sim.at(secs(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), secs(3));
+}
+
+TEST(Simulation, EqualTimestampsFireInFifoOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(secs(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, AfterSchedulesRelativeToNow) {
+  Simulation sim;
+  Tick observed = 0;
+  sim.at(secs(5), [&] {
+    sim.after(secs(2), [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, secs(7));
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  Tick observed = 0;
+  sim.at(secs(5), [&] {
+    sim.at(secs(1), [&] { observed = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(observed, secs(5));
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  auto id = sim.at(secs(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelTwiceReturnsFalse) {
+  Simulation sim;
+  auto id = sim.at(secs(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, CancelAfterFireReturnsFalseAndKeepsCountsSane) {
+  Simulation sim;
+  auto id = sim.at(secs(1), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+  // Pending count must remain usable afterwards.
+  sim.at(secs(2), [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelInvalidIdReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(Simulation::EventId{}));
+  EXPECT_FALSE(sim.cancel(Simulation::EventId{9999}));
+}
+
+TEST(Simulation, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(secs(1), [&] { ++fired; });
+  sim.at(secs(2), [&] { ++fired; });
+  sim.at(secs(10), [&] { ++fired; });
+  const std::size_t n = sim.run_until(secs(5));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), secs(5));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulation sim;
+  bool fired = false;
+  sim.at(secs(5), [&] { fired = true; });
+  sim.run_until(secs(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StopInterruptsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(secs(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(secs(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsScheduledDuringRunAreProcessed) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.after(msecs(1), recurse);
+  };
+  sim.after(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), msecs(99));
+}
+
+TEST(Simulation, EventsFiredCounterAccumulates) {
+  Simulation sim;
+  for (int i = 0; i < 42; ++i) sim.at(secs(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 42u);
+}
+
+TEST(Simulation, CancelOneOfManyAtSameTimestamp) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(secs(1), [&] { order.push_back(0); });
+  auto id = sim.at(secs(1), [&] { order.push_back(1); });
+  sim.at(secs(1), [&] { order.push_back(2); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Simulation, TimeHelpersConvertExactly) {
+  EXPECT_EQ(secs(1.0), 1'000'000'000ULL);
+  EXPECT_EQ(msecs(1.0), 1'000'000ULL);
+  EXPECT_EQ(usecs(1.0), 1'000ULL);
+  EXPECT_EQ(minutes(1.0), 60ULL * 1'000'000'000ULL);
+  EXPECT_EQ(hours(1.0), 3600ULL * 1'000'000'000ULL);
+  EXPECT_EQ(days(1.0), 86400ULL * 1'000'000'000ULL);
+  EXPECT_DOUBLE_EQ(to_seconds(secs(123.5)), 123.5);
+}
+
+TEST(Simulation, FormatDurationRendersHoursMinutesSeconds) {
+  EXPECT_EQ(format_duration(secs(0.5)), "0.500s");
+  EXPECT_EQ(format_duration(secs(65)), "1m05.0s");
+  EXPECT_EQ(format_duration(hours(2) + minutes(3) + secs(12.5)), "2h03m12.5s");
+}
+
+}  // namespace
+}  // namespace cpa::sim

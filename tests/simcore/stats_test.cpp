@@ -1,0 +1,101 @@
+#include "simcore/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/units.hpp"
+
+namespace cpa::sim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Samples, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, AddAfterPercentileResorts) {
+  Samples s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(Log10Histogram, BinsByDecade) {
+  Log10Histogram h;
+  h.add(5);       // decade 0: [1, 10)
+  h.add(50);      // decade 1
+  h.add(55);      // decade 1
+  h.add(5e6);     // decade 6
+  EXPECT_EQ(h.total(), 4u);
+  const std::string r = h.render("files");
+  EXPECT_NE(r.find("files (n=4)"), std::string::npos);
+  EXPECT_NE(r.find("2 |"), std::string::npos);  // the two-count decade
+}
+
+TEST(Log10Histogram, NonPositiveValuesFoldIntoFirstBin) {
+  Log10Histogram h;
+  h.add(0.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(RateMeter, WindowExpiry) {
+  RateMeter m(minutes(1));
+  m.record(secs(0), 100, 1);
+  m.record(secs(30), 200, 2);
+  EXPECT_EQ(m.bytes_in_window(secs(30)), 300u);
+  EXPECT_EQ(m.files_in_window(secs(30)), 3u);
+  // At t=70s, the t=0 entry has left the 60 s window.
+  EXPECT_EQ(m.bytes_in_window(secs(70)), 200u);
+  EXPECT_EQ(m.files_in_window(secs(70)), 2u);
+  // Totals never expire.
+  EXPECT_EQ(m.total_bytes(), 300u);
+  EXPECT_EQ(m.total_files(), 3u);
+  EXPECT_EQ(m.last_progress(), secs(30));
+}
+
+TEST(RateMeter, StallDetectionViaLastProgress) {
+  RateMeter m(minutes(1));
+  EXPECT_EQ(m.last_progress(), 0u);
+  m.record(secs(10), 1, 1);
+  EXPECT_EQ(m.last_progress(), secs(10));
+  EXPECT_EQ(m.bytes_in_window(hours(1)), 0u);
+}
+
+TEST(Units, FormatBytesPicksUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2500), "2.50 KB");
+  EXPECT_EQ(format_bytes(3 * kMB), "3.00 MB");
+  EXPECT_EQ(format_bytes(32593 * kGB), "32.59 TB");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate_mbs(575.0 * static_cast<double>(kMB)), "575.0 MB/s");
+}
+
+}  // namespace
+}  // namespace cpa::sim

@@ -1,0 +1,119 @@
+#include "tape/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/units.hpp"
+
+namespace cpa::tape {
+namespace {
+
+LibraryConfig small_config() {
+  LibraryConfig cfg;
+  cfg.drive_count = 2;
+  cfg.cartridge_capacity = 100 * kMB;
+  return cfg;
+}
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  LibraryTest() : net_(sim_), lib_(sim_, net_, small_config()) {}
+  sim::Simulation sim_;
+  sim::FlowNetwork net_{sim_};
+  TapeLibrary lib_{sim_, net_, small_config()};
+};
+
+TEST_F(LibraryTest, AcquireGrantsUpToDriveCount) {
+  std::vector<TapeDrive*> granted;
+  for (int i = 0; i < 3; ++i) {
+    lib_.acquire_drive([&](TapeDrive& d) { granted.push_back(&d); });
+  }
+  sim_.run();
+  ASSERT_EQ(granted.size(), 2u);
+  EXPECT_NE(granted[0], granted[1]);
+  EXPECT_EQ(lib_.idle_drives(), 0u);
+  lib_.release_drive(*granted[0]);
+  sim_.run();
+  ASSERT_EQ(granted.size(), 3u);
+  EXPECT_EQ(granted[2], granted[0]);  // recycled to the waiter
+}
+
+TEST_F(LibraryTest, ReleaseWithoutWaiterFreesDrive) {
+  TapeDrive* d = nullptr;
+  lib_.acquire_drive([&](TapeDrive& g) { d = &g; });
+  sim_.run();
+  ASSERT_NE(d, nullptr);
+  lib_.release_drive(*d);
+  EXPECT_EQ(lib_.idle_drives(), 2u);
+}
+
+TEST_F(LibraryTest, OpenCartridgePerColocationGroup) {
+  Cartridge& a1 = lib_.open_cartridge_for("projA", 10 * kMB);
+  Cartridge& a2 = lib_.open_cartridge_for("projA", 10 * kMB);
+  Cartridge& b1 = lib_.open_cartridge_for("projB", 10 * kMB);
+  EXPECT_EQ(&a1, &a2);          // same open cartridge reused
+  EXPECT_NE(&a1, &b1);          // groups do not share cartridges
+  EXPECT_EQ(a1.colocation_group(), "projA");
+  EXPECT_EQ(lib_.cartridge_count(), 2u);
+}
+
+TEST_F(LibraryTest, OpenCartridgeRollsOverWhenFull) {
+  Cartridge& c1 = lib_.open_cartridge_for("g", 80 * kMB);
+  c1.append(1, 80 * kMB);
+  Cartridge& c2 = lib_.open_cartridge_for("g", 30 * kMB);  // 20 MB left
+  EXPECT_NE(&c1, &c2);
+  EXPECT_EQ(lib_.cartridge_count(), 2u);
+}
+
+TEST_F(LibraryTest, EnsureMountedSwapsCartridges) {
+  Cartridge& c1 = lib_.new_cartridge();
+  Cartridge& c2 = lib_.new_cartridge();
+  TapeDrive& d = lib_.drive(0);
+  int step = 0;
+  lib_.ensure_mounted(d, c1, [&] {
+    EXPECT_EQ(d.mounted(), &c1);
+    ++step;
+    lib_.ensure_mounted(d, c2, [&] {
+      EXPECT_EQ(d.mounted(), &c2);
+      ++step;
+      // Already mounted: no robot work, immediate.
+      lib_.ensure_mounted(d, c2, [&] { ++step; });
+    });
+  });
+  sim_.run();
+  EXPECT_EQ(step, 3);
+  EXPECT_EQ(d.stats().mounts, 2u);
+  EXPECT_EQ(d.stats().unmounts, 1u);
+}
+
+TEST_F(LibraryTest, DismountIsNoOpWhenEmpty) {
+  bool done = false;
+  lib_.dismount(lib_.drive(0), [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(lib_.drive(0).stats().unmounts, 0u);
+}
+
+TEST_F(LibraryTest, RobotSerializesMounts) {
+  Cartridge& c1 = lib_.new_cartridge();
+  Cartridge& c2 = lib_.new_cartridge();
+  sim::Tick t1 = 0, t2 = 0;
+  lib_.ensure_mounted(lib_.drive(0), c1, [&] { t1 = sim_.now(); });
+  lib_.ensure_mounted(lib_.drive(1), c2, [&] { t2 = sim_.now(); });
+  sim_.run();
+  // With one robot arm, the second mount cannot complete at the same time.
+  EXPECT_GT(t2, t1);
+}
+
+TEST_F(LibraryTest, AggregateStatsSumAcrossDrives) {
+  Cartridge& c1 = lib_.new_cartridge();
+  Cartridge& c2 = lib_.new_cartridge();
+  lib_.ensure_mounted(lib_.drive(0), c1, nullptr);
+  lib_.ensure_mounted(lib_.drive(1), c2, nullptr);
+  sim_.run();
+  const DriveStats total = lib_.aggregate_stats();
+  EXPECT_EQ(total.mounts, 2u);
+  EXPECT_EQ(total.label_verifies, 2u);
+}
+
+}  // namespace
+}  // namespace cpa::tape

@@ -1,0 +1,56 @@
+#include "tape/timings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::tape {
+namespace {
+
+TEST(TapeTimings, SeekIsZeroInPlace) {
+  TapeTimings t;
+  EXPECT_EQ(t.seek_time(5 * kGB, 5 * kGB), 0u);
+}
+
+TEST(TapeTimings, SeekIsSymmetricInDistance) {
+  TapeTimings t;
+  EXPECT_EQ(t.seek_time(0, 10 * kGB), t.seek_time(10 * kGB, 0));
+  EXPECT_EQ(t.seek_time(3 * kGB, 7 * kGB), t.seek_time(7 * kGB, 3 * kGB));
+}
+
+TEST(TapeTimings, SeekGrowsMonotonicallyWithDistance) {
+  TapeTimings t;
+  sim::Tick prev = 0;
+  for (std::uint64_t gb = 1; gb <= 800; gb *= 2) {
+    const sim::Tick s = t.seek_time(0, gb * kGB);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(TapeTimings, SeekHasFixedBasePlusLinearComponent) {
+  TapeTimings t;
+  const sim::Tick one = t.seek_time(0, 100 * kGB);
+  const sim::Tick two = t.seek_time(0, 200 * kGB);
+  // Doubling the distance does not double the time (seek_base amortizes).
+  EXPECT_LT(two, 2 * one);
+  // But the linear part is exact.
+  EXPECT_EQ(two - one, sim::secs(100.0 * t.seek_secs_per_gb));
+}
+
+TEST(TapeTimings, RewindEqualsSeekToZero) {
+  TapeTimings t;
+  EXPECT_EQ(t.rewind_time(123 * kGB), t.seek_time(123 * kGB, 0));
+  EXPECT_EQ(t.rewind_time(0), 0u);
+}
+
+TEST(TapeTimings, CalibrationYieldsPaperSmallFileRate) {
+  // 8 MB at stream rate plus one backhitch must land near 4 MB/s.
+  TapeTimings t;
+  const double per_file_s =
+      8e6 / t.stream_rate_bps + sim::to_seconds(t.backhitch);
+  const double rate_mbs = 8.0 / per_file_s;
+  EXPECT_GT(rate_mbs, 3.5);
+  EXPECT_LT(rate_mbs, 4.5);
+}
+
+}  // namespace
+}  // namespace cpa::tape

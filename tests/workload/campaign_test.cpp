@@ -1,0 +1,87 @@
+#include "workload/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpa::workload {
+namespace {
+
+TEST(Campaign, GeneratesConfiguredJobCountSortedByTime) {
+  CampaignConfig cfg;
+  cfg.file_count_scale = 0.001;
+  CampaignGenerator gen(cfg);
+  const auto jobs = gen.generate();
+  ASSERT_EQ(jobs.size(), 62u);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+  }
+  EXPECT_LE(jobs.back().submit_time, sim::days(18));
+}
+
+TEST(Campaign, MarginalsRespectPaperRanges) {
+  CampaignConfig cfg;
+  cfg.file_count_scale = 0.001;
+  const auto jobs = CampaignGenerator(cfg).generate();
+  for (const JobSpec& j : jobs) {
+    EXPECT_GE(j.total_bytes, cfg.min_bytes);
+    EXPECT_LE(j.total_bytes, cfg.max_bytes);
+    EXPECT_GE(j.file_count, 1u);
+    EXPECT_LE(j.file_count, cfg.max_files);
+    EXPECT_GE(j.avg_file_size, cfg.min_avg_file / 2);  // integer division slop
+    EXPECT_LE(j.avg_file_size, cfg.max_avg_file);
+    EXPECT_EQ(j.avg_file_size, j.total_bytes / j.file_count);
+  }
+}
+
+TEST(Campaign, MarginalMeansInPaperBallpark) {
+  // Means are tail-dominated with 62 samples; accept broad factors.
+  CampaignConfig cfg;
+  cfg.file_count_scale = 0.001;
+  const auto jobs = CampaignGenerator(cfg).generate();
+  const CampaignSummary s = CampaignGenerator::summarize(jobs);
+  EXPECT_GT(s.mean_bytes, 800.0 * kGB);            // paper: 2442 GB
+  EXPECT_LT(s.mean_bytes, 8000.0 * kGB);
+  EXPECT_GT(s.mean_avg_file, 100.0 * kMB);         // paper: 596 MB
+  EXPECT_LT(s.mean_avg_file, 2500.0 * kMB);
+  EXPECT_GT(s.mean_files, 10'000.0);               // paper: 167,491
+  EXPECT_GT(s.max_files, 100'000.0);               // heavy tail present
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  CampaignConfig cfg;
+  cfg.file_count_scale = 0.01;
+  const auto a = CampaignGenerator(cfg).generate();
+  const auto b = CampaignGenerator(cfg).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].total_bytes, b[i].total_bytes);
+    EXPECT_EQ(a[i].file_sizes, b[i].file_sizes);
+  }
+  cfg.seed = 777;
+  const auto c = CampaignGenerator(cfg).generate();
+  EXPECT_NE(a[0].total_bytes, c[0].total_bytes);
+}
+
+TEST(Campaign, ScaledMaterializationPreservesByteDensity) {
+  CampaignConfig cfg;
+  cfg.file_count_scale = 0.01;
+  const auto jobs = CampaignGenerator(cfg).generate();
+  for (const JobSpec& j : jobs) {
+    ASSERT_FALSE(j.file_sizes.empty());
+    EXPECT_LE(j.file_sizes.size(), cfg.max_materialized_files);
+    std::uint64_t sum = 0;
+    for (const auto s : j.file_sizes) sum += s;
+    const double expected =
+        static_cast<double>(j.total_bytes) *
+        (static_cast<double>(j.file_sizes.size()) /
+         static_cast<double>(j.file_count));
+    EXPECT_NEAR(static_cast<double>(sum), expected, expected * 0.25 + 1e6);
+  }
+}
+
+TEST(Campaign, SummarizeEmptyIsZero) {
+  const CampaignSummary s = CampaignGenerator::summarize({});
+  EXPECT_EQ(s.mean_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace cpa::workload
