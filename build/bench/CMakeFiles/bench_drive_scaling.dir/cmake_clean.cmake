@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drive_scaling.dir/bench_drive_scaling.cpp.o"
+  "CMakeFiles/bench_drive_scaling.dir/bench_drive_scaling.cpp.o.d"
+  "bench_drive_scaling"
+  "bench_drive_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drive_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_datarate_per_job.dir/bench_fig10_datarate_per_job.cpp.o"
+  "CMakeFiles/bench_fig10_datarate_per_job.dir/bench_fig10_datarate_per_job.cpp.o.d"
+  "bench_fig10_datarate_per_job"
+  "bench_fig10_datarate_per_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_datarate_per_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

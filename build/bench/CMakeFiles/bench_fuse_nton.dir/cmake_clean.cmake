@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuse_nton.dir/bench_fuse_nton.cpp.o"
+  "CMakeFiles/bench_fuse_nton.dir/bench_fuse_nton.cpp.o.d"
+  "bench_fuse_nton"
+  "bench_fuse_nton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuse_nton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

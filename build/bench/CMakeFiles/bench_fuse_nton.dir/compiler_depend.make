@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fuse_nton.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fuse_nton.
+# This may be replaced when dependencies are built.

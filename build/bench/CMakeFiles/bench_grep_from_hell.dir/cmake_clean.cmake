@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grep_from_hell.dir/bench_grep_from_hell.cpp.o"
+  "CMakeFiles/bench_grep_from_hell.dir/bench_grep_from_hell.cpp.o.d"
+  "bench_grep_from_hell"
+  "bench_grep_from_hell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grep_from_hell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_grep_from_hell.
+# This may be replaced when dependencies are built.

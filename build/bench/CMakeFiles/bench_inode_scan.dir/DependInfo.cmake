@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_inode_scan.cpp" "bench/CMakeFiles/bench_inode_scan.dir/bench_inode_scan.cpp.o" "gcc" "bench/CMakeFiles/bench_inode_scan.dir/bench_inode_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/cpa_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/cpa_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/pftool/CMakeFiles/cpa_pftool.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusefs/CMakeFiles/cpa_fusefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cpa_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/cpa_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/cpa_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cpa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/cpa_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inode_scan.dir/bench_inode_scan.cpp.o"
+  "CMakeFiles/bench_inode_scan.dir/bench_inode_scan.cpp.o.d"
+  "bench_inode_scan"
+  "bench_inode_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inode_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nto1_large_file.dir/bench_nto1_large_file.cpp.o"
+  "CMakeFiles/bench_nto1_large_file.dir/bench_nto1_large_file.cpp.o.d"
+  "bench_nto1_large_file"
+  "bench_nto1_large_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nto1_large_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_migrator.dir/bench_parallel_migrator.cpp.o"
+  "CMakeFiles/bench_parallel_migrator.dir/bench_parallel_migrator.cpp.o.d"
+  "bench_parallel_migrator"
+  "bench_parallel_migrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_migrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

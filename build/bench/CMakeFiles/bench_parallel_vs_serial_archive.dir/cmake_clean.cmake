@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_vs_serial_archive.dir/bench_parallel_vs_serial_archive.cpp.o"
+  "CMakeFiles/bench_parallel_vs_serial_archive.dir/bench_parallel_vs_serial_archive.cpp.o.d"
+  "bench_parallel_vs_serial_archive"
+  "bench_parallel_vs_serial_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_vs_serial_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

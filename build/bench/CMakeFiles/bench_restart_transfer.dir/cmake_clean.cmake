@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_restart_transfer.dir/bench_restart_transfer.cpp.o"
+  "CMakeFiles/bench_restart_transfer.dir/bench_restart_transfer.cpp.o.d"
+  "bench_restart_transfer"
+  "bench_restart_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restart_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

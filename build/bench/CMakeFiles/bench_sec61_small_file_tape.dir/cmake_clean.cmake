@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_small_file_tape.dir/bench_sec61_small_file_tape.cpp.o"
+  "CMakeFiles/bench_sec61_small_file_tape.dir/bench_sec61_small_file_tape.cpp.o.d"
+  "bench_sec61_small_file_tape"
+  "bench_sec61_small_file_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_small_file_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec61_small_file_tape.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_smart_recall.dir/bench_sec62_smart_recall.cpp.o"
+  "CMakeFiles/bench_sec62_smart_recall.dir/bench_sec62_smart_recall.cpp.o.d"
+  "bench_sec62_smart_recall"
+  "bench_sec62_smart_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_smart_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_server_limit.dir/bench_single_server_limit.cpp.o"
+  "CMakeFiles/bench_single_server_limit.dir/bench_single_server_limit.cpp.o.d"
+  "bench_single_server_limit"
+  "bench_single_server_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_server_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_delete.dir/bench_sync_delete.cpp.o"
+  "CMakeFiles/bench_sync_delete.dir/bench_sync_delete.cpp.o.d"
+  "bench_sync_delete"
+  "bench_sync_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tape_order_recall.dir/bench_tape_order_recall.cpp.o"
+  "CMakeFiles/bench_tape_order_recall.dir/bench_tape_order_recall.cpp.o.d"
+  "bench_tape_order_recall"
+  "bench_tape_order_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tape_order_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

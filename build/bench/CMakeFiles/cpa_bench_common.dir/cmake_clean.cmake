@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_bench_common.dir/campaign_runner.cpp.o"
+  "CMakeFiles/cpa_bench_common.dir/campaign_runner.cpp.o.d"
+  "libcpa_bench_common.a"
+  "libcpa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_science_campaign.dir/open_science_campaign.cpp.o"
+  "CMakeFiles/open_science_campaign.dir/open_science_campaign.cpp.o.d"
+  "open_science_campaign"
+  "open_science_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_science_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftool_cli.dir/pftool_cli.cpp.o"
+  "CMakeFiles/pftool_cli.dir/pftool_cli.cpp.o.d"
+  "pftool_cli"
+  "pftool_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

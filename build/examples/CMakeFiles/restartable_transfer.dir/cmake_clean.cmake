@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restartable_transfer.dir/restartable_transfer.cpp.o"
+  "CMakeFiles/restartable_transfer.dir/restartable_transfer.cpp.o.d"
+  "restartable_transfer"
+  "restartable_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restartable_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

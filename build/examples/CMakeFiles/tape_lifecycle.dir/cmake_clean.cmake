@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_lifecycle.dir/tape_lifecycle.cpp.o"
+  "CMakeFiles/tape_lifecycle.dir/tape_lifecycle.cpp.o.d"
+  "tape_lifecycle"
+  "tape_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_archive.dir/search.cpp.o"
+  "CMakeFiles/cpa_archive.dir/search.cpp.o.d"
+  "CMakeFiles/cpa_archive.dir/system.cpp.o"
+  "CMakeFiles/cpa_archive.dir/system.cpp.o.d"
+  "CMakeFiles/cpa_archive.dir/trashcan.cpp.o"
+  "CMakeFiles/cpa_archive.dir/trashcan.cpp.o.d"
+  "libcpa_archive.a"
+  "libcpa_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/cpa_cluster.dir/cluster.cpp.o.d"
+  "libcpa_cluster.a"
+  "libcpa_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

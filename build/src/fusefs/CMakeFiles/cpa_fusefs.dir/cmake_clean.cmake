@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_fusefs.dir/archive_fuse.cpp.o"
+  "CMakeFiles/cpa_fusefs.dir/archive_fuse.cpp.o.d"
+  "libcpa_fusefs.a"
+  "libcpa_fusefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_fusefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

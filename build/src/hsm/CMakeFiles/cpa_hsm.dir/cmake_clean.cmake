@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_hsm.dir/hsm.cpp.o"
+  "CMakeFiles/cpa_hsm.dir/hsm.cpp.o.d"
+  "CMakeFiles/cpa_hsm.dir/server.cpp.o"
+  "CMakeFiles/cpa_hsm.dir/server.cpp.o.d"
+  "libcpa_hsm.a"
+  "libcpa_hsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_hsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/common.cpp" "src/pfs/CMakeFiles/cpa_pfs.dir/common.cpp.o" "gcc" "src/pfs/CMakeFiles/cpa_pfs.dir/common.cpp.o.d"
+  "/root/repo/src/pfs/filesystem.cpp" "src/pfs/CMakeFiles/cpa_pfs.dir/filesystem.cpp.o" "gcc" "src/pfs/CMakeFiles/cpa_pfs.dir/filesystem.cpp.o.d"
+  "/root/repo/src/pfs/glob.cpp" "src/pfs/CMakeFiles/cpa_pfs.dir/glob.cpp.o" "gcc" "src/pfs/CMakeFiles/cpa_pfs.dir/glob.cpp.o.d"
+  "/root/repo/src/pfs/policy.cpp" "src/pfs/CMakeFiles/cpa_pfs.dir/policy.cpp.o" "gcc" "src/pfs/CMakeFiles/cpa_pfs.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_pfs.dir/common.cpp.o"
+  "CMakeFiles/cpa_pfs.dir/common.cpp.o.d"
+  "CMakeFiles/cpa_pfs.dir/filesystem.cpp.o"
+  "CMakeFiles/cpa_pfs.dir/filesystem.cpp.o.d"
+  "CMakeFiles/cpa_pfs.dir/glob.cpp.o"
+  "CMakeFiles/cpa_pfs.dir/glob.cpp.o.d"
+  "CMakeFiles/cpa_pfs.dir/policy.cpp.o"
+  "CMakeFiles/cpa_pfs.dir/policy.cpp.o.d"
+  "libcpa_pfs.a"
+  "libcpa_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

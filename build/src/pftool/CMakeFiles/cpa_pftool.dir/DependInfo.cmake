@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pftool/core/report.cpp" "src/pftool/CMakeFiles/cpa_pftool.dir/core/report.cpp.o" "gcc" "src/pftool/CMakeFiles/cpa_pftool.dir/core/report.cpp.o.d"
+  "/root/repo/src/pftool/core/restart_journal.cpp" "src/pftool/CMakeFiles/cpa_pftool.dir/core/restart_journal.cpp.o" "gcc" "src/pftool/CMakeFiles/cpa_pftool.dir/core/restart_journal.cpp.o.d"
+  "/root/repo/src/pftool/rt/engine.cpp" "src/pftool/CMakeFiles/cpa_pftool.dir/rt/engine.cpp.o" "gcc" "src/pftool/CMakeFiles/cpa_pftool.dir/rt/engine.cpp.o.d"
+  "/root/repo/src/pftool/rt/file_ops.cpp" "src/pftool/CMakeFiles/cpa_pftool.dir/rt/file_ops.cpp.o" "gcc" "src/pftool/CMakeFiles/cpa_pftool.dir/rt/file_ops.cpp.o.d"
+  "/root/repo/src/pftool/sim/job.cpp" "src/pftool/CMakeFiles/cpa_pftool.dir/sim/job.cpp.o" "gcc" "src/pftool/CMakeFiles/cpa_pftool.dir/sim/job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/cpa_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusefs/CMakeFiles/cpa_fusefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/cpa_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cpa_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/cpa_tape.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_pftool.dir/core/report.cpp.o"
+  "CMakeFiles/cpa_pftool.dir/core/report.cpp.o.d"
+  "CMakeFiles/cpa_pftool.dir/core/restart_journal.cpp.o"
+  "CMakeFiles/cpa_pftool.dir/core/restart_journal.cpp.o.d"
+  "CMakeFiles/cpa_pftool.dir/rt/engine.cpp.o"
+  "CMakeFiles/cpa_pftool.dir/rt/engine.cpp.o.d"
+  "CMakeFiles/cpa_pftool.dir/rt/file_ops.cpp.o"
+  "CMakeFiles/cpa_pftool.dir/rt/file_ops.cpp.o.d"
+  "CMakeFiles/cpa_pftool.dir/sim/job.cpp.o"
+  "CMakeFiles/cpa_pftool.dir/sim/job.cpp.o.d"
+  "libcpa_pftool.a"
+  "libcpa_pftool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_pftool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

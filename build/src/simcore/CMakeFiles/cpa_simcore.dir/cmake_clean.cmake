@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_simcore.dir/flow_network.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/flow_network.cpp.o.d"
+  "CMakeFiles/cpa_simcore.dir/resource.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/resource.cpp.o.d"
+  "CMakeFiles/cpa_simcore.dir/rng.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/cpa_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/simulation.cpp.o.d"
+  "CMakeFiles/cpa_simcore.dir/stats.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/cpa_simcore.dir/time.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/time.cpp.o.d"
+  "CMakeFiles/cpa_simcore.dir/units.cpp.o"
+  "CMakeFiles/cpa_simcore.dir/units.cpp.o.d"
+  "libcpa_simcore.a"
+  "libcpa_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

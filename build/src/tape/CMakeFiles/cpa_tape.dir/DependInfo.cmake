@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tape/cartridge.cpp" "src/tape/CMakeFiles/cpa_tape.dir/cartridge.cpp.o" "gcc" "src/tape/CMakeFiles/cpa_tape.dir/cartridge.cpp.o.d"
+  "/root/repo/src/tape/drive.cpp" "src/tape/CMakeFiles/cpa_tape.dir/drive.cpp.o" "gcc" "src/tape/CMakeFiles/cpa_tape.dir/drive.cpp.o.d"
+  "/root/repo/src/tape/library.cpp" "src/tape/CMakeFiles/cpa_tape.dir/library.cpp.o" "gcc" "src/tape/CMakeFiles/cpa_tape.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

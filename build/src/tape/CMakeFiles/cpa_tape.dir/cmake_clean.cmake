@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_tape.dir/cartridge.cpp.o"
+  "CMakeFiles/cpa_tape.dir/cartridge.cpp.o.d"
+  "CMakeFiles/cpa_tape.dir/drive.cpp.o"
+  "CMakeFiles/cpa_tape.dir/drive.cpp.o.d"
+  "CMakeFiles/cpa_tape.dir/library.cpp.o"
+  "CMakeFiles/cpa_tape.dir/library.cpp.o.d"
+  "libcpa_tape.a"
+  "libcpa_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

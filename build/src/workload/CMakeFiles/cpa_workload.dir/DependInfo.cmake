@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/campaign.cpp" "src/workload/CMakeFiles/cpa_workload.dir/campaign.cpp.o" "gcc" "src/workload/CMakeFiles/cpa_workload.dir/campaign.cpp.o.d"
+  "/root/repo/src/workload/posix_tree.cpp" "src/workload/CMakeFiles/cpa_workload.dir/posix_tree.cpp.o" "gcc" "src/workload/CMakeFiles/cpa_workload.dir/posix_tree.cpp.o.d"
+  "/root/repo/src/workload/tree.cpp" "src/workload/CMakeFiles/cpa_workload.dir/tree.cpp.o" "gcc" "src/workload/CMakeFiles/cpa_workload.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/cpa_pfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

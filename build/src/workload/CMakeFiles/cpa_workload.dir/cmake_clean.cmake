@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_workload.dir/campaign.cpp.o"
+  "CMakeFiles/cpa_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/cpa_workload.dir/posix_tree.cpp.o"
+  "CMakeFiles/cpa_workload.dir/posix_tree.cpp.o.d"
+  "CMakeFiles/cpa_workload.dir/tree.cpp.o"
+  "CMakeFiles/cpa_workload.dir/tree.cpp.o.d"
+  "libcpa_workload.a"
+  "libcpa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/archive/integration_test.cpp" "tests/CMakeFiles/archive_test.dir/archive/integration_test.cpp.o" "gcc" "tests/CMakeFiles/archive_test.dir/archive/integration_test.cpp.o.d"
+  "/root/repo/tests/archive/jail_test.cpp" "tests/CMakeFiles/archive_test.dir/archive/jail_test.cpp.o" "gcc" "tests/CMakeFiles/archive_test.dir/archive/jail_test.cpp.o.d"
+  "/root/repo/tests/archive/search_test.cpp" "tests/CMakeFiles/archive_test.dir/archive/search_test.cpp.o" "gcc" "tests/CMakeFiles/archive_test.dir/archive/search_test.cpp.o.d"
+  "/root/repo/tests/archive/system_test.cpp" "tests/CMakeFiles/archive_test.dir/archive/system_test.cpp.o" "gcc" "tests/CMakeFiles/archive_test.dir/archive/system_test.cpp.o.d"
+  "/root/repo/tests/archive/trashcan_test.cpp" "tests/CMakeFiles/archive_test.dir/archive/trashcan_test.cpp.o" "gcc" "tests/CMakeFiles/archive_test.dir/archive/trashcan_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cpa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/archive/CMakeFiles/cpa_archive.dir/DependInfo.cmake"
+  "/root/repo/build/src/pftool/CMakeFiles/cpa_pftool.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusefs/CMakeFiles/cpa_fusefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cpa_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsm/CMakeFiles/cpa_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/cpa_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/cpa_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusefs_test.dir/fusefs/archive_fuse_test.cpp.o"
+  "CMakeFiles/fusefs_test.dir/fusefs/archive_fuse_test.cpp.o.d"
+  "fusefs_test"
+  "fusefs_test.pdb"
+  "fusefs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

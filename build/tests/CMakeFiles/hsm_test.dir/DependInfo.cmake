@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hsm/balance_test.cpp" "tests/CMakeFiles/hsm_test.dir/hsm/balance_test.cpp.o" "gcc" "tests/CMakeFiles/hsm_test.dir/hsm/balance_test.cpp.o.d"
+  "/root/repo/tests/hsm/copy_pool_test.cpp" "tests/CMakeFiles/hsm_test.dir/hsm/copy_pool_test.cpp.o" "gcc" "tests/CMakeFiles/hsm_test.dir/hsm/copy_pool_test.cpp.o.d"
+  "/root/repo/tests/hsm/hsm_test.cpp" "tests/CMakeFiles/hsm_test.dir/hsm/hsm_test.cpp.o" "gcc" "tests/CMakeFiles/hsm_test.dir/hsm/hsm_test.cpp.o.d"
+  "/root/repo/tests/hsm/reclaim_test.cpp" "tests/CMakeFiles/hsm_test.dir/hsm/reclaim_test.cpp.o" "gcc" "tests/CMakeFiles/hsm_test.dir/hsm/reclaim_test.cpp.o.d"
+  "/root/repo/tests/hsm/server_test.cpp" "tests/CMakeFiles/hsm_test.dir/hsm/server_test.cpp.o" "gcc" "tests/CMakeFiles/hsm_test.dir/hsm/server_test.cpp.o.d"
+  "/root/repo/tests/hsm/space_management_test.cpp" "tests/CMakeFiles/hsm_test.dir/hsm/space_management_test.cpp.o" "gcc" "tests/CMakeFiles/hsm_test.dir/hsm/space_management_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hsm/CMakeFiles/cpa_hsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/cpa_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/cpa_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_test.dir/hsm/balance_test.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/balance_test.cpp.o.d"
+  "CMakeFiles/hsm_test.dir/hsm/copy_pool_test.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/copy_pool_test.cpp.o.d"
+  "CMakeFiles/hsm_test.dir/hsm/hsm_test.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/hsm_test.cpp.o.d"
+  "CMakeFiles/hsm_test.dir/hsm/reclaim_test.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/reclaim_test.cpp.o.d"
+  "CMakeFiles/hsm_test.dir/hsm/server_test.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/server_test.cpp.o.d"
+  "CMakeFiles/hsm_test.dir/hsm/space_management_test.cpp.o"
+  "CMakeFiles/hsm_test.dir/hsm/space_management_test.cpp.o.d"
+  "hsm_test"
+  "hsm_test.pdb"
+  "hsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

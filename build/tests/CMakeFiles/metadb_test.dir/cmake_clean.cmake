@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/table_test.cpp.o.d"
+  "CMakeFiles/metadb_test.dir/metadb/tsm_export_test.cpp.o"
+  "CMakeFiles/metadb_test.dir/metadb/tsm_export_test.cpp.o.d"
+  "metadb_test"
+  "metadb_test.pdb"
+  "metadb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

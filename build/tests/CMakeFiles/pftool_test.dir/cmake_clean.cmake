@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pftool_test.dir/pftool/core_test.cpp.o"
+  "CMakeFiles/pftool_test.dir/pftool/core_test.cpp.o.d"
+  "CMakeFiles/pftool_test.dir/pftool/rt_engine_test.cpp.o"
+  "CMakeFiles/pftool_test.dir/pftool/rt_engine_test.cpp.o.d"
+  "CMakeFiles/pftool_test.dir/pftool/sim_job_test.cpp.o"
+  "CMakeFiles/pftool_test.dir/pftool/sim_job_test.cpp.o.d"
+  "pftool_test"
+  "pftool_test.pdb"
+  "pftool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pftool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

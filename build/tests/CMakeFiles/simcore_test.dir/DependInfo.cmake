@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simcore/actor_test.cpp" "tests/CMakeFiles/simcore_test.dir/simcore/actor_test.cpp.o" "gcc" "tests/CMakeFiles/simcore_test.dir/simcore/actor_test.cpp.o.d"
+  "/root/repo/tests/simcore/flow_network_test.cpp" "tests/CMakeFiles/simcore_test.dir/simcore/flow_network_test.cpp.o" "gcc" "tests/CMakeFiles/simcore_test.dir/simcore/flow_network_test.cpp.o.d"
+  "/root/repo/tests/simcore/resource_test.cpp" "tests/CMakeFiles/simcore_test.dir/simcore/resource_test.cpp.o" "gcc" "tests/CMakeFiles/simcore_test.dir/simcore/resource_test.cpp.o.d"
+  "/root/repo/tests/simcore/rng_test.cpp" "tests/CMakeFiles/simcore_test.dir/simcore/rng_test.cpp.o" "gcc" "tests/CMakeFiles/simcore_test.dir/simcore/rng_test.cpp.o.d"
+  "/root/repo/tests/simcore/simulation_test.cpp" "tests/CMakeFiles/simcore_test.dir/simcore/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/simcore_test.dir/simcore/simulation_test.cpp.o.d"
+  "/root/repo/tests/simcore/stats_test.cpp" "tests/CMakeFiles/simcore_test.dir/simcore/stats_test.cpp.o" "gcc" "tests/CMakeFiles/simcore_test.dir/simcore/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tape/cartridge_test.cpp" "tests/CMakeFiles/tape_test.dir/tape/cartridge_test.cpp.o" "gcc" "tests/CMakeFiles/tape_test.dir/tape/cartridge_test.cpp.o.d"
+  "/root/repo/tests/tape/drive_test.cpp" "tests/CMakeFiles/tape_test.dir/tape/drive_test.cpp.o" "gcc" "tests/CMakeFiles/tape_test.dir/tape/drive_test.cpp.o.d"
+  "/root/repo/tests/tape/library_test.cpp" "tests/CMakeFiles/tape_test.dir/tape/library_test.cpp.o" "gcc" "tests/CMakeFiles/tape_test.dir/tape/library_test.cpp.o.d"
+  "/root/repo/tests/tape/timings_test.cpp" "tests/CMakeFiles/tape_test.dir/tape/timings_test.cpp.o" "gcc" "tests/CMakeFiles/tape_test.dir/tape/timings_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tape/CMakeFiles/cpa_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/cpa_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_test.dir/tape/cartridge_test.cpp.o"
+  "CMakeFiles/tape_test.dir/tape/cartridge_test.cpp.o.d"
+  "CMakeFiles/tape_test.dir/tape/drive_test.cpp.o"
+  "CMakeFiles/tape_test.dir/tape/drive_test.cpp.o.d"
+  "CMakeFiles/tape_test.dir/tape/library_test.cpp.o"
+  "CMakeFiles/tape_test.dir/tape/library_test.cpp.o.d"
+  "CMakeFiles/tape_test.dir/tape/timings_test.cpp.o"
+  "CMakeFiles/tape_test.dir/tape/timings_test.cpp.o.d"
+  "tape_test"
+  "tape_test.pdb"
+  "tape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

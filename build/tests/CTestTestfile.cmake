@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simcore_test[1]_include.cmake")
+include("/root/repo/build/tests/metadb_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_test[1]_include.cmake")
+include("/root/repo/build/tests/tape_test[1]_include.cmake")
+include("/root/repo/build/tests/hsm_test[1]_include.cmake")
+include("/root/repo/build/tests/fusefs_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/pftool_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
