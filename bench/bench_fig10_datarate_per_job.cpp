@@ -13,11 +13,16 @@
 #include "simcore/stats.hpp"
 #include "simcore/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpa;
   bench::header("Figure 10", "Archived data rate per job (62 jobs, 18 days)");
 
-  const bench::CampaignResult result = bench::run_campaign();
+  const bench::ObsCli obs_cli = bench::parse_obs_cli(argc, argv);
+  bench::CampaignOptions opts;
+  opts.tracing = obs_cli.tracing();
+  opts.trace_path = obs_cli.trace_path;
+  opts.metrics_path = obs_cli.metrics_path;
+  const bench::CampaignResult result = bench::run_campaign(opts);
 
   bench::section("series (job id, MB/s)");
   sim::Samples rate;
@@ -41,5 +46,44 @@ int main() {
                  bench::fmt("%.0f%%", 100.0 * rate.max() / trunk_peak_mbs));
   bench::compare("mean vs 70 MB/s serial archive", "~8x",
                  bench::fmt("%.1fx", rate.mean() / 70.0));
+
+  // The same table, rebuilt from the observability layer: every finished
+  // job added its rate to the "pftool.job_rate_bps" metrics series, so the
+  // distribution must match the directly-measured one exactly.
+  bench::section("metrics cross-check (pftool.job_rate_bps series)");
+  sim::Samples metric_rate;
+  for (const double bps : result.metric_rates_bps) {
+    metric_rate.add(bps / static_cast<double>(kMB));
+  }
+  bench::compare("jobs recorded", bench::fmt("%.0f", static_cast<double>(result.jobs.size())),
+                 bench::fmt("%.0f", static_cast<double>(metric_rate.count())));
+  bench::compare("min rate (metrics)", bench::fmt("%.1f MB/s", rate.min()),
+                 bench::fmt("%.1f MB/s", metric_rate.min()));
+  bench::compare("max rate (metrics)", bench::fmt("%.1f MB/s", rate.max()),
+                 bench::fmt("%.1f MB/s", metric_rate.max()));
+  bench::compare("mean rate (metrics)", bench::fmt("%.1f MB/s", rate.mean()),
+                 bench::fmt("%.1f MB/s", metric_rate.mean()));
+  std::printf("  trunk busy time: %.0f s over the campaign\n",
+              result.trunk_busy_seconds);
+  if (!obs_cli.trace_path.empty()) {
+    if (result.trace_written) {
+      std::printf("  trace: %llu events -> %s (chrome://tracing / Perfetto)\n",
+                  static_cast<unsigned long long>(result.trace_events),
+                  obs_cli.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "  error: could not write trace to %s\n",
+                   obs_cli.trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!obs_cli.metrics_path.empty()) {
+    if (result.metrics_written) {
+      std::printf("  metrics summary -> %s\n", obs_cli.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "  error: could not write metrics to %s\n",
+                   obs_cli.metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -19,11 +19,24 @@ struct Outcome {
   std::uint64_t seeks = 0;
   double seek_seconds = 0;
   double seconds = 0;
+  // Whole-run totals from the two independent accounting paths: the tape
+  // library's DriveStats and the observability layer's tape.* counters.
+  std::uint64_t stats_total_seeks = 0;
+  std::uint64_t metric_seeks = 0;
+  std::uint64_t metric_mounts = 0;
+  std::uint64_t metric_read_txns = 0;
+  std::uint64_t trace_events = 0;
+  // False when the corresponding output path was requested but unwritable.
+  bool trace_written = true;
+  bool metrics_written = true;
 };
 
-Outcome recall(bool ordered, unsigned files, std::uint64_t file_size) {
+Outcome recall(bool ordered, unsigned files, std::uint64_t file_size,
+               const cpa::bench::ObsCli& obs_cli, bool write_outputs) {
   using namespace cpa;
-  archive::CotsParallelArchive sys(archive::SystemConfig::roadrunner());
+  archive::SystemConfig cfg = archive::SystemConfig::roadrunner();
+  cfg.obs.tracing = obs_cli.tracing();
+  archive::CotsParallelArchive sys(cfg);
   std::vector<std::string> paths;
   for (unsigned i = 0; i < files; ++i) {
     const std::string p = "/arch/f" + std::to_string(i);
@@ -50,21 +63,40 @@ Outcome recall(bool ordered, unsigned files, std::uint64_t file_size) {
   const auto after = sys.library().aggregate_stats();
   out.seeks = after.seeks - before.seeks;
   out.seek_seconds = sim::to_seconds(after.seek_time - before.seek_time);
+
+  sys.snapshot_net_metrics();
+  const obs::MetricsRegistry& m = sys.observer().metrics();
+  out.stats_total_seeks = after.seeks;
+  out.metric_seeks = m.counter_value("tape.seeks");
+  out.metric_mounts = m.counter_value("tape.mounts");
+  out.metric_read_txns = m.counter_value("tape.read_txns");
+  out.trace_events = sys.observer().trace().event_count();
+  if (write_outputs) {
+    if (!obs_cli.trace_path.empty()) {
+      out.trace_written = sys.observer().trace().write_chrome_json(obs_cli.trace_path);
+    }
+    if (!obs_cli.metrics_path.empty()) {
+      out.metrics_written = sys.observer().metrics().write_summary(obs_cli.metrics_path);
+    }
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpa;
   bench::header("Sec 4.1.2(2)", "Tape-ordered recall vs request-order recall");
+  const bench::ObsCli obs_cli = bench::parse_obs_cli(argc, argv);
 
   std::printf("\n  files | ordering      | MB/s   | seeks | seek time (s) | total (s)\n");
   std::printf("  ------+---------------+--------+-------+---------------+----------\n");
   Outcome last_ord{}, last_unord{};
   for (const unsigned files : {32u, 128u, 512u}) {
-    const Outcome ord = recall(true, files, 100 * kMB);
-    const Outcome unord = recall(false, files, 100 * kMB);
+    // The final (512-file, request-order) run carries the trace/metrics
+    // outputs: it is the thrashing-heavy case worth looking at in Perfetto.
+    const Outcome ord = recall(true, files, 100 * kMB, obs_cli, false);
+    const Outcome unord = recall(false, files, 100 * kMB, obs_cli, files == 512u);
     std::printf("  %5u | tape-ordered  | %6.1f | %5llu | %13.0f | %9.0f\n", files,
                 ord.rate_mbs, static_cast<unsigned long long>(ord.seeks),
                 ord.seek_seconds, ord.seconds);
@@ -82,5 +114,35 @@ int main() {
                  std::to_string(last_unord.seeks));
   bench::compare("thrashing penalty", "\"dominant factor\"",
                  bench::fmt("%.1fx slower", last_ord.rate_mbs / last_unord.rate_mbs));
+
+  // tape.* counters accrue in lockstep with the library's DriveStats, so
+  // the two whole-run totals must agree exactly.
+  bench::section("observability cross-check (512-file request-order run)");
+  bench::compare("tape.seeks vs DriveStats.seeks",
+                 std::to_string(last_unord.stats_total_seeks),
+                 std::to_string(last_unord.metric_seeks));
+  std::printf("  tape.mounts=%llu  tape.read_txns=%llu\n",
+              static_cast<unsigned long long>(last_unord.metric_mounts),
+              static_cast<unsigned long long>(last_unord.metric_read_txns));
+  if (!obs_cli.trace_path.empty()) {
+    if (last_unord.trace_written) {
+      std::printf("  trace: %llu events -> %s (chrome://tracing / Perfetto)\n",
+                  static_cast<unsigned long long>(last_unord.trace_events),
+                  obs_cli.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "  error: could not write trace to %s\n",
+                   obs_cli.trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!obs_cli.metrics_path.empty()) {
+    if (last_unord.metrics_written) {
+      std::printf("  metrics summary -> %s\n", obs_cli.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "  error: could not write metrics to %s\n",
+                   obs_cli.metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

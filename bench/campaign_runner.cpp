@@ -61,23 +61,24 @@ void schedule_migration_cycles(archive::CotsParallelArchive& sys,
 
 }  // namespace
 
-CampaignResult run_campaign(double file_count_scale, std::uint64_t seed) {
+CampaignResult run_campaign(const CampaignOptions& opts) {
   using archive::CotsParallelArchive;
   using archive::SystemConfig;
 
   workload::CampaignConfig wl;
-  wl.file_count_scale = file_count_scale;
+  wl.file_count_scale = opts.file_count_scale;
   wl.max_materialized_files = 4000;
   wl.preserve_total_bytes = true;  // realistic durations -> realistic overlap
-  wl.seed = seed;
+  wl.seed = opts.seed;
   const auto specs = workload::CampaignGenerator(wl).generate();
 
   SystemConfig cfg = SystemConfig::roadrunner();
   cfg.cluster.trunk_bps *= kGoodput;
   cfg.cluster.node_nic_bps *= kGoodput;
+  cfg.obs.tracing = opts.tracing || !opts.trace_path.empty();
   CotsParallelArchive sys(cfg);
 
-  sim::Rng rng(seed ^ 0xBADCAFE);
+  sim::Rng rng(opts.seed ^ 0xBADCAFE);
   schedule_background_load(sys, rng, wl.operation_days);
   schedule_migration_cycles(sys, wl.operation_days + 2.0);
 
@@ -135,7 +136,31 @@ CampaignResult run_campaign(double file_count_scale, std::uint64_t seed) {
     });
   }
   sys.sim().run();
+
+  sys.snapshot_net_metrics();
+  obs::Observer& ob = sys.observer();
+  result.metrics_summary = ob.metrics().summary();
+  if (const sim::Samples* s = ob.metrics().find_series("pftool.job_rate_bps")) {
+    result.metric_rates_bps = s->values();
+  }
+  if (const obs::Gauge* g = ob.metrics().find_gauge("net.trunk_busy_seconds")) {
+    result.trunk_busy_seconds = g->value();
+  }
+  result.trace_events = ob.trace().event_count();
+  if (!opts.trace_path.empty()) {
+    result.trace_written = ob.trace().write_chrome_json(opts.trace_path);
+  }
+  if (!opts.metrics_path.empty()) {
+    result.metrics_written = ob.metrics().write_summary(opts.metrics_path);
+  }
   return result;
+}
+
+CampaignResult run_campaign(double file_count_scale, std::uint64_t seed) {
+  CampaignOptions opts;
+  opts.file_count_scale = file_count_scale;
+  opts.seed = seed;
+  return run_campaign(opts);
 }
 
 }  // namespace cpa::bench

@@ -15,6 +15,7 @@
 // numbers (what Figs 8/9/11 plot) come straight from the generator.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "workload/campaign.hpp"
@@ -28,9 +29,33 @@ struct CampaignJobResult {
   std::uint64_t files_copied = 0;
 };
 
+struct CampaignOptions {
+  double file_count_scale = 0.01;
+  std::uint64_t seed = 2009;
+  /// Record spans (implied by a non-empty trace_path).
+  bool tracing = false;
+  /// When set, Chrome trace JSON is written here after the run.
+  std::string trace_path;
+  /// When set, the metrics summary is written here after the run.
+  std::string metrics_path;
+};
+
 struct CampaignResult {
   std::vector<CampaignJobResult> jobs;
+  /// Full metrics-registry dump, taken after snapshot_net_metrics().
+  std::string metrics_summary;
+  /// Per-job rates as the metrics layer recorded them (the
+  /// "pftool.job_rate_bps" series, one sample per finished job).
+  std::vector<double> metric_rates_bps;
+  double trunk_busy_seconds = 0.0;  // net.trunk_busy_seconds gauge
+  std::uint64_t trace_events = 0;
+  // False when the corresponding path was requested but not writable.
+  bool trace_written = true;
+  bool metrics_written = true;
 };
+
+/// Runs the campaign once with full control over scale and observability.
+CampaignResult run_campaign(const CampaignOptions& opts);
 
 /// Runs the campaign once.  `file_count_scale` trades fidelity for host
 /// time; the default reproduces the shipped EXPERIMENTS.md numbers.

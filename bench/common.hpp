@@ -35,4 +35,28 @@ inline std::string fmt(const char* format, double value) {
   return buf;
 }
 
+/// Observability flags shared by the bench mains.  `--trace=out.json`
+/// turns span recording on and writes Chrome trace JSON (open it in
+/// chrome://tracing or https://ui.perfetto.dev); `--metrics=out.txt`
+/// writes the full metrics-registry summary.  Both default off, so plain
+/// runs pay only the disabled-recorder branch.
+struct ObsCli {
+  std::string trace_path;
+  std::string metrics_path;
+  [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+};
+
+inline ObsCli parse_obs_cli(int argc, char** argv) {
+  ObsCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      cli.trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      cli.metrics_path = arg.substr(10);
+    }
+  }
+  return cli;
+}
+
 }  // namespace cpa::bench

@@ -46,7 +46,9 @@ SystemConfig SystemConfig::small() {
 }
 
 CotsParallelArchive::CotsParallelArchive(SystemConfig cfg)
-    : cfg_(std::move(cfg)) {
+    : cfg_(std::move(cfg)), obs_(std::make_unique<obs::Observer>(cfg_.obs)) {
+  sim_.set_probe(obs_.get());
+  net_.set_probe(obs_.get());
   scratch_ = std::make_unique<pfs::FileSystem>(sim_, cfg_.scratch_fs);
   archive_ = std::make_unique<pfs::FileSystem>(sim_, cfg_.archive_fs);
   cluster_ = std::make_unique<cluster::Cluster>(net_, cfg_.cluster, *archive_,
@@ -56,6 +58,23 @@ CotsParallelArchive::CotsParallelArchive(SystemConfig cfg)
                                           cluster_->fabric(), cfg_.hsm);
   fuse_ = std::make_unique<fusefs::ArchiveFuse>(*archive_, cfg_.fuse);
   trashcan_ = std::make_unique<Trashcan>(*archive_, *hsm_);
+  library_->set_observer(*obs_);
+  hsm_->set_observer(*obs_);
+  fuse_->set_observer(*obs_);
+  policy_.set_observer(*obs_);
+}
+
+void CotsParallelArchive::snapshot_net_metrics() {
+  obs::MetricsRegistry& m = obs_->metrics();
+  double trunk_busy = 0.0;
+  for (std::size_t i = 0; i < net_.pool_count(); ++i) {
+    const sim::PoolId id{static_cast<std::uint32_t>(i)};
+    const std::string& name = net_.pool_name(id);
+    const double busy = net_.pool_busy_seconds(id);
+    m.gauge("net.pool_busy_seconds." + name).set(busy);
+    if (name.rfind("trunk", 0) == 0) trunk_busy += busy;
+  }
+  m.gauge("net.trunk_busy_seconds").set(trunk_busy);
 }
 
 pftool::sim::JobEnv CotsParallelArchive::job_env(bool restore_direction) {
@@ -73,6 +92,7 @@ pftool::sim::JobEnv CotsParallelArchive::job_env(bool restore_direction) {
   env.fuse = restore_direction ? nullptr : fuse_.get();
   env.hsm = hsm_.get();
   env.journal = &journal_;
+  env.obs = obs_.get();
   if (!restore_direction) {
     env.placement = [this](const std::string& dst_path) {
       return policy_.placement_pool(dst_path, sim_.now());

@@ -21,6 +21,7 @@
 #include "cluster/cluster.hpp"
 #include "fusefs/archive_fuse.hpp"
 #include "hsm/hsm.hpp"
+#include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
 #include "pfs/policy.hpp"
 #include "pftool/core/restart_journal.hpp"
@@ -39,6 +40,7 @@ struct SystemConfig {
   hsm::HsmConfig hsm;
   fusefs::FuseConfig fuse;
   pftool::PftoolConfig pftool;
+  obs::ObsConfig obs;
 
   /// The paper's plant (Sec 4.3.1 / Fig. 7): 10 mover nodes, 5 disk nodes
   /// with 100 TB fast FC4 disk + slow pool, 24 LTO-4 drives, one TSM
@@ -67,6 +69,15 @@ class CotsParallelArchive {
   [[nodiscard]] pftool::RestartJournal& journal() { return journal_; }
   [[nodiscard]] pfs::PolicyEngine& policy() { return policy_; }
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  /// The system-wide observability sink: every substrate's metrics land in
+  /// observer().metrics(); spans record when cfg.obs.tracing is set.
+  [[nodiscard]] obs::Observer& observer() { return *obs_; }
+
+  /// Copies the flow network's per-pool busy-seconds into net.* gauges
+  /// (including the headline net.trunk_busy_seconds).  Call before dumping
+  /// a metrics summary — busy time accrues inside the kernel, not the
+  /// registry.
+  void snapshot_net_metrics();
 
   /// JobEnv wired to this system, for hand-constructed PftoolJob runs.
   [[nodiscard]] pftool::sim::JobEnv job_env(bool restore_direction = false);
@@ -105,6 +116,9 @@ class CotsParallelArchive {
 
  private:
   SystemConfig cfg_;
+  // Declared before the kernel objects that hold probe pointers into it,
+  // so it outlives them during destruction.
+  std::unique_ptr<obs::Observer> obs_;
   sim::Simulation sim_;
   sim::FlowNetwork net_{sim_};
   std::unique_ptr<pfs::FileSystem> scratch_;

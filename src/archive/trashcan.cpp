@@ -51,31 +51,40 @@ std::vector<Trashcan::Entry> Trashcan::entries() const {
 
 void Trashcan::purge_older_than(sim::Tick cutoff,
                                 std::function<void(std::size_t)> done) {
-  auto victims = std::make_shared<std::vector<std::string>>();
-  for (const auto& [orig, e] : entries_) {
-    if (e.trashed_at <= cutoff) victims->push_back(orig);
-  }
-  auto purged = std::make_shared<std::size_t>(0);
-  auto step = std::make_shared<std::function<void(std::size_t)>>();
-  *step = [this, victims, purged, step, done = std::move(done)](std::size_t i) {
-    if (i >= victims->size()) {
-      if (done) done(*purged);
-      return;
+  // Shared state instead of a self-capturing std::function: a closure that
+  // owns a shared_ptr to itself never reaches refcount zero.
+  struct Purge {
+    Trashcan* self = nullptr;
+    std::vector<std::string> victims;
+    std::size_t purged = 0;
+    std::function<void(std::size_t)> done;
+
+    void run(const std::shared_ptr<Purge>& p, std::size_t i) {
+      if (i >= victims.size()) {
+        if (done) done(purged);
+        return;
+      }
+      auto it = self->entries_.find(victims[i]);
+      if (it == self->entries_.end()) {
+        run(p, i + 1);
+        return;
+      }
+      const std::string trash_path = it->second.trash_path;
+      self->entries_.erase(it);
+      // Synchronous delete: file-system entry and tape object die together.
+      self->hsm_.synchronous_delete(trash_path, [p, i](pfs::Errc e) {
+        if (e == pfs::Errc::Ok) ++p->purged;
+        p->run(p, i + 1);
+      });
     }
-    auto it = entries_.find((*victims)[i]);
-    if (it == entries_.end()) {
-      (*step)(i + 1);
-      return;
-    }
-    const std::string trash_path = it->second.trash_path;
-    entries_.erase(it);
-    // Synchronous delete: file-system entry and tape object die together.
-    hsm_.synchronous_delete(trash_path, [purged, step, i](pfs::Errc e) {
-      if (e == pfs::Errc::Ok) ++*purged;
-      (*step)(i + 1);
-    });
   };
-  (*step)(0);
+  auto p = std::make_shared<Purge>();
+  p->self = this;
+  for (const auto& [orig, e] : entries_) {
+    if (e.trashed_at <= cutoff) p->victims.push_back(orig);
+  }
+  p->done = std::move(done);
+  p->run(p, 0);
 }
 
 }  // namespace cpa::archive

@@ -61,6 +61,9 @@ pfs::Errc ArchiveFuse::create(const std::string& path, std::uint64_t size) {
     if (!r.ok()) return r.error();
   }
   files_.emplace(path, std::move(meta));
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("fuse.chunked_files").inc();
+  m.counter("fuse.chunks_created").add(chunk_count(size));
   return pfs::Errc::Ok;
 }
 
@@ -74,6 +77,9 @@ pfs::Errc ArchiveFuse::write_chunk(const std::string& path, std::uint64_t index,
       fs_.write_all(chunk_path(path, index), chunk_bytes(meta, index), content_tag);
   if (e != pfs::Errc::Ok) return e;
   meta.marks[index] = ChunkMark::Good;
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("fuse.chunk_writes").inc();
+  m.counter("fuse.chunk_bytes_written").add(chunk_bytes(meta, index));
   return pfs::Errc::Ok;
 }
 
@@ -168,7 +174,9 @@ pfs::Errc ArchiveFuse::trash_chunks(const std::string& path) {
   std::snprintf(name, sizeof(name), "fuse%08llu_%s",
                 static_cast<unsigned long long>(trash_counter_++),
                 pfs::base_name(path).c_str());
-  return fs_.rename(dir, pfs::join_path(cfg_.trash_dir, name));
+  const pfs::Errc e = fs_.rename(dir, pfs::join_path(cfg_.trash_dir, name));
+  if (e == pfs::Errc::Ok) obs_->metrics().counter("fuse.trashcan_moves").inc();
+  return e;
 }
 
 pfs::Errc ArchiveFuse::unlink(const std::string& path) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
 #include "simcore/units.hpp"
 
@@ -108,6 +109,9 @@ class ArchiveFuse {
                                        std::uint64_t index) const;
   [[nodiscard]] std::string shadow_dir(const std::string& path) const;
 
+  /// Routes fuse.* metrics to `obs`.
+  void set_observer(obs::Observer& obs) { obs_ = &obs; }
+
  private:
   struct Meta {
     std::uint64_t size = 0;
@@ -122,6 +126,7 @@ class ArchiveFuse {
 
   pfs::FileSystem& fs_;
   FuseConfig cfg_;
+  obs::Observer* obs_ = &obs::Observer::nil();
   std::map<std::string, Meta> files_;
   std::uint64_t trash_counter_ = 0;
 };

@@ -46,6 +46,7 @@ struct HsmSystem::MigrateJob {
   /// units (run before files are punched, while data is still on disk).
   unsigned copy_phase = 0;
   MigrateReport report;
+  obs::SpanId span;
   tape::TapeDrive* drive = nullptr;
   tape::Cartridge* cart = nullptr;
   std::function<void(const MigrateReport&)> done;
@@ -73,6 +74,7 @@ struct HsmSystem::RecallJob {
   std::size_t next_work = 0;   // next cartridge job to launch
   unsigned active = 0;
   RecallReport report;
+  obs::SpanId span;
   std::function<void(const RecallReport&)> done;
 };
 
@@ -151,6 +153,10 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
   job->group = std::move(group);
   job->done = std::move(done);
   job->report.started = sim_.now();
+  job->span = obs_->trace().begin_lane(obs::Component::Hsm, "migrate",
+                                       "migrate_batch", sim_.now());
+  obs_->trace().arg_num(job->span, "paths",
+                        static_cast<std::uint64_t>(paths.size()));
 
   for (const std::string& path : paths) {
     const auto st = fs_.stat(path);
@@ -195,8 +201,9 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
   }
 
   if (job->units.empty()) {
-    sim_.after(0, [job] {
+    sim_.after(0, [this, job] {
       job->report.finished = job->report.started;
+      account_migrate(*job);
       if (job->done) job->done(job->report);
     });
     return;
@@ -429,7 +436,21 @@ void HsmSystem::finish_migrate(std::shared_ptr<MigrateJob> job) {
     job->drive = nullptr;
   }
   job->report.finished = sim_.now();
+  account_migrate(*job);
   if (job->done) job->done(job->report);
+}
+
+void HsmSystem::account_migrate(const MigrateJob& job) {
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("hsm.migrate_batches").inc();
+  m.counter("hsm.migrated_files").add(job.report.files_migrated);
+  m.counter("hsm.migrate_failed_files").add(job.report.files_failed);
+  m.counter("hsm.migrated_bytes").add(job.report.bytes);
+  m.counter("hsm.tape_objects_written").add(job.report.tape_objects_written);
+  obs_->trace().arg_num(job.span, "files",
+                        static_cast<std::uint64_t>(job.report.files_migrated));
+  obs_->trace().arg_num(job.span, "bytes", job.report.bytes);
+  obs_->trace().end(job.span, sim_.now());
 }
 
 void HsmSystem::parallel_migrate(std::vector<std::string> paths,
@@ -500,6 +521,10 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
   job->options = options;
   job->done = std::move(done);
   job->report.started = sim_.now();
+  job->span = obs_->trace().begin_lane(obs::Component::Hsm, "recall", "recall",
+                                       sim_.now());
+  obs_->trace().arg_num(job->span, "paths",
+                        static_cast<std::uint64_t>(paths.size()));
 
   // Resolve every path through the indexed export (Sec 4.2.5).
   struct Resolved {
@@ -581,8 +606,9 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
   }
 
   if (job->work.empty()) {
-    sim_.after(0, [job] {
+    sim_.after(0, [this, job] {
       job->report.finished = job->report.started;
+      account_recall(*job);
       if (job->done) job->done(job->report);
     });
     return;
@@ -622,6 +648,7 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
     }
     if (--job->active == 0) {
       job->report.finished = sim_.now();
+      account_recall(*job);
       if (job->done) job->done(job->report);
     }
     return;
@@ -647,6 +674,19 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
           run_recall_entry(job, work_idx, entry_idx + 1, drive);
         });
       });
+}
+
+void HsmSystem::account_recall(const RecallJob& job) {
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("hsm.recalls").inc();
+  m.counter("hsm.recalled_files").add(job.report.files_recalled);
+  m.counter("hsm.recall_failed_files").add(job.report.files_failed);
+  m.counter("hsm.recalled_bytes").add(job.report.bytes);
+  m.counter("hsm.recalled_tape_bytes").add(job.report.tape_bytes);
+  obs_->trace().arg_num(job.span, "files",
+                        static_cast<std::uint64_t>(job.report.files_recalled));
+  obs_->trace().arg_num(job.span, "bytes", job.report.bytes);
+  obs_->trace().end(job.span, sim_.now());
 }
 
 // ---------------------------------------------------------------------------
@@ -769,6 +809,17 @@ void HsmSystem::reconcile(bool delete_orphans,
   report.duration =
       report.inodes_walked * cfg_.reconcile_walk_cost +
       report.objects_checked * cfg_.server.metadata_txn_cost;
+  {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.counter("hsm.reconcile_runs").inc();
+    m.counter("hsm.reconcile_inodes_walked").add(report.inodes_walked);
+    m.counter("hsm.reconcile_orphans_found").add(report.orphans_found);
+    m.counter("hsm.reconcile_orphans_deleted").add(report.orphans_deleted);
+    const obs::SpanId sp =
+        obs_->trace().complete(obs::Component::Hsm, "reconcile", "reconcile",
+                               sim_.now(), sim_.now() + report.duration);
+    obs_->trace().arg_num(sp, "orphans", report.orphans_found);
+  }
   sim_.after(report.duration, [report, done] {
     if (done) done(report);
   });
@@ -832,6 +883,16 @@ void HsmSystem::space_management(
   report.used_fraction_after =
       static_cast<double>(fs_.pool(pool).value().used_bytes) / capacity;
   report.duration = fs_.scan_duration(inodes, 1);
+  {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.counter("hsm.space_mgmt_runs").inc();
+    m.counter("hsm.punched_files").add(report.files_punched);
+    m.counter("hsm.punched_bytes").add(report.bytes_freed);
+    const obs::SpanId sp =
+        obs_->trace().complete(obs::Component::Hsm, "space_mgmt", "space_mgmt",
+                               sim_.now(), sim_.now() + report.duration);
+    obs_->trace().arg_num(sp, "punched", report.files_punched);
+  }
   sim_.after(report.duration, [done = std::move(done), report] {
     if (done) done(report);
   });
@@ -852,6 +913,7 @@ struct HsmSystem::ReclaimJob {
   tape::TapeDrive* src_drive = nullptr;
   tape::TapeDrive* dst_drive = nullptr;
   ReclaimReport report;
+  obs::SpanId span;
   std::function<void(const ReclaimReport&)> done;
 };
 
@@ -861,6 +923,8 @@ void HsmSystem::reclaim_volumes(double dead_fraction, tape::NodeId node,
   job->node = node;
   job->done = std::move(done);
   job->report.started = sim_.now();
+  job->span = obs_->trace().begin_lane(obs::Component::Hsm, "reclaim",
+                                       "reclaim", sim_.now());
   lib_.for_each_cartridge([&](tape::Cartridge& cart) {
     ++job->report.volumes_examined;
     if (cart.bytes_used() == 0 || lib_.is_checked_out(cart.id())) return;
@@ -885,6 +949,7 @@ void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
   }
   if (job->next_victim >= job->victims.size()) {
     job->report.finished = sim_.now();
+    account_reclaim(*job);
     if (job->done) {
       auto done = std::move(job->done);
       sim_.after(0, [done = std::move(done), report = job->report] {
@@ -964,6 +1029,17 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
       });
 }
 
+void HsmSystem::account_reclaim(const ReclaimJob& job) {
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("hsm.reclaim_runs").inc();
+  m.counter("hsm.reclaimed_volumes").add(job.report.volumes_reclaimed);
+  m.counter("hsm.reclaim_objects_moved").add(job.report.objects_moved);
+  m.counter("hsm.reclaim_bytes_moved").add(job.report.bytes_moved);
+  obs_->trace().arg_num(job.span, "volumes",
+                        static_cast<std::uint64_t>(job.report.volumes_reclaimed));
+  obs_->trace().end(job.span, sim_.now());
+}
+
 ArchiveServer* HsmSystem::find_object_server(std::uint64_t object_id) {
   for (auto& server : servers_) {
     if (server->object(object_id) != nullptr) return server.get();
@@ -1014,10 +1090,12 @@ void HsmSystem::relocate_object(std::uint64_t object_id, std::uint64_t old_cart,
 
 void HsmSystem::on_read_offline(const std::string&, pfs::FileId) {
   ++offline_reads_;
+  obs_->metrics().counter("hsm.dmapi_offline_reads").inc();
 }
 
 void HsmSystem::on_managed_data_destroyed(const std::string&, pfs::FileId) {
   ++destroys_;
+  obs_->metrics().counter("hsm.dmapi_destroys").inc();
 }
 
 }  // namespace cpa::hsm

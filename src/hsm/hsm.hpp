@@ -26,6 +26,7 @@
 #include "hsm/fabric.hpp"
 #include "hsm/object.hpp"
 #include "hsm/server.hpp"
+#include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
 #include "simcore/units.hpp"
 #include "tape/library.hpp"
@@ -193,6 +194,9 @@ class HsmSystem : public pfs::DmapiListener {
   [[nodiscard]] std::uint64_t offline_read_events() const { return offline_reads_; }
   [[nodiscard]] std::uint64_t destroy_events() const { return destroys_; }
 
+  /// Routes hsm.* metrics and migrate/recall/reclaim spans to `obs`.
+  void set_observer(obs::Observer& obs) { obs_ = &obs; }
+
  private:
   struct MigrateJob;
   struct RecallJob;
@@ -208,6 +212,13 @@ class HsmSystem : public pfs::DmapiListener {
   /// `old_cart` to (new_cart, new_seq), including members and export rows.
   void relocate_object(std::uint64_t object_id, std::uint64_t old_cart,
                        std::uint64_t new_cart, std::uint64_t new_seq);
+
+  /// Folds a finished job's report into the hsm.* counters and closes its
+  /// span.  Accounting happens per batch/job, so registry totals match the
+  /// (combined) reports exactly.
+  void account_migrate(const MigrateJob& job);
+  void account_recall(const RecallJob& job);
+  void account_reclaim(const ReclaimJob& job);
 
   void run_migrate_unit(std::shared_ptr<MigrateJob> job);
   /// Chains one metadata transaction per object in the just-written unit.
@@ -234,6 +245,7 @@ class HsmSystem : public pfs::DmapiListener {
   Fabric fabric_;
   HsmConfig cfg_;
   std::vector<std::unique_ptr<ArchiveServer>> servers_;
+  obs::Observer* obs_ = &obs::Observer::nil();
   std::uint64_t offline_reads_ = 0;
   std::uint64_t destroys_ = 0;
 };

@@ -1,0 +1,101 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace cpa::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+sim::OnlineStats& MetricsRegistry::stats(const std::string& name) {
+  return stats_[name];
+}
+
+sim::Log10Histogram& MetricsRegistry::histogram(const std::string& name,
+                                                double base) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, sim::Log10Histogram(base)).first;
+  }
+  return it->second;
+}
+
+sim::Samples& MetricsRegistry::series(const std::string& name) {
+  return series_[name];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const sim::OnlineStats* MetricsRegistry::find_stats(
+    const std::string& name) const {
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+sim::Samples* MetricsRegistry::find_series(const std::string& name) {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string MetricsRegistry::summary() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%-40s %.3f\n", name.c_str(), g.value());
+    out += buf;
+  }
+  for (const auto& [name, s] : stats_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-40s n=%llu mean=%.3f min=%.3f max=%.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(s.count()), s.mean(), s.min(),
+                  s.max());
+    out += buf;
+  }
+  for (auto& [name, s] : series_) {
+    sim::Samples copy = s;  // percentile/min/max sort lazily
+    if (copy.count() == 0) {
+      std::snprintf(buf, sizeof(buf), "%-40s n=0\n", name.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%-40s n=%zu mean=%.3f p50=%.3f min=%.3f max=%.3f\n",
+                    name.c_str(), copy.count(), copy.mean(),
+                    copy.percentile(50.0), copy.min(), copy.max());
+    }
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += h.render(name);
+  }
+  return out;
+}
+
+bool MetricsRegistry::write_summary(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << summary();
+  return static_cast<bool>(f);
+}
+
+}  // namespace cpa::obs

@@ -1,0 +1,78 @@
+// Named metrics shared by every substrate.
+//
+// A MetricsRegistry is a flat namespace of counters, gauges, online
+// statistics, log10 histograms, and sample series, keyed by canonical
+// dotted names ("tape.mounts", "hsm.migrated_bytes", ...).  Subsystems
+// register the instruments they need once — at construction or when an
+// Observer is attached — and then update them through cached references,
+// so the per-event cost is an inline integer/double add with no lookup.
+//
+// Registration is idempotent: asking for an existing name of the same kind
+// returns the same instrument (the double-registration contract relied on
+// when several subsystems share a total, e.g. all tape drives adding into
+// "tape.mounts").  Instrument references stay valid for the registry's
+// lifetime (node-based storage).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "simcore/stats.hpp"
+
+namespace cpa::obs {
+
+class Counter {
+ public:
+  void inc() { ++v_; }
+  void add(std::uint64_t n) { v_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Registers (first call) or looks up (subsequent calls) an instrument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  sim::OnlineStats& stats(const std::string& name);
+  /// `base` applies only on first registration.
+  sim::Log10Histogram& histogram(const std::string& name, double base = 1.0);
+  /// Exact sample series (per-job values; the paper's 62-sample figures).
+  sim::Samples& series(const std::string& name);
+
+  // --- read-only lookup (nullptr when never registered) -------------------
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const sim::OnlineStats* find_stats(const std::string& name) const;
+  [[nodiscard]] sim::Samples* find_series(const std::string& name);
+
+  /// Value of a counter, 0 when absent (convenience for reports/tests).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Text dump, one "name value" line per instrument, sorted by name.
+  [[nodiscard]] std::string summary() const;
+  bool write_summary(const std::string& path) const;
+
+ private:
+  // std::map: node-based (stable references) and sorted (deterministic dump).
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, sim::OnlineStats> stats_;
+  std::map<std::string, sim::Log10Histogram> histograms_;
+  std::map<std::string, sim::Samples> series_;
+};
+
+}  // namespace cpa::obs

@@ -1,0 +1,60 @@
+#include "obs/observer.hpp"
+
+#include "simcore/flow_network.hpp"
+
+namespace cpa::obs {
+
+Observer::Observer() : Observer(ObsConfig{}) {}
+
+Observer::Observer(const ObsConfig& cfg)
+    : c_events_(metrics_.counter("sim.events_fired")),
+      c_flows_started_(metrics_.counter("net.flows_started")),
+      c_flows_completed_(metrics_.counter("net.flows_completed")),
+      c_flows_aborted_(metrics_.counter("net.flows_aborted")),
+      c_bytes_moved_(metrics_.counter("net.bytes_moved")) {
+  trace_.set_enabled(cfg.tracing);
+}
+
+Observer& Observer::nil() {
+  static Observer instance;
+  return instance;
+}
+
+void Observer::on_event_fired(sim::Tick /*at*/) { c_events_.inc(); }
+
+void Observer::on_flow_started(std::uint64_t flow_id, double bytes,
+                               sim::Tick now) {
+  c_flows_started_.inc();
+  if (trace_.enabled()) {
+    const SpanId id = trace_.begin_lane(Component::Net, "flow", "transfer", now);
+    trace_.arg_num(id, "bytes", bytes);
+    open_flows_.emplace(flow_id, id);
+  }
+}
+
+void Observer::on_flow_completed(std::uint64_t flow_id,
+                                 const sim::FlowStats& stats) {
+  c_flows_completed_.inc();
+  c_bytes_moved_.add(static_cast<std::uint64_t>(stats.bytes + 0.5));
+  if (trace_.enabled()) {
+    const auto it = open_flows_.find(flow_id);
+    if (it != open_flows_.end()) {
+      trace_.arg_num(it->second, "rate_bps", stats.mean_rate());
+      trace_.end(it->second, stats.finished);
+      open_flows_.erase(it);
+    }
+  }
+}
+
+void Observer::on_flow_aborted(std::uint64_t flow_id, sim::Tick now) {
+  c_flows_aborted_.inc();
+  if (trace_.enabled()) {
+    const auto it = open_flows_.find(flow_id);
+    if (it != open_flows_.end()) {
+      trace_.end(it->second, now);
+      open_flows_.erase(it);
+    }
+  }
+}
+
+}  // namespace cpa::obs

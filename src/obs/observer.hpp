@@ -1,0 +1,69 @@
+// The one observability object threaded through the archive.
+//
+// An Observer owns the trace recorder and the metrics registry and
+// implements both kernel probe interfaces, so a single instance sees the
+// event loop, every network flow, and (via set_observer hooks) every
+// substrate.  Components hold a never-null `Observer*` defaulting to
+// `Observer::nil()` — a process-wide disabled instance — so instrumented
+// call-sites need no null checks: disabled tracing costs one branch, and
+// metric updates are inline adds into the nil registry that nobody reads.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simcore/probe.hpp"
+
+namespace cpa::obs {
+
+struct ObsConfig {
+  /// Record spans and instants (memory grows with event count).  Metrics
+  /// are always maintained; they are a handful of numbers per subsystem.
+  bool tracing = false;
+};
+
+class Observer final : public sim::SimProbe, public sim::FlowProbe {
+ public:
+  Observer();
+  explicit Observer(const ObsConfig& cfg);
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  /// Shared disabled instance used as the default target of component
+  /// `Observer*` members.  Never exported or inspected.
+  static Observer& nil();
+
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  void set_tracing(bool on) { trace_.set_enabled(on); }
+  [[nodiscard]] bool tracing() const { return trace_.enabled(); }
+
+  // --- sim::SimProbe ------------------------------------------------------
+  void on_event_fired(sim::Tick at) override;
+
+  // --- sim::FlowProbe -----------------------------------------------------
+  void on_flow_started(std::uint64_t flow_id, double bytes,
+                       sim::Tick now) override;
+  void on_flow_completed(std::uint64_t flow_id,
+                         const sim::FlowStats& stats) override;
+  void on_flow_aborted(std::uint64_t flow_id, sim::Tick now) override;
+
+ private:
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+  // Hot-path instruments, cached at construction so probe hooks never do a
+  // map lookup.
+  Counter& c_events_;
+  Counter& c_flows_started_;
+  Counter& c_flows_completed_;
+  Counter& c_flows_aborted_;
+  Counter& c_bytes_moved_;
+  std::unordered_map<std::uint64_t, SpanId> open_flows_;
+};
+
+}  // namespace cpa::obs

@@ -1,0 +1,288 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace cpa::obs {
+namespace {
+
+void json_escape(const std::string& s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Virtual microseconds with sub-microsecond (nanosecond) precision —
+/// Chrome's ts/dur unit.  Fixed three decimals keeps the output
+/// byte-deterministic across platforms.
+void append_us(sim::Tick t, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(t / sim::kTicksPerUsec),
+                static_cast<unsigned long long>(t % sim::kTicksPerUsec));
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::Sim: return "sim";
+    case Component::Net: return "net";
+    case Component::Pfs: return "pfs";
+    case Component::Hsm: return "hsm";
+    case Component::Tape: return "tape";
+    case Component::Pftool: return "pftool";
+    case Component::Fuse: return "fuse";
+  }
+  return "?";
+}
+
+std::uint32_t TraceRecorder::intern_track(Component c, const std::string& name) {
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].comp == c && tracks_[i].name == name) return i;
+  }
+  tracks_.push_back(Track{c, name});
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+SpanId TraceRecorder::push_open(Component c, std::uint32_t track,
+                                std::string name, sim::Tick now,
+                                std::int32_t lane) {
+  Event ev;
+  ev.begin = now;
+  ev.end = now;
+  ev.comp = c;
+  ev.phase = 'X';
+  ev.open = true;
+  ev.track = track;
+  ev.lane = lane;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+  if (now > max_tick_) max_tick_ = now;
+  return SpanId{static_cast<std::uint32_t>(events_.size())};
+}
+
+SpanId TraceRecorder::begin(Component c, const std::string& track,
+                            std::string name, sim::Tick now) {
+  if (!enabled_) return {};
+  return push_open(c, intern_track(c, track), std::move(name), now, -1);
+}
+
+SpanId TraceRecorder::begin_lane(Component c, const std::string& group,
+                                 std::string name, sim::Tick now) {
+  if (!enabled_) return {};
+  LaneGroup* lg = nullptr;
+  std::size_t lg_idx = 0;
+  for (; lg_idx < lane_groups_.size(); ++lg_idx) {
+    if (lane_groups_[lg_idx].group == group) {
+      lg = &lane_groups_[lg_idx];
+      break;
+    }
+  }
+  if (lg == nullptr) {
+    lane_groups_.push_back(LaneGroup{group, {}, {}});
+    lg = &lane_groups_.back();
+  }
+  std::size_t lane = 0;
+  for (; lane < lg->in_use.size(); ++lane) {
+    if (!lg->in_use[lane]) break;
+  }
+  if (lane == lg->in_use.size()) {
+    lg->in_use.push_back(false);
+    lg->track_idx.push_back(
+        intern_track(c, group + "#" + std::to_string(lane)));
+    lg = &lane_groups_[lg_idx];  // intern_track may not move lane_groups_,
+                                 // but re-read for clarity after push_back
+  }
+  lg->in_use[lane] = true;
+  // Encode the lane as (group index << 16 | lane) so end() can free it.
+  const auto lane_code =
+      static_cast<std::int32_t>((lg_idx << 16) | (lane & 0xFFFF));
+  return push_open(c, lg->track_idx[lane], std::move(name), now, lane_code);
+}
+
+void TraceRecorder::end(SpanId id, sim::Tick now) {
+  if (!id.valid() || id.idx > events_.size()) return;
+  Event& ev = events_[id.idx - 1];
+  if (!ev.open) return;
+  ev.open = false;
+  ev.end = now < ev.begin ? ev.begin : now;
+  if (ev.end > max_tick_) max_tick_ = ev.end;
+  if (ev.lane >= 0) {
+    const std::size_t lg_idx = static_cast<std::uint32_t>(ev.lane) >> 16;
+    const std::size_t lane = static_cast<std::uint32_t>(ev.lane) & 0xFFFF;
+    if (lg_idx < lane_groups_.size() &&
+        lane < lane_groups_[lg_idx].in_use.size()) {
+      lane_groups_[lg_idx].in_use[lane] = false;
+    }
+  }
+}
+
+void TraceRecorder::arg(SpanId id, std::string key, std::string value) {
+  if (!id.valid() || id.idx > events_.size()) return;
+  events_[id.idx - 1].args.push_back(Arg{std::move(key), std::move(value), true});
+}
+
+void TraceRecorder::arg_num(SpanId id, std::string key, double value) {
+  if (!id.valid() || id.idx > events_.size()) return;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  events_[id.idx - 1].args.push_back(Arg{std::move(key), buf, false});
+}
+
+void TraceRecorder::arg_num(SpanId id, std::string key, std::uint64_t value) {
+  if (!id.valid() || id.idx > events_.size()) return;
+  events_[id.idx - 1].args.push_back(
+      Arg{std::move(key), std::to_string(value), false});
+}
+
+void TraceRecorder::instant(Component c, const std::string& track,
+                            std::string name, sim::Tick now) {
+  if (!enabled_) return;
+  const std::uint32_t t = intern_track(c, track);
+  Event ev;
+  ev.begin = now;
+  ev.end = now;
+  ev.comp = c;
+  ev.phase = 'i';
+  ev.track = t;
+  ev.name = std::move(name);
+  events_.push_back(std::move(ev));
+  if (now > max_tick_) max_tick_ = now;
+}
+
+SpanId TraceRecorder::complete(Component c, const std::string& track,
+                               std::string name, sim::Tick begin,
+                               sim::Tick end) {
+  if (!enabled_) return {};
+  const SpanId id = push_open(c, intern_track(c, track), std::move(name),
+                              begin, -1);
+  this->end(id, end);
+  return id;
+}
+
+std::size_t TraceRecorder::events_for(Component c) const {
+  std::size_t n = 0;
+  for (const Event& ev : events_) {
+    if (ev.comp == c) ++n;
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  tracks_.clear();
+  lane_groups_.clear();
+  max_tick_ = 0;
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + tracks_.size() * 64 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Thread-name metadata: one virtual thread per track, tid = index + 1.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(i + 1);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(std::string(to_string(tracks_[i].comp)) + "/" +
+                    tracks_[i].name,
+                out);
+    out += "\"}}";
+  }
+  for (const Event& ev : events_) {
+    sep();
+    out += "{\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.track + 1);
+    out += ",\"cat\":\"";
+    out += to_string(ev.comp);
+    out += "\",\"name\":\"";
+    json_escape(ev.name, out);
+    out += "\",\"ts\":";
+    append_us(ev.begin, out);
+    if (ev.phase == 'X') {
+      const sim::Tick end = ev.open ? std::max(ev.begin, max_tick_) : ev.end;
+      out += ",\"dur\":";
+      append_us(end - ev.begin, out);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < ev.args.size(); ++a) {
+        if (a > 0) out += ",";
+        out += "\"";
+        json_escape(ev.args[a].key, out);
+        out += "\":";
+        if (ev.args[a].quoted) {
+          out += "\"";
+          json_escape(ev.args[a].value, out);
+          out += "\"";
+        } else {
+          out += ev.args[a].value;
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << chrome_json();
+  return static_cast<bool>(f);
+}
+
+std::string TraceRecorder::csv() const {
+  std::string out = "begin_us,end_us,component,track,phase,name\n";
+  for (const Event& ev : events_) {
+    append_us(ev.begin, out);
+    out += ",";
+    append_us(ev.open ? std::max(ev.begin, max_tick_) : ev.end, out);
+    out += ",";
+    out += to_string(ev.comp);
+    out += ",";
+    out += tracks_[ev.track].name;
+    out += ",";
+    out += ev.phase;
+    out += ",";
+    out += ev.name;
+    out += "\n";
+  }
+  return out;
+}
+
+bool TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace cpa::obs

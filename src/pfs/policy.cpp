@@ -194,6 +194,15 @@ ScanReport PolicyEngine::run_scan(const FileSystem& fs, unsigned streams) const 
     }
   });
   report.scan_duration = fs.scan_duration(report.inodes_scanned, streams);
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("pfs.policy_scans").inc();
+  m.counter("pfs.policy_scanned_inodes").add(report.inodes_scanned);
+  // The caller charges scan_duration; the span covers that charged window.
+  const obs::SpanId sp =
+      obs_->trace().complete(obs::Component::Pfs, "policy", "policy_scan", now,
+                             now + report.scan_duration);
+  obs_->trace().arg_num(sp, "inodes", report.inodes_scanned);
+  obs_->trace().arg_num(sp, "streams", static_cast<std::uint64_t>(streams));
   return report;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
 
 namespace cpa::pfs {
@@ -103,8 +104,12 @@ class PolicyEngine {
   /// parallel scan processes for the duration estimate.
   [[nodiscard]] ScanReport run_scan(const FileSystem& fs, unsigned streams = 1) const;
 
+  /// Routes pfs.policy_* metrics and scan spans to `obs`.
+  void set_observer(obs::Observer& obs) { obs_ = &obs; }
+
  private:
   std::vector<Rule> rules_;
+  obs::Observer* obs_ = &obs::Observer::nil();
 };
 
 }  // namespace cpa::pfs

@@ -286,6 +286,11 @@ PftoolJob::PftoolJob(JobEnv env, PftoolConfig cfg, Command cmd,
   assert(env_.sim != nullptr && env_.net != nullptr && env_.cluster != nullptr);
   assert(env_.src_fs != nullptr);
   if (env_.dst_fs == nullptr) env_.dst_fs = env_.src_fs;
+  if (env_.obs == nullptr) env_.obs = &obs::Observer::nil();
+  obs::MetricsRegistry& m = env_.obs->metrics();
+  c_chunks_copied_ = &m.counter("pftool.chunks_copied");
+  c_chunks_failed_ = &m.counter("pftool.chunks_failed");
+  c_bytes_copied_ = &m.counter("pftool.bytes_copied");
   report_.command = cmd_ == Command::Pfls   ? "pfls"
                     : cmd_ == Command::Pfcp ? "pfcp"
                                             : "pfcm";
@@ -317,6 +322,9 @@ void PftoolJob::start() {
   assert(!started_);
   started_ = true;
   report_.started = env_.sim->now();
+  span_ = env_.obs->trace().begin_lane(obs::Component::Pftool, "job",
+                                       report_.command, report_.started);
+  env_.obs->trace().arg(span_, "src", src_root_);
 
   // Spawn the process set, pinning workers/tapeprocs to FTA nodes from the
   // LoadManager's current least-loaded machine list (Sec 4.1.2 item 1).
@@ -556,12 +564,15 @@ void PftoolJob::on_chunk_done(WorkerProc* w, const WorkItem& item, bool ok) {
   }
   if (!ok) {
     it->second.failed = true;
+    c_chunks_failed_->inc();
     if (cfg_.restartable && env_.journal != nullptr) {
       env_.journal->mark_bad(item.dst, item.chunk.index);
     }
   } else {
     ++report_.chunks_copied;
     report_.bytes_copied += item.chunk.bytes;
+    c_chunks_copied_->inc();
+    c_bytes_copied_->add(item.chunk.bytes);
     meter_.record(env_.sim->now(), item.chunk.bytes, 0);
     if (cfg_.restartable && env_.journal != nullptr) {
       env_.journal->mark_good(item.dst, item.chunk.index);
@@ -646,6 +657,7 @@ void PftoolJob::watchdog_tick() {
   s.window_files = meter_.files_in_window(s.at);
   s.window_bytes = meter_.bytes_in_window(s.at);
   watchdog_->record_sample(s);
+  env_.obs->trace().instant(obs::Component::Pftool, "watchdog", "tick", s.at);
   const Tick last = std::max(meter_.last_progress(), report_.started);
   if (s.at > last && s.at - last >= cfg_.stall_timeout) {
     abort_stalled();
@@ -655,6 +667,9 @@ void PftoolJob::watchdog_tick() {
 void PftoolJob::abort_stalled() {
   if (finished_) return;
   report_.aborted_by_watchdog = true;
+  env_.obs->metrics().counter("pftool.watchdog_aborts").inc();
+  env_.obs->trace().instant(obs::Component::Pftool, "watchdog", "stall_abort",
+                            env_.sim->now());
   finish();
 }
 
@@ -681,6 +696,23 @@ void PftoolJob::finish() {
   report_.tapecq_cartridges = tapecq_.total_enqueued() == 0
                                   ? 0
                                   : report_.tapes_touched;
+  // File-level totals fold in once per job, so the registry always agrees
+  // with the sum of finished JobReports.
+  obs::MetricsRegistry& m = env_.obs->metrics();
+  m.counter("pftool.jobs").inc();
+  m.counter("pftool.files_copied").add(report_.files_copied);
+  m.counter("pftool.files_failed").add(report_.files_failed);
+  m.counter("pftool.files_restored").add(report_.files_restored);
+  m.counter("pftool.files_compared").add(report_.files_compared);
+  m.counter("pftool.chunks_skipped_restart").add(report_.chunks_skipped_restart);
+  m.counter("pftool.tapes_touched").add(report_.tapes_touched);
+  m.counter("pftool.fuse_files").add(report_.fuse_files);
+  if (report_.bytes_copied > 0) {
+    m.series("pftool.job_rate_bps").add(report_.rate_bps());
+  }
+  env_.obs->trace().arg_num(span_, "files", report_.files_copied);
+  env_.obs->trace().arg_num(span_, "bytes", report_.bytes_copied);
+  env_.obs->trace().end(span_, report_.finished);
   if (done_) {
     env_.sim->after(0, [this] { done_(report_); });
   }

@@ -30,6 +30,7 @@
 #include "cluster/cluster.hpp"
 #include "fusefs/archive_fuse.hpp"
 #include "hsm/hsm.hpp"
+#include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
 #include "pftool/core/options.hpp"
 #include "pftool/core/planner.hpp"
@@ -56,6 +57,9 @@ struct JobEnv {
   fusefs::ArchiveFuse* fuse = nullptr;
   hsm::HsmSystem* hsm = nullptr;
   RestartJournal* journal = nullptr;
+  /// Observability sink (metrics + trace); nullptr falls back to the
+  /// disabled Observer::nil().
+  obs::Observer* obs = nullptr;
   /// Placement policy for new destination files (GPFS placement rules —
   /// e.g. small-file paths to the "slow" pool).  Returns a pool name or
   /// "" for the file-system default.  Overridden by cfg.dest_pool_hint.
@@ -173,6 +177,13 @@ class PftoolJob {
   std::uint64_t outstanding_stats_ = 0;
   bool started_ = false;
   bool finished_ = false;
+
+  obs::SpanId span_;
+  // Cached so the per-chunk hot path never looks a metric name up; the
+  // file-level totals are folded in once, at finish().
+  obs::Counter* c_chunks_copied_ = nullptr;
+  obs::Counter* c_chunks_failed_ = nullptr;
+  obs::Counter* c_bytes_copied_ = nullptr;
 };
 
 /// Convenience wrappers: construct a job, run the simulation to

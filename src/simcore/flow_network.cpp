@@ -35,6 +35,11 @@ const std::string& FlowNetwork::pool_name(PoolId pool) const {
   return pools_[pool.idx].name;
 }
 
+double FlowNetwork::pool_busy_seconds(PoolId pool) const {
+  assert(pool.valid() && pool.idx < pools_.size());
+  return pools_[pool.idx].busy_seconds;
+}
+
 double FlowNetwork::pool_allocated(PoolId pool) const {
   assert(pool.valid() && pool.idx < pools_.size());
   double sum = 0.0;
@@ -73,16 +78,20 @@ FlowId FlowNetwork::start_flow(std::vector<PathLeg> path, double bytes,
 
   const std::uint64_t id = next_flow_id_++;
 
+  if (probe_ != nullptr) probe_->on_flow_started(id, bytes, sim_.now());
+
   if (bytes <= kByteEps) {
     // Degenerate flow: complete immediately (via the event queue).
     FlowStats st{f.started, sim_.now(), bytes};
-    sim_.after(0, [cb = std::move(f.on_complete), st] {
+    sim_.after(0, [this, id, cb = std::move(f.on_complete), st] {
+      if (probe_ != nullptr) probe_->on_flow_completed(id, st);
       if (cb) cb(st);
     });
     return FlowId{id};
   }
 
   advance();
+  for (const auto& [p, w] : f.pools) ++pools_[p].active;
   flows_.emplace(id, std::move(f));
   recompute_rates();
   schedule_next_completion();
@@ -93,9 +102,11 @@ bool FlowNetwork::abort_flow(FlowId id) {
   auto it = flows_.find(id.id);
   if (it == flows_.end()) return false;
   advance();
+  for (const auto& [p, w] : it->second.pools) --pools_[p].active;
   flows_.erase(it);
   recompute_rates();
   schedule_next_completion();
+  if (probe_ != nullptr) probe_->on_flow_aborted(id.id, sim_.now());
   return true;
 }
 
@@ -118,6 +129,11 @@ void FlowNetwork::advance() {
   const double dt = to_seconds(now - last_update_);
   for (auto& [id, f] : flows_) {
     f.bytes_done = std::min(f.bytes_total, f.bytes_done + f.rate * dt);
+  }
+  if (!flows_.empty()) {
+    for (Pool& p : pools_) {
+      if (p.active > 0) p.busy_seconds += dt;
+    }
   }
   last_update_ = now;
 }
@@ -247,12 +263,19 @@ void FlowNetwork::on_completion_event() {
   advance();
 
   // Collect finished flows first (callbacks may start new flows).
-  std::vector<std::pair<FlowStats, std::function<void(const FlowStats&)>>> done;
+  struct Done {
+    std::uint64_t id;
+    FlowStats st;
+    std::function<void(const FlowStats&)> cb;
+  };
+  std::vector<Done> done;
   for (auto it = flows_.begin(); it != flows_.end();) {
     Flow& f = it->second;
     if (f.bytes_total - f.bytes_done <= kByteEps) {
-      done.emplace_back(FlowStats{f.started, sim_.now(), f.bytes_total},
-                        std::move(f.on_complete));
+      for (const auto& [p, w] : f.pools) --pools_[p].active;
+      done.push_back(Done{it->first,
+                          FlowStats{f.started, sim_.now(), f.bytes_total},
+                          std::move(f.on_complete)});
       it = flows_.erase(it);
     } else {
       ++it;
@@ -261,8 +284,9 @@ void FlowNetwork::on_completion_event() {
   recompute_rates();
   schedule_next_completion();
 
-  for (auto& [st, cb] : done) {
-    if (cb) cb(st);
+  for (auto& d : done) {
+    if (probe_ != nullptr) probe_->on_flow_completed(d.id, d.st);
+    if (d.cb) d.cb(d.st);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "simcore/probe.hpp"
 #include "simcore/simulation.hpp"
 
 namespace cpa::sim {
@@ -76,6 +77,11 @@ class FlowNetwork {
   [[nodiscard]] const std::string& pool_name(PoolId pool) const;
   /// Sum of current flow rates through the pool.
   [[nodiscard]] double pool_allocated(PoolId pool) const;
+  [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
+  /// Virtual seconds (up to the last rate change) during which at least
+  /// one flow traversed the pool — the utilization numerator behind the
+  /// paper's "~75% bandwidth utilization from two 10GigE trunks".
+  [[nodiscard]] double pool_busy_seconds(PoolId pool) const;
 
   /// Starts a flow of `bytes` through `path` (duplicate pools have their
   /// weights summed).  `on_complete` fires through the event queue when
@@ -98,10 +104,15 @@ class FlowNetwork {
 
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
 
+  /// Attaches a flow-lifecycle probe (nullptr detaches).
+  void set_probe(FlowProbe* probe) { probe_ = probe; }
+
  private:
   struct Pool {
     std::string name;
     double capacity;
+    unsigned active = 0;        // flows currently traversing the pool
+    double busy_seconds = 0.0;  // accumulated in advance()
   };
   struct Flow {
     // Deduplicated (pool, weight) pairs.
@@ -124,6 +135,7 @@ class FlowNetwork {
   void on_completion_event();
 
   Simulation& sim_;
+  FlowProbe* probe_ = nullptr;
   std::vector<Pool> pools_;
   std::map<std::uint64_t, Flow> flows_;  // ordered: deterministic iteration
   std::uint64_t next_flow_id_ = 1;

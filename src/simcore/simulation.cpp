@@ -47,6 +47,7 @@ bool Simulation::step() {
   if (!pop_live(ev)) return false;
   now_ = ev.at;
   ++fired_;
+  if (probe_ != nullptr) probe_->on_event_fired(now_);
   ev.fn();
   return true;
 }
@@ -72,6 +73,7 @@ std::size_t Simulation::run_until(Tick deadline) {
     if (!pop_live(ev)) break;
     now_ = ev.at;
     ++fired_;
+    if (probe_ != nullptr) probe_->on_event_fired(now_);
     ev.fn();
     ++n;
   }

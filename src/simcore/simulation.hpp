@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "simcore/probe.hpp"
 #include "simcore/time.hpp"
 
 namespace cpa::sim {
@@ -69,6 +70,10 @@ class Simulation {
   /// Total events fired since construction (for capacity reporting).
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  /// Attaches an event-loop probe (nullptr detaches).  The probe sees
+  /// every fired event; keep its hook trivial.
+  void set_probe(SimProbe* probe) { probe_ = probe; }
+
  private:
   struct Event {
     Tick at;
@@ -86,6 +91,7 @@ class Simulation {
   bool pop_live(Event& out);
 
   Tick now_ = 0;
+  SimProbe* probe_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::size_t live_ = 0;

@@ -9,6 +9,28 @@ TapeDrive::TapeDrive(sim::Simulation& sim, sim::FlowNetwork& net,
                      std::string name, TapeTimings timings)
     : sim_(sim), net_(net), name_(std::move(name)), timings_(timings) {
   rate_pool_ = net_.add_pool(name_ + ".rate", timings_.stream_rate_bps);
+  cache_instruments();
+}
+
+void TapeDrive::set_observer(obs::Observer& obs) {
+  obs_ = &obs;
+  cache_instruments();
+}
+
+void TapeDrive::cache_instruments() {
+  obs::MetricsRegistry& m = obs_->metrics();
+  c_mounts_ = &m.counter("tape.mounts");
+  c_unmounts_ = &m.counter("tape.unmounts");
+  c_handoffs_ = &m.counter("tape.handoffs");
+  c_seeks_ = &m.counter("tape.seeks");
+  c_backhitches_ = &m.counter("tape.backhitches");
+  c_write_txns_ = &m.counter("tape.write_txns");
+  c_read_txns_ = &m.counter("tape.read_txns");
+  c_bytes_written_ = &m.counter("tape.bytes_written");
+  c_bytes_read_ = &m.counter("tape.bytes_read");
+  g_mount_seconds_ = &m.gauge("tape.mount_seconds");
+  g_seek_seconds_ = &m.gauge("tape.seek_seconds");
+  g_backhitch_seconds_ = &m.gauge("tape.backhitch_seconds");
 }
 
 void TapeDrive::enqueue(std::function<void(std::function<void()>)> op) {
@@ -40,6 +62,10 @@ void TapeDrive::with_ownership(NodeId node, std::function<void()> then) {
   ++stats_.label_verifies;
   const sim::Tick penalty = timings_.rewind_time(position_) + timings_.label_verify;
   stats_.seek_time += timings_.rewind_time(position_);
+  c_handoffs_->inc();
+  g_seek_seconds_->add(sim::to_seconds(timings_.rewind_time(position_)));
+  obs_->trace().complete(obs::Component::Tape, name_, "handoff", sim_.now(),
+                         sim_.now() + penalty);
   position_ = 0;
   owner_ = node;
   sim_.after(penalty, std::move(then));
@@ -53,6 +79,10 @@ void TapeDrive::mount(Cartridge* cartridge, std::function<void()> done) {
     ++stats_.mounts;
     ++stats_.label_verifies;
     stats_.mount_time += t;
+    c_mounts_->inc();
+    g_mount_seconds_->add(sim::to_seconds(t));
+    obs_->trace().complete(obs::Component::Tape, name_, "mount", sim_.now(),
+                           sim_.now() + t);
     sim_.after(t, [this, cartridge, done, next] {
       cartridge_ = cartridge;
       position_ = 0;
@@ -71,6 +101,11 @@ void TapeDrive::unmount(std::function<void()> done) {
     ++stats_.unmounts;
     stats_.seek_time += rewind;
     stats_.mount_time += timings_.unload;
+    c_unmounts_->inc();
+    g_seek_seconds_->add(sim::to_seconds(rewind));
+    g_mount_seconds_->add(sim::to_seconds(timings_.unload));
+    obs_->trace().complete(obs::Component::Tape, name_, "unmount", sim_.now(),
+                           sim_.now() + t);
     sim_.after(t, [this, done, next] {
       cartridge_ = nullptr;
       position_ = 0;
@@ -91,23 +126,28 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
       next();
       return;
     }
+    const obs::SpanId sp =
+        obs_->trace().begin(obs::Component::Tape, name_, "write", sim_.now());
+    obs_->trace().arg_num(sp, "bytes", bytes);
     with_ownership(node, [this, object_id, bytes, path = std::move(path), done,
-                          next]() mutable {
+                          next, sp]() mutable {
       // Position to end-of-data for the append.
       const std::uint64_t end = cartridge_->bytes_used();
       const sim::Tick seek = timings_.seek_time(position_, end);
       if (seek > 0) {
         ++stats_.seeks;
         stats_.seek_time += seek;
+        c_seeks_->inc();
+        g_seek_seconds_->add(sim::to_seconds(seek));
       }
       position_ = end;
       sim_.after(seek, [this, object_id, bytes, path = std::move(path), done,
-                        next]() mutable {
+                        next, sp]() mutable {
         path.push_back(rate_pool_);
         const sim::Tick t0 = sim_.now();
         net_.start_flow(
             std::move(path), static_cast<double>(bytes),
-            [this, object_id, bytes, t0, done, next](const sim::FlowStats&) {
+            [this, object_id, bytes, t0, done, next, sp](const sim::FlowStats&) {
               stats_.transfer_time += sim_.now() - t0;
               // Copy: the cartridge's segment vector may reallocate before
               // the backhitch completes.
@@ -115,11 +155,16 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
               position_ = seg.offset + seg.bytes;
               ++stats_.write_txns;
               stats_.bytes_written += bytes;
+              c_write_txns_->inc();
+              c_bytes_written_->add(bytes);
               // HSM semantics: one file, one transaction — the drive stops
               // after each object (Sec 6.1).
               ++stats_.backhitches;
               stats_.backhitch_time += timings_.backhitch;
-              sim_.after(timings_.backhitch, [done, seg, next] {
+              c_backhitches_->inc();
+              g_backhitch_seconds_->add(sim::to_seconds(timings_.backhitch));
+              sim_.after(timings_.backhitch, [this, done, seg, next, sp] {
+                obs_->trace().end(sp, sim_.now());
                 if (done) done(&seg);
                 next();
               });
@@ -142,8 +187,11 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
       next();
       return;
     }
-    with_ownership(node, [this, seg, path = std::move(path), done,
-                          next]() mutable {
+    const obs::SpanId sp =
+        obs_->trace().begin(obs::Component::Tape, name_, "read", sim_.now());
+    obs_->trace().arg_num(sp, "bytes", seg->bytes);
+    with_ownership(node, [this, seg, path = std::move(path), done, next,
+                          sp]() mutable {
       sim::Tick pre = 0;
       if (position_ != seg->offset) {
         // Non-sequential access: locate plus a repositioning stop.
@@ -152,19 +200,27 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
         stats_.seek_time += seek;
         ++stats_.backhitches;
         stats_.backhitch_time += timings_.backhitch;
+        c_seeks_->inc();
+        g_seek_seconds_->add(sim::to_seconds(seek));
+        c_backhitches_->inc();
+        g_backhitch_seconds_->add(sim::to_seconds(timings_.backhitch));
         pre = seek + timings_.backhitch;
         position_ = seg->offset;
       }
       const Segment segv = *seg;  // copy against vector reallocation
-      sim_.after(pre, [this, segv, path = std::move(path), done, next]() mutable {
+      sim_.after(pre, [this, segv, path = std::move(path), done, next,
+                       sp]() mutable {
         path.push_back(rate_pool_);
         const sim::Tick t0 = sim_.now();
         net_.start_flow(std::move(path), static_cast<double>(segv.bytes),
-                        [this, segv, t0, done, next](const sim::FlowStats&) {
+                        [this, segv, t0, done, next, sp](const sim::FlowStats&) {
                           stats_.transfer_time += sim_.now() - t0;
                           position_ = segv.offset + segv.bytes;
                           ++stats_.read_txns;
                           stats_.bytes_read += segv.bytes;
+                          c_read_txns_->inc();
+                          c_bytes_read_->add(segv.bytes);
+                          obs_->trace().end(sp, sim_.now());
                           if (done) done(&segv);
                           next();
                         });

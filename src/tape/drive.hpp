@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "simcore/flow_network.hpp"
 #include "simcore/simulation.hpp"
 #include "tape/cartridge.hpp"
@@ -57,6 +58,10 @@ class TapeDrive {
   [[nodiscard]] bool busy() const { return busy_ || !ops_.empty(); }
   [[nodiscard]] const DriveStats& stats() const { return stats_; }
 
+  /// Routes spans and tape.* metrics to `obs` (all drives share the same
+  /// counters; each drive traces onto its own named track).
+  void set_observer(obs::Observer& obs);
+
   /// Mounts a cartridge (load + label verify).  Drive must be empty when
   /// the operation runs.
   void mount(Cartridge* cartridge, std::function<void()> done);
@@ -84,6 +89,8 @@ class TapeDrive {
   void run_next();
   /// Charges any owner-handoff penalty, then continues.
   void with_ownership(NodeId node, std::function<void()> then);
+  /// Re-resolves the cached tape.* instruments against obs_'s registry.
+  void cache_instruments();
 
   sim::Simulation& sim_;
   sim::FlowNetwork& net_;
@@ -97,6 +104,21 @@ class TapeDrive {
   bool busy_ = false;
   std::deque<std::function<void(std::function<void()>)>> ops_;
   DriveStats stats_;
+
+  obs::Observer* obs_ = &obs::Observer::nil();
+  // Cached so hot-path updates never look names up.
+  obs::Counter* c_mounts_ = nullptr;
+  obs::Counter* c_unmounts_ = nullptr;
+  obs::Counter* c_handoffs_ = nullptr;
+  obs::Counter* c_seeks_ = nullptr;
+  obs::Counter* c_backhitches_ = nullptr;
+  obs::Counter* c_write_txns_ = nullptr;
+  obs::Counter* c_read_txns_ = nullptr;
+  obs::Counter* c_bytes_written_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Gauge* g_mount_seconds_ = nullptr;
+  obs::Gauge* g_seek_seconds_ = nullptr;
+  obs::Gauge* g_backhitch_seconds_ = nullptr;
 };
 
 }  // namespace cpa::tape

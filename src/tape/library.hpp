@@ -76,6 +76,11 @@ class TapeLibrary {
   /// Sums stats over all drives.
   [[nodiscard]] DriveStats aggregate_stats() const;
 
+  /// Propagates the observer to every drive.
+  void set_observer(obs::Observer& obs) {
+    for (auto& d : drives_) d->set_observer(obs);
+  }
+
  private:
   sim::Simulation& sim_;
   LibraryConfig cfg_;

@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "simcore/time.hpp"
+
+namespace cpa::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder tr;
+  const SpanId id = tr.begin(Component::Tape, "drive0", "mount", sim::secs(1));
+  EXPECT_FALSE(id.valid());
+  tr.arg(id, "k", "v");   // must be a safe no-op on an invalid handle
+  tr.end(id, sim::secs(2));
+  tr.instant(Component::Sim, "t", "i", sim::secs(1));
+  tr.complete(Component::Hsm, "t", "c", sim::secs(1), sim::secs(2));
+  EXPECT_EQ(tr.event_count(), 0u);
+  EXPECT_EQ(tr.track_count(), 0u);
+}
+
+TEST(TraceRecorder, SpansNestAndOrderOnVirtualTime) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  // Properly nested spans on one fixed track, out-of-order ends.
+  const SpanId outer = tr.begin(Component::Hsm, "migrate", "batch", sim::secs(1));
+  const SpanId inner = tr.begin(Component::Hsm, "migrate", "unit", sim::secs(2));
+  tr.end(inner, sim::secs(3));
+  tr.end(outer, sim::secs(5));
+  EXPECT_EQ(tr.event_count(), 2u);
+  EXPECT_EQ(tr.track_count(), 1u);
+  EXPECT_EQ(tr.events_for(Component::Hsm), 2u);
+  // The CSV dump preserves recording order and closed-span durations.
+  const std::string csv = tr.csv();
+  EXPECT_NE(csv.find("1000000.000,5000000.000,hsm,migrate,X,batch"),
+            std::string::npos);
+  EXPECT_NE(csv.find("2000000.000,3000000.000,hsm,migrate,X,unit"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, EndClampsToBeginAndIgnoresDoubleClose) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId id = tr.begin(Component::Net, "flow#0", "xfer", sim::secs(4));
+  tr.end(id, sim::secs(2));  // virtual clocks never run backwards; clamp
+  tr.end(id, sim::secs(9));  // double close is a no-op
+  const std::string csv = tr.csv();
+  EXPECT_NE(csv.find("4000000.000,4000000.000,net,flow#0,X,xfer"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, LanesAllocateLowestFreeAndRecycle) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin_lane(Component::Net, "flow", "a", sim::secs(0));
+  const SpanId b = tr.begin_lane(Component::Net, "flow", "b", sim::secs(0));
+  EXPECT_EQ(tr.track_count(), 2u);  // flow#0 and flow#1
+  tr.end(a, sim::secs(1));
+  // Lane 0 is free again: the next span must reuse it, not open flow#2.
+  const SpanId c = tr.begin_lane(Component::Net, "flow", "c", sim::secs(2));
+  EXPECT_TRUE(c.valid());
+  tr.end(b, sim::secs(3));
+  tr.end(c, sim::secs(3));
+  EXPECT_EQ(tr.track_count(), 2u);
+  const std::string csv = tr.csv();
+  EXPECT_NE(csv.find("2000000.000,3000000.000,net,flow#0,X,c"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, UnfinishedSpansCloseAtMaxTickOnExport) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.begin(Component::Pftool, "job#0", "pfcp", sim::secs(1));
+  tr.instant(Component::Pftool, "watchdog", "tick", sim::secs(7));
+  const std::string csv = tr.csv();
+  EXPECT_NE(csv.find("1000000.000,7000000.000,pftool,job#0,X,pfcp"),
+            std::string::npos);
+}
+
+// Byte-exact golden output: the exporter's framing, separators, virtual-us
+// timestamps, metadata records, and arg encoding are all load-bearing for
+// chrome://tracing / Perfetto compatibility.
+TEST(TraceRecorder, ChromeJsonGolden) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin(Component::Tape, "drive0", "mount", sim::usecs(1));
+  tr.arg_num(a, "bytes", std::uint64_t{42});
+  tr.end(a, sim::usecs(3));
+  tr.instant(Component::Pftool, "watchdog", "tick", sim::usecs(2));
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"tape/drive0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"pftool/watchdog\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"tape\",\"name\":\"mount\","
+      "\"ts\":1.000,\"dur\":2.000,\"args\":{\"bytes\":42}},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":2,\"cat\":\"pftool\",\"name\":\"tick\","
+      "\"ts\":2.000,\"s\":\"t\"}"
+      "]}\n";
+  EXPECT_EQ(tr.chrome_json(), expected);
+}
+
+TEST(TraceRecorder, JsonEscapesControlAndQuoteCharacters) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a =
+      tr.begin(Component::Pfs, "scan", "name\"with\\quote", sim::usecs(0));
+  tr.arg(a, "path", "/a\nb\tc");
+  tr.end(a, sim::usecs(1));
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("name\\\"with\\\\quote"), std::string::npos);
+  EXPECT_NE(json.find("/a\\nb\\tc"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry m;
+  Counter& c1 = m.counter("tape.mounts");
+  Counter& c2 = m.counter("tape.mounts");
+  EXPECT_EQ(&c1, &c2);  // the shared-total contract: same instrument back
+  c1.inc();
+  c2.add(2);
+  EXPECT_EQ(m.counter_value("tape.mounts"), 3u);
+
+  sim::Log10Histogram& h1 = m.histogram("pfs.file_bytes", 1.0);
+  // `base` applies only on first registration; a different base must not
+  // silently fork a second histogram.
+  sim::Log10Histogram& h2 = m.histogram("pfs.file_bytes", 1000.0);
+  EXPECT_EQ(&h1, &h2);
+
+  EXPECT_EQ(&m.gauge("g"), &m.gauge("g"));
+  EXPECT_EQ(&m.stats("s"), &m.stats("s"));
+  EXPECT_EQ(&m.series("x"), &m.series("x"));
+}
+
+TEST(MetricsRegistry, FindReturnsNullWhenAbsent) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.find_counter("nope"), nullptr);
+  EXPECT_EQ(m.find_gauge("nope"), nullptr);
+  EXPECT_EQ(m.find_stats("nope"), nullptr);
+  EXPECT_EQ(m.find_series("nope"), nullptr);
+  EXPECT_EQ(m.counter_value("nope"), 0u);
+}
+
+TEST(MetricsRegistry, SummaryIsSortedAndComplete) {
+  MetricsRegistry m;
+  m.counter("b.count").add(7);
+  m.counter("a.count").inc();
+  m.gauge("c.level").set(2.5);
+  const std::string s = m.summary();
+  // Names are padded to a fixed column; values follow on the same line.
+  const std::size_t a = s.find("a.count");
+  const std::size_t b = s.find("b.count");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);  // std::map storage: dump sorted by name
+  EXPECT_EQ(s.substr(a, s.find('\n', a) - a).back(), '1');
+  EXPECT_EQ(s.substr(b, s.find('\n', b) - b).back(), '7');
+  EXPECT_NE(s.find("2.500"), std::string::npos);
+}
+
+TEST(Observer, NilSinkAbsorbsEverything) {
+  Observer& nil = Observer::nil();
+  EXPECT_FALSE(nil.tracing());
+  const SpanId id =
+      nil.trace().begin(Component::Sim, "t", "noop", sim::secs(1));
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(nil.trace().event_count(), 0u);
+}
+
+TEST(Observer, FlowProbeTracksSpansPerFlow) {
+  ObsConfig cfg;
+  cfg.tracing = true;
+  Observer ob(cfg);
+  sim::FlowProbe& probe = ob;
+  probe.on_flow_started(1, 1e6, sim::secs(0));
+  probe.on_flow_started(2, 2e6, sim::secs(0));
+  EXPECT_EQ(ob.trace().events_for(Component::Net), 2u);
+  EXPECT_EQ(ob.metrics().counter_value("net.flows_started"), 2u);
+}
+
+}  // namespace
+}  // namespace cpa::obs

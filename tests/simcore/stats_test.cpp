@@ -78,6 +78,29 @@ TEST(RateMeter, WindowExpiry) {
   EXPECT_EQ(m.last_progress(), secs(30));
 }
 
+TEST(RateMeter, WindowBoundaryIsInclusive) {
+  RateMeter m(secs(10));
+  m.record(secs(0), 100, 1);
+  m.record(secs(10), 50, 2);
+  // The cutoff comparison is strict (`at < now - window`): an entry aged
+  // exactly one full window is still counted...
+  EXPECT_EQ(m.bytes_in_window(secs(10)), 150u);
+  EXPECT_EQ(m.files_in_window(secs(10)), 3u);
+  // ...and expires one tick later.
+  EXPECT_EQ(m.bytes_in_window(secs(10) + 1), 50u);
+  EXPECT_EQ(m.files_in_window(secs(10) + 1), 2u);
+  EXPECT_EQ(m.total_bytes(), 150u);
+}
+
+TEST(RateMeter, QueriesBeforeOneFullWindowKeepEverything) {
+  RateMeter m(minutes(1));
+  m.record(secs(1), 10, 1);
+  // now < window: the cutoff clamps to 0 instead of wrapping the unsigned
+  // Tick, so nothing expires.
+  EXPECT_EQ(m.bytes_in_window(secs(5)), 10u);
+  EXPECT_EQ(m.bytes_in_window(0), 10u);
+}
+
 TEST(RateMeter, StallDetectionViaLastProgress) {
   RateMeter m(minutes(1));
   EXPECT_EQ(m.last_progress(), 0u);
