@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   opts.tracing = obs_cli.tracing();
   opts.trace_path = obs_cli.trace_path;
   opts.metrics_path = obs_cli.metrics_path;
+  opts.fault_spec = obs_cli.fault_spec;  // --fault=auto or a plan spec
+  if (obs_cli.seed_set) opts.seed = obs_cli.seed;
   const bench::CampaignResult result = bench::run_campaign(opts);
 
   bench::section("series (job id, MB/s)");
@@ -82,6 +84,41 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "  error: could not write metrics to %s\n",
                    obs_cli.metrics_path.c_str());
+      return 1;
+    }
+  }
+
+  // Fault/recovery report: deterministic per seed, so two runs with the
+  // same --seed/--fault must print this section byte-for-byte identical.
+  if (!obs_cli.fault_spec.empty()) {
+    bench::section("fault injection & recovery");
+    std::printf("  plan: %s (seed %llu)\n", obs_cli.fault_spec.c_str(),
+                static_cast<unsigned long long>(opts.seed));
+    std::printf("  faults injected: %llu   repaired: %llu\n",
+                static_cast<unsigned long long>(result.faults_injected),
+                static_cast<unsigned long long>(result.faults_repaired));
+    std::printf("  pftool retries: %llu   worker crashes: %llu   "
+                "job relaunches: %llu\n",
+                static_cast<unsigned long long>(result.pftool_retries),
+                static_cast<unsigned long long>(result.worker_crashes),
+                static_cast<unsigned long long>(result.job_relaunches));
+    for (const auto& job : result.jobs) {
+      if (job.attempts <= 1 && job.chunks_resumed == 0 &&
+          job.files_failed == 0) {
+        continue;
+      }
+      std::printf("  job %2u: %u attempts, %llu chunks journal-resumed, "
+                  "%llu files unrecovered\n",
+                  job.spec.job_id, job.attempts,
+                  static_cast<unsigned long long>(job.chunks_resumed),
+                  static_cast<unsigned long long>(job.files_failed));
+    }
+    std::printf("  job records live after reap: %zu\n",
+                result.jobs_live_after_reap);
+    std::printf("  unrecovered files: %llu\n",
+                static_cast<unsigned long long>(result.files_failed_total));
+    if (result.files_failed_total != 0) {
+      std::fprintf(stderr, "  error: campaign left unrecovered files\n");
       return 1;
     }
   }

@@ -7,7 +7,15 @@
 //
 // Interrupt a very large transfer at various completion fractions, then
 // restart with and without the chunk journal, and compare bytes re-sent.
+//
+// With `--fault=<plan>` the bench instead runs the fault-matrix smoke
+// used by ci.sh: a multi-file pfcp plus a parallel migration ride out the
+// injected faults (retry + journal resume), then pfcm verifies the tree
+// byte-exactly.  Exit 1 on any unrecovered file, 2 on a bad plan spec.
 #include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "archive/system.hpp"
 #include "bench/common.hpp"
@@ -59,9 +67,102 @@ Outcome restart_after(double fail_fraction, bool journaled,
   return out;
 }
 
+/// Fault-matrix smoke: one plan string in, exit status out.
+int run_fault_matrix(const std::string& spec) {
+  bench::header("Sec 4.5 (fault matrix)",
+                "Recovery smoke under injected faults: " + spec);
+
+  std::string err;
+  const std::optional<fault::FaultPlan> parsed = fault::FaultPlan::parse(spec, &err);
+  if (!parsed || parsed->empty()) {
+    std::fprintf(stderr, "  error: bad fault spec \"%s\": %s\n", spec.c_str(),
+                 err.empty() ? "empty plan" : err.c_str());
+    return 2;
+  }
+  const fault::FaultPlan& plan = *parsed;
+
+  // Aggressive-but-bounded recovery: strikes land tens of virtual seconds
+  // into the run, repairs take minutes, so retries must outlast an outage.
+  fault::RetryPolicy rp;
+  rp.max_attempts = 8;
+  rp.backoff = sim::secs(15);
+  rp.max_backoff = sim::minutes(5);
+
+  archive::SystemConfig cfg = archive::SystemConfig::small()
+                                  .with_workers(8)
+                                  .with_retry(rp)
+                                  .with_fault_plan(plan);
+  archive::CotsParallelArchive sys(cfg);
+
+  // A 24-file / 192 GB pfcp spans 80+ virtual seconds on the small plant,
+  // so canned strikes at t=20..60s always hit in-flight copies.
+  constexpr unsigned kCopyFiles = 24;
+  for (unsigned i = 0; i < kCopyFiles; ++i) {
+    sys.make_file(sys.scratch(), "/scratch/data/f" + std::to_string(i),
+                  8 * kGB, 0x5EED00 + i);
+  }
+  // Pre-made archive files feed a migration launched immediately, so
+  // drive/server faults during the first minute hit in-flight tape writes.
+  std::vector<std::string> to_tape;
+  for (unsigned i = 0; i < 16; ++i) {
+    const std::string p = "/proj/premade/m" + std::to_string(i);
+    sys.make_file(sys.archive_fs(), p, 2 * kGB, 0x7A9E00 + i);
+    to_tape.push_back(p);
+  }
+  hsm::MigrateReport mig;
+  sys.hsm().parallel_migrate(to_tape, {0, 1}, hsm::DistributionStrategy::SizeBalanced,
+                             "smoke", [&mig](const hsm::MigrateReport& r) { mig = r; });
+
+  archive::JobHandle job = sys.submit(
+      archive::JobSpec::pfcp("/scratch/data", "/proj/data")
+          .restartable()
+          .with_retry(rp));
+  sys.sim().run();
+
+  const pftool::JobReport cp = job.report();
+  const pftool::JobReport cm = sys.pfcm("/scratch/data", "/proj/data");
+
+  obs::Observer& ob = sys.observer();
+  const std::uint64_t injected = ob.metrics().counter_value("fault.injected_total");
+  const std::uint64_t repaired = ob.metrics().counter_value("fault.repaired_total");
+  const std::uint64_t retries = ob.metrics().counter_value("pftool.retries_total");
+
+  bench::section("recovery outcome");
+  std::printf("  faults injected: %llu   repaired: %llu\n",
+              static_cast<unsigned long long>(injected),
+              static_cast<unsigned long long>(repaired));
+  std::printf("  pfcp: %u attempts, %llu files copied, %llu failed, "
+              "%llu chunks retried, %llu journal-resumed\n",
+              job.attempts(), static_cast<unsigned long long>(cp.files_copied),
+              static_cast<unsigned long long>(cp.files_failed),
+              static_cast<unsigned long long>(cp.chunk_retries),
+              static_cast<unsigned long long>(cp.chunks_skipped_restart));
+  std::printf("  pftool retries (chunk + relaunch): %llu\n",
+              static_cast<unsigned long long>(retries));
+  std::printf("  migration: %u migrated, %u failed, %u retries, "
+              "%u units requeued\n",
+              mig.files_migrated, mig.files_failed, mig.retries,
+              mig.units_requeued);
+  std::printf("  pfcm: %llu compared, %llu mismatched\n",
+              static_cast<unsigned long long>(cm.files_compared),
+              static_cast<unsigned long long>(cm.files_mismatched));
+
+  const std::uint64_t unrecovered =
+      cp.files_failed + mig.files_failed + cm.files_mismatched;
+  std::printf("  unrecovered files: %llu\n",
+              static_cast<unsigned long long>(unrecovered));
+  if (unrecovered != 0) {
+    std::fprintf(stderr, "  error: faults were not fully recovered\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::ObsCli cli = bench::parse_obs_cli(argc, argv);
+  if (!cli.fault_spec.empty()) return run_fault_matrix(cli.fault_spec);
   bench::header("Sec 4.5", "Restart-able transfer: chunk journal vs full re-send");
 
   constexpr std::uint64_t kFile = 2 * kTB;  // scaled stand-in for the 40 TB case

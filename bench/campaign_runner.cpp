@@ -76,6 +76,31 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   cfg.cluster.trunk_bps *= kGoodput;
   cfg.cluster.node_nic_bps *= kGoodput;
   cfg.obs.tracing = opts.tracing || !opts.trace_path.empty();
+  const bool faulty = !opts.fault_spec.empty();
+  std::size_t widened_job = specs.size();  // index of the 16-worker job
+  if (faulty) {
+    if (opts.fault_spec == "auto") {
+      // Campaign-aligned plan: crash a node mid-way through the largest
+      // of the first ten jobs, and fail two drives while the early
+      // migration cycles hold them.
+      std::size_t big = 0;
+      for (std::size_t i = 1; i < std::min<std::size_t>(10, specs.size());
+           ++i) {
+        if (specs[i].total_bytes > specs[big].total_bytes) big = i;
+      }
+      widened_job = big;
+      fault::FaultPlan plan;
+      plan.node_crash(1, specs[big].submit_time + sim::minutes(5),
+                      sim::minutes(10));
+      plan.drive_failure(0, sim::hours(2) + sim::minutes(30),
+                         sim::minutes(15));
+      plan.drive_failure(1, sim::hours(6) + sim::minutes(30),
+                         sim::minutes(15));
+      cfg.with_fault_plan(std::move(plan));
+    } else {
+      cfg.with_fault_plan(opts.fault_spec);
+    }
+  }
   CotsParallelArchive sys(cfg);
 
   sim::Rng rng(opts.seed ^ 0xBADCAFE);
@@ -84,6 +109,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
 
   CampaignResult result;
   result.jobs.resize(specs.size());
+  std::vector<archive::JobHandle> handles(specs.size());
 
   // Materialize all trees up front (namespace ops are free in virtual
   // time), then schedule each pfcp at its submit time.
@@ -108,6 +134,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     pftool::PftoolConfig job_cfg = sys.config().pftool;
     job_cfg.num_workers =
         kWorkerChoices[rng.uniform_u64(0, std::size(kWorkerChoices) - 1)];
+    if (i == widened_job) job_cfg.num_workers = 16;  // one worker per node
     job_cfg.num_readdir = 2;
     job_cfg.num_tapeprocs = 0;
     job_cfg.per_file_cost = sim::msecs(4);
@@ -122,20 +149,34 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
     job_cfg.per_file_cost = static_cast<sim::Tick>(
         static_cast<double>(job_cfg.per_file_cost) * std::max(1.0, expansion));
 
-    sys.sim().at(spec.submit_time, [&sys, &result, i, job_cfg] {
+    sys.sim().at(spec.submit_time, [&sys, &result, &handles, i, job_cfg,
+                                    faulty] {
       const auto& spec = result.jobs[i].spec;
       const std::string src = "/scratch/job" + std::to_string(spec.job_id);
       const std::string dst = "/proj/job" + std::to_string(spec.job_id);
-      sys.start_pfcp(src, dst,
-                     [&result, i](const pftool::JobReport& r) {
-                       result.jobs[i].measured_rate_bps = r.rate_bps();
-                       result.jobs[i].elapsed_seconds = r.elapsed_seconds();
-                       result.jobs[i].files_copied = r.files_copied;
-                     },
-                     job_cfg);
+      archive::JobSpec js =
+          archive::JobSpec::pfcp(src, dst).with_config(job_cfg);
+      if (faulty) {
+        // Ride faults out: journal the transfer and relaunch failed jobs.
+        js.restartable().with_retry(fault::RetryPolicy::standard());
+      }
+      handles[i] = sys.submit(std::move(js));
+      handles[i].on_done([&result, i](const pftool::JobReport& r) {
+        result.jobs[i].measured_rate_bps = r.rate_bps();
+        result.jobs[i].elapsed_seconds = r.elapsed_seconds();
+        result.jobs[i].files_copied = r.files_copied;
+        result.jobs[i].files_failed = r.files_failed;
+        result.jobs[i].chunks_resumed = r.chunks_skipped_restart;
+      });
     });
   }
   sys.sim().run();
+  sys.reap_finished();
+  result.jobs_live_after_reap = sys.jobs_live();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    result.jobs[i].attempts = handles[i].attempts();
+    result.files_failed_total += result.jobs[i].files_failed;
+  }
 
   sys.snapshot_net_metrics();
   obs::Observer& ob = sys.observer();
@@ -153,6 +194,11 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   if (!opts.metrics_path.empty()) {
     result.metrics_written = ob.metrics().write_summary(opts.metrics_path);
   }
+  result.faults_injected = ob.metrics().counter_value("fault.injected_total");
+  result.faults_repaired = ob.metrics().counter_value("fault.repaired_total");
+  result.pftool_retries = ob.metrics().counter_value("pftool.retries_total");
+  result.worker_crashes = ob.metrics().counter_value("pftool.worker_crashes");
+  result.job_relaunches = ob.metrics().counter_value("pftool.job_relaunches");
   return result;
 }
 

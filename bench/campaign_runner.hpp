@@ -27,6 +27,9 @@ struct CampaignJobResult {
   double measured_rate_bps = 0.0;  // Fig 10 (from the scaled run)
   double elapsed_seconds = 0.0;
   std::uint64_t files_copied = 0;
+  std::uint64_t files_failed = 0;
+  std::uint64_t chunks_resumed = 0;  // journal-skipped chunks on relaunch
+  unsigned attempts = 0;  // job launches (1 unless faults forced relaunch)
 };
 
 struct CampaignOptions {
@@ -38,6 +41,14 @@ struct CampaignOptions {
   std::string trace_path;
   /// When set, the metrics summary is written here after the run.
   std::string metrics_path;
+  /// Fault-spec string (fault/plan.hpp grammar) armed against the plant.
+  /// Non-empty also turns on restartable transfers and job-level retry so
+  /// the campaign rides the faults out.  The special value "auto" builds
+  /// a plan aligned to the generated campaign: two drive failures during
+  /// the early migration cycles plus an FTA node crash five minutes into
+  /// the largest early job (which is widened to 16 workers so every node
+  /// hosts one — the crash is guaranteed to kill in-flight copies).
+  std::string fault_spec;
 };
 
 struct CampaignResult {
@@ -52,6 +63,17 @@ struct CampaignResult {
   // False when the corresponding path was requested but not writable.
   bool trace_written = true;
   bool metrics_written = true;
+  // Fault/recovery aggregates (all zero on fault-free runs).
+  std::uint64_t faults_injected = 0;   // fault.injected_total
+  std::uint64_t faults_repaired = 0;   // fault.repaired_total
+  std::uint64_t pftool_retries = 0;    // pftool.retries_total
+  std::uint64_t worker_crashes = 0;    // pftool.worker_crashes
+  std::uint64_t job_relaunches = 0;    // pftool.job_relaunches
+  std::uint64_t files_failed_total = 0;
+  /// Job records still held by the system after the final reap; bounded
+  /// regardless of campaign length (the jobs_ vector no longer grows
+  /// forever).
+  std::size_t jobs_live_after_reap = 0;
 };
 
 /// Runs the campaign once with full control over scale and observability.

@@ -7,7 +7,9 @@
 // fall) is the reproduction target.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace cpa::bench {
@@ -43,6 +45,13 @@ inline std::string fmt(const char* format, double value) {
 struct ObsCli {
   std::string trace_path;
   std::string metrics_path;
+  /// Fault-spec string (fault/plan.hpp grammar, or a bench-defined alias
+  /// like "auto") from `--fault=...`.  Empty means fault-free.
+  std::string fault_spec;
+  /// Simulation seed from `--seed=N`; benches that take it pass it to
+  /// their workload generator so runs are reproducible bit-for-bit.
+  std::uint64_t seed = 0;
+  bool seed_set = false;
   [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
 };
 
@@ -54,6 +63,11 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.trace_path = arg.substr(8);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       cli.metrics_path = arg.substr(10);
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      cli.fault_spec = arg.substr(8);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cli.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      cli.seed_set = true;
     }
   }
   return cli;

@@ -26,4 +26,18 @@ echo "== ASan+UBSan =="
 run_preset build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCPA_SANITIZE=address,undefined
 
+# Fault-matrix smoke (under the sanitizer build): each canned plan injects
+# a different failure class against a live pfcp + migration; the bench
+# exits non-zero if any file is left unrecovered.
+echo "== Fault matrix (ASan) =="
+FAULT_PLANS=(
+  "cluster.node[1]:fail@t=45s,repair=120s;cluster.node[2]:fail@t=60s,repair=120s"
+  "tape.drive[0]:fail@t=30s,repair=180s;tape.drive[1]:fail@t=60s,repair=180s"
+  "hsm.server[0]:restart@t=100s,outage=45s;net.pool[trunk0]:degrade@t=20s,factor=0.25,repair=60s"
+)
+for plan in "${FAULT_PLANS[@]}"; do
+  echo "-- plan: $plan"
+  ./build-asan/bench/bench_restart_transfer --fault="$plan"
+done
+
 echo "CI passed."

@@ -64,12 +64,13 @@ int main() {
     job_cfg.per_stream_max_bps = 200.0 * static_cast<double>(kMB);
     sys.sim().at(specs[i].submit_time, [&sys, &rows, i, job_cfg] {
       const auto& spec = rows[i].spec;
-      sys.start_pfcp("/scratch/job" + std::to_string(spec.job_id),
-                     "/proj/job" + std::to_string(spec.job_id),
-                     [&rows, i](const pftool::JobReport& r) {
-                       rows[i].report = r;
-                     },
-                     job_cfg);
+      sys.submit(archive::JobSpec::pfcp(
+                         "/scratch/job" + std::to_string(spec.job_id),
+                         "/proj/job" + std::to_string(spec.job_id))
+                     .with_config(job_cfg))
+          .on_done([&rows, i](const pftool::JobReport& r) {
+            rows[i].report = r;
+          });
     });
   }
   sys.sim().run();

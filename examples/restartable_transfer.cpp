@@ -37,9 +37,12 @@ int main() {
   }
 
   // Attempt 2 resumes from the journal.
-  const auto r = pftool::sim::run_pfcp(sys.job_env(false), cfg,
-                                       "/scratch/huge.dat", "/proj/huge.dat");
-  std::printf("== attempt 2 (restart):\n%s", r.render().c_str());
+  archive::JobHandle job = sys.submit(
+      archive::JobSpec::pfcp("/scratch/huge.dat", "/proj/huge.dat")
+          .with_config(cfg));
+  const pftool::JobReport r = job.await();
+  std::printf("== attempt 2 (restart, state=%s):\n%s",
+              archive::to_string(job.state()), r.render().c_str());
   std::printf("   re-sent %s instead of %s (saved %.0f%%)\n",
               format_bytes(r.bytes_copied).c_str(),
               format_bytes(kFileSize).c_str(),

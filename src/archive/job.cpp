@@ -1,0 +1,78 @@
+#include "archive/job.hpp"
+
+namespace cpa::archive {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Pending:
+      return "pending";
+    case JobState::Running:
+      return "running";
+    case JobState::Retrying:
+      return "retrying";
+    case JobState::Succeeded:
+      return "succeeded";
+    case JobState::Failed:
+      return "failed";
+  }
+  return "?";
+}
+
+JobSpec JobSpec::pfls(std::string root) {
+  JobSpec s;
+  s.command = pftool::sim::Command::Pfls;
+  s.src = std::move(root);
+  return s;
+}
+
+JobSpec JobSpec::pfcp(std::string src, std::string dst) {
+  JobSpec s;
+  s.command = pftool::sim::Command::Pfcp;
+  s.src = std::move(src);
+  s.dst = std::move(dst);
+  return s;
+}
+
+JobSpec JobSpec::pfcp_restore(std::string src, std::string dst) {
+  JobSpec s = pfcp(std::move(src), std::move(dst));
+  s.restore_direction = true;
+  return s;
+}
+
+JobSpec JobSpec::pfcm(std::string src, std::string dst) {
+  JobSpec s;
+  s.command = pftool::sim::Command::Pfcm;
+  s.src = std::move(src);
+  s.dst = std::move(dst);
+  return s;
+}
+
+JobSpec& JobSpec::restartable(bool on) {
+  restart_override = on;
+  return *this;
+}
+
+const pftool::JobReport& JobHandle::report() const {
+  static const pftool::JobReport kEmpty;
+  return rec_ ? rec_->last_report : kEmpty;
+}
+
+const pftool::JobReport& JobHandle::await() {
+  if (rec_ != nullptr) {
+    while (!rec_->done() && rec_->sim->step()) {
+    }
+  }
+  return report();
+}
+
+JobHandle& JobHandle::on_done(std::function<void(const pftool::JobReport&)> fn) {
+  if (rec_ == nullptr || !fn) return *this;
+  if (rec_->done()) {
+    fn(rec_->last_report);
+  } else {
+    rec_->callbacks.push_back(std::move(fn));
+  }
+  return *this;
+}
+
+}  // namespace cpa::archive

@@ -1,0 +1,133 @@
+// The submission API: JobSpec in, JobHandle out.
+//
+// Historically the archive exposed `start_pfcp(src, dst, done, cfg)` and
+// returned a raw PftoolJob& whose lifetime the caller had to reason about.
+// The redesigned surface separates *what to run* (JobSpec: command, paths,
+// config override, retry policy) from *how to watch it* (JobHandle: a
+// cheap value type with state/report/attempts/await and completion hooks).
+// Job-level recovery lives here too: a failed or watchdog-aborted attempt
+// is relaunched under the spec's RetryPolicy, with the restart journal
+// resuming already-copied chunks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "pftool/core/options.hpp"
+#include "pftool/core/report.hpp"
+#include "pftool/sim/job.hpp"
+
+namespace cpa::archive {
+
+class CotsParallelArchive;
+
+enum class JobState : std::uint8_t {
+  Pending,    // submitted, first attempt not yet launched
+  Running,    // an attempt is executing
+  Retrying,   // an attempt failed; the next one is waiting out its backoff
+  Succeeded,  // final attempt finished with no failed files
+  Failed,     // attempts exhausted (or policy allowed none)
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+
+/// What to run.  Build with the static constructors, refine with the
+/// fluent `with_*` methods, hand to CotsParallelArchive::submit().
+struct JobSpec {
+  pftool::sim::Command command = pftool::sim::Command::Pfcp;
+  std::string src;
+  std::string dst;
+  /// archive -> scratch (engages TapeProcs for migrated files).
+  bool restore_direction = false;
+  /// Overrides the system-wide PftoolConfig when set.
+  std::optional<pftool::PftoolConfig> config;
+  /// Overrides the resolved config's `restartable` flag when set (keeps
+  /// the system-default config otherwise intact).
+  std::optional<bool> restart_override;
+  /// Job-level relaunch budget: a failed/aborted attempt is retried after
+  /// backoff, resuming from the restart journal.  Default: no relaunch.
+  fault::RetryPolicy retry = fault::RetryPolicy::none();
+
+  static JobSpec pfls(std::string root);
+  static JobSpec pfcp(std::string src, std::string dst);
+  static JobSpec pfcp_restore(std::string src, std::string dst);
+  static JobSpec pfcm(std::string src, std::string dst);
+
+  JobSpec& with_config(pftool::PftoolConfig cfg) {
+    config = std::move(cfg);
+    return *this;
+  }
+  JobSpec& with_retry(fault::RetryPolicy policy) {
+    retry = policy;
+    return *this;
+  }
+  /// Journal the transfer so interrupted attempts (and relaunches) skip
+  /// chunks already copied.
+  JobSpec& restartable(bool on = true);
+};
+
+namespace detail {
+
+/// Shared bookkeeping for one submitted job; owned jointly by the system
+/// (until reaped) and any JobHandle copies.
+struct JobRecord {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  pftool::PftoolConfig cfg;  // resolved: spec.config or system default
+  JobState state = JobState::Pending;
+  unsigned attempts = 0;
+  pftool::JobReport last_report;
+  std::vector<std::function<void(const pftool::JobReport&)>> callbacks;
+  std::unique_ptr<pftool::sim::PftoolJob> active;
+  /// Legacy start_pfcp() caller holds a PftoolJob&: keep `active` alive
+  /// after completion and never reap this record.
+  bool pinned = false;
+  sim::Simulation* sim = nullptr;
+
+  [[nodiscard]] bool done() const {
+    return state == JobState::Succeeded || state == JobState::Failed;
+  }
+};
+
+}  // namespace detail
+
+/// Cheap, copyable view of a submitted job.  All methods are safe on a
+/// default-constructed (invalid) handle.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return rec_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const { return rec_ ? rec_->id : 0; }
+  [[nodiscard]] JobState state() const {
+    return rec_ ? rec_->state : JobState::Failed;
+  }
+  [[nodiscard]] bool done() const { return rec_ == nullptr || rec_->done(); }
+  /// Attempts launched so far (1 on a fault-free run).
+  [[nodiscard]] unsigned attempts() const { return rec_ ? rec_->attempts : 0; }
+  /// The latest attempt's report (final report once done()).
+  [[nodiscard]] const pftool::JobReport& report() const;
+
+  /// Steps the simulation until this job is done; other submitted jobs
+  /// progress alongside.  Returns the final report.
+  const pftool::JobReport& await();
+
+  /// Registers a completion hook; fires once, with the final report, when
+  /// the job reaches Succeeded/Failed.  Registering on an already-done
+  /// job fires immediately.  Returns *this for chaining.
+  JobHandle& on_done(std::function<void(const pftool::JobReport&)> fn);
+
+ private:
+  friend class CotsParallelArchive;
+  explicit JobHandle(std::shared_ptr<detail::JobRecord> rec)
+      : rec_(std::move(rec)) {}
+
+  std::shared_ptr<detail::JobRecord> rec_;
+};
+
+}  // namespace cpa::archive

@@ -1,5 +1,7 @@
 #include "archive/system.hpp"
 
+#include <algorithm>
+
 namespace cpa::archive {
 
 SystemConfig SystemConfig::roadrunner() {
@@ -62,6 +64,52 @@ CotsParallelArchive::CotsParallelArchive(SystemConfig cfg)
   hsm_->set_observer(*obs_);
   fuse_->set_observer(*obs_);
   policy_.set_observer(*obs_);
+  wire_fault_targets();
+  injector_.arm(cfg_.fault_plan);
+}
+
+void CotsParallelArchive::wire_fault_targets() {
+  fault::FaultTargets t;
+  t.tape_drive = [this](std::uint64_t idx, bool down) {
+    if (idx >= library_->drive_count()) return;
+    const auto i = static_cast<unsigned>(idx);
+    if (down) {
+      library_->fail_drive(i);
+    } else {
+      library_->repair_drive(i);
+    }
+  };
+  t.tape_media = [this](std::uint64_t cart, bool down) {
+    // Cartridges appear as data lands on tape; a fault against one that
+    // does not exist (yet) is a no-op.
+    if (tape::Cartridge* c = library_->cartridge(cart)) c->set_damaged(down);
+  };
+  t.cluster_node = [this](std::uint64_t node, bool down) {
+    if (node >= cfg_.cluster.fta_nodes) return;
+    cluster_->set_node_down(static_cast<cluster::NodeId>(node), down);
+  };
+  t.hsm_server = [this](std::uint64_t server, sim::Tick outage) {
+    if (server >= hsm_->server_count()) return;
+    hsm_->server(static_cast<unsigned>(server)).restart(outage);
+  };
+  t.net_pool = [this](const std::string& pool, double factor, bool down) {
+    for (std::size_t i = 0; i < net_.pool_count(); ++i) {
+      const sim::PoolId id{static_cast<std::uint32_t>(i)};
+      if (net_.pool_name(id) != pool) continue;
+      if (down) {
+        // Remember the healthy capacity once; overlapping windows keep
+        // the first-saved value so repair restores the true baseline.
+        saved_pool_caps_.emplace(pool, net_.pool_capacity(id));
+        net_.set_pool_capacity(id, saved_pool_caps_[pool] * factor);
+      } else if (auto it = saved_pool_caps_.find(pool);
+                 it != saved_pool_caps_.end()) {
+        net_.set_pool_capacity(id, it->second);
+        saved_pool_caps_.erase(it);
+      }
+      return;
+    }
+  };
+  injector_.set_targets(std::move(t));
 }
 
 void CotsParallelArchive::snapshot_net_metrics() {
@@ -101,37 +149,133 @@ pftool::sim::JobEnv CotsParallelArchive::job_env(bool restore_direction) {
   return env;
 }
 
+JobHandle CotsParallelArchive::submit(JobSpec spec) {
+  reap_finished();
+  auto rec = std::make_shared<detail::JobRecord>();
+  rec->id = next_job_id_++;
+  rec->sim = &sim_;
+  rec->cfg = spec.config.has_value() ? *spec.config : cfg_.pftool;
+  if (spec.restart_override.has_value()) {
+    rec->cfg.restartable = *spec.restart_override;
+  }
+  rec->spec = std::move(spec);
+  jobs_.push_back(rec);
+  launch_attempt(rec);
+  return JobHandle(rec);
+}
+
+std::size_t CotsParallelArchive::reap_finished() {
+  const std::size_t before = jobs_.size();
+  jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                             [](const std::shared_ptr<detail::JobRecord>& r) {
+                               return r->done() && !r->pinned;
+                             }),
+              jobs_.end());
+  return before - jobs_.size();
+}
+
+void CotsParallelArchive::launch_attempt(
+    const std::shared_ptr<detail::JobRecord>& rec) {
+  ++rec->attempts;
+  rec->state = JobState::Running;
+  pftool::PftoolConfig cfg = rec->cfg;
+  if (rec->attempts > 1 && rec->spec.command == pftool::sim::Command::Pfcp) {
+    // Relaunches always journal so already-copied chunks are skipped.
+    cfg.restartable = true;
+  }
+  pftool::sim::JobEnv env = job_env(rec->spec.restore_direction);
+  if (rec->spec.command == pftool::sim::Command::Pfls) {
+    env.src_fs = scratch_->exists(rec->spec.src) ? scratch_.get()
+                                                 : archive_.get();
+    env.dst_fs = env.src_fs;
+  }
+  // The job's completion callback holds only a weak reference: the record
+  // is kept alive by jobs_ (and any handles), never by its own job.
+  std::weak_ptr<detail::JobRecord> weak = rec;
+  rec->active = std::make_unique<pftool::sim::PftoolJob>(
+      env, cfg, rec->spec.command, rec->spec.src, rec->spec.dst,
+      [this, weak](const pftool::JobReport& r) {
+        if (auto sp = weak.lock()) on_attempt_done(sp, r);
+      });
+  rec->active->start();
+}
+
+void CotsParallelArchive::on_attempt_done(
+    const std::shared_ptr<detail::JobRecord>& rec,
+    const pftool::JobReport& report) {
+  rec->last_report = report;
+  const bool failed = report.files_failed > 0 || report.aborted_by_watchdog;
+  if (!rec->pinned) {
+    if (report.aborted_by_watchdog) {
+      // A stall abort finishes the job with work still in flight; pending
+      // events (flow completions, retry backoffs) reference the job's
+      // procs and would dangle if it were freed now.  Every entry point
+      // no-ops once finished, so park it until system teardown instead.
+      graveyard_.push_back(std::move(rec->active));
+    } else {
+      // This callback runs from inside the PftoolJob; defer its
+      // destruction until the current event unwinds.
+      auto doomed = std::make_shared<std::unique_ptr<pftool::sim::PftoolJob>>(
+          std::move(rec->active));
+      sim_.after(0, [doomed] { doomed->reset(); });
+    }
+  }
+  if (failed && rec->spec.retry.allows(rec->attempts)) {
+    rec->state = JobState::Retrying;
+    obs_->metrics().counter("pftool.job_relaunches").inc();
+    // A relaunch is a job-level retry; fold it into the same headline
+    // counter as the chunk-level ones.
+    obs_->metrics().counter("pftool.retries_total").inc();
+    obs_->trace().instant(obs::Component::Pftool, "job", "relaunch",
+                          sim_.now());
+    std::weak_ptr<detail::JobRecord> weak = rec;
+    sim_.after(rec->spec.retry.delay(rec->attempts), [this, weak] {
+      if (auto sp = weak.lock()) launch_attempt(sp);
+    });
+    return;
+  }
+  rec->state = failed ? JobState::Failed : JobState::Succeeded;
+  auto callbacks = std::move(rec->callbacks);
+  rec->callbacks.clear();
+  for (auto& cb : callbacks) cb(rec->last_report);
+}
+
 pftool::JobReport CotsParallelArchive::pfls(const std::string& root) {
-  pftool::sim::JobEnv env = job_env(false);
-  env.src_fs = scratch_->exists(root) ? scratch_.get() : archive_.get();
-  env.dst_fs = env.src_fs;
-  return pftool::sim::run_pfls(env, cfg_.pftool, root);
+  JobHandle h = submit(JobSpec::pfls(root));
+  sim_.run();
+  return h.report();
 }
 
 pftool::JobReport CotsParallelArchive::pfcp_archive(const std::string& src,
                                                     const std::string& dst) {
-  return pftool::sim::run_pfcp(job_env(false), cfg_.pftool, src, dst);
+  JobHandle h = submit(JobSpec::pfcp(src, dst));
+  sim_.run();
+  return h.report();
 }
 
 pftool::JobReport CotsParallelArchive::pfcp_restore(const std::string& src,
                                                     const std::string& dst) {
-  return pftool::sim::run_pfcp(job_env(true), cfg_.pftool, src, dst);
+  JobHandle h = submit(JobSpec::pfcp_restore(src, dst));
+  sim_.run();
+  return h.report();
 }
 
 pftool::JobReport CotsParallelArchive::pfcm(const std::string& src,
                                             const std::string& dst) {
-  return pftool::sim::run_pfcm(job_env(false), cfg_.pftool, src, dst);
+  JobHandle h = submit(JobSpec::pfcm(src, dst));
+  sim_.run();
+  return h.report();
 }
 
 pftool::sim::PftoolJob& CotsParallelArchive::start_pfcp(
     const std::string& src, const std::string& dst,
     std::function<void(const pftool::JobReport&)> done,
     pftool::PftoolConfig cfg_override) {
-  jobs_.push_back(std::make_unique<pftool::sim::PftoolJob>(
-      job_env(false), cfg_override, pftool::sim::Command::Pfcp, src, dst,
-      std::move(done)));
-  jobs_.back()->start();
-  return *jobs_.back();
+  JobSpec spec = JobSpec::pfcp(src, dst).with_config(std::move(cfg_override));
+  JobHandle h = submit(std::move(spec));
+  h.rec_->pinned = true;  // caller holds the PftoolJob& until destruction
+  if (done) h.on_done(std::move(done));
+  return *h.rec_->active;
 }
 
 pftool::sim::PftoolJob& CotsParallelArchive::start_pfcp(

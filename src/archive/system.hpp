@@ -13,12 +13,16 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "archive/job.hpp"
 #include "archive/trashcan.hpp"
 #include "cluster/cluster.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "fusefs/archive_fuse.hpp"
 #include "hsm/hsm.hpp"
 #include "obs/observer.hpp"
@@ -41,6 +45,9 @@ struct SystemConfig {
   fusefs::FuseConfig fuse;
   pftool::PftoolConfig pftool;
   obs::ObsConfig obs;
+  /// Scripted faults armed against the system at construction; empty by
+  /// default (no faults).
+  fault::FaultPlan fault_plan;
 
   /// The paper's plant (Sec 4.3.1 / Fig. 7): 10 mover nodes, 5 disk nodes
   /// with 100 TB fast FC4 disk + slow pool, 24 LTO-4 drives, one TSM
@@ -48,6 +55,56 @@ struct SystemConfig {
   static SystemConfig roadrunner();
   /// A scaled-down plant for fast unit tests: 4 nodes, 4 drives.
   static SystemConfig small();
+
+  // --- fluent refinement, e.g. SystemConfig::small().with_drives(8) -------
+  SystemConfig& with_drives(unsigned n) {
+    tape.drive_count = n;
+    return *this;
+  }
+  SystemConfig& with_fta_nodes(unsigned n) {
+    cluster.fta_nodes = n;
+    return *this;
+  }
+  SystemConfig& with_trunks(unsigned n) {
+    cluster.trunk_count = n;
+    return *this;
+  }
+  SystemConfig& with_workers(unsigned n) {
+    pftool.num_workers = n;
+    return *this;
+  }
+  SystemConfig& with_tapeprocs(unsigned n) {
+    pftool.num_tapeprocs = n;
+    return *this;
+  }
+  SystemConfig& with_servers(unsigned n) {
+    hsm.server_count = n;
+    return *this;
+  }
+  SystemConfig& with_tracing(bool on = true) {
+    obs.tracing = on;
+    return *this;
+  }
+  SystemConfig& with_restartable(bool on = true) {
+    pftool.restartable = on;
+    return *this;
+  }
+  /// Chunk-level (PFTool) and unit-level (HSM) retry policy in one stroke.
+  SystemConfig& with_retry(fault::RetryPolicy policy) {
+    pftool.retry = policy;
+    hsm.retry = policy;
+    return *this;
+  }
+  SystemConfig& with_fault_plan(fault::FaultPlan plan) {
+    fault_plan = std::move(plan);
+    return *this;
+  }
+  /// Parses the fault-spec grammar (see fault/plan.hpp); invalid specs
+  /// leave the plan empty.
+  SystemConfig& with_fault_plan(const std::string& spec) {
+    if (auto plan = fault::FaultPlan::parse(spec)) fault_plan = std::move(*plan);
+    return *this;
+  }
 };
 
 class CotsParallelArchive {
@@ -82,7 +139,19 @@ class CotsParallelArchive {
   /// JobEnv wired to this system, for hand-constructed PftoolJob runs.
   [[nodiscard]] pftool::sim::JobEnv job_env(bool restore_direction = false);
 
+  // --- job submission ------------------------------------------------------
+  /// Launches a PFTool job without running the simulation.  The returned
+  /// handle tracks it across retry attempts; finished jobs are reaped on
+  /// the next submit() (or explicitly via reap_finished()).
+  JobHandle submit(JobSpec spec);
+  /// Drops bookkeeping for jobs that have reached a terminal state.
+  /// Returns how many were reaped.  Outstanding JobHandles stay valid.
+  std::size_t reap_finished();
+  /// Job records currently owned by the system (running + not yet reaped).
+  [[nodiscard]] std::size_t jobs_live() const { return jobs_.size(); }
+
   // --- PFTool commands (synchronous: run the simulation to completion) -----
+  // Thin wrappers over submit(): submit, run, return the final report.
   pftool::JobReport pfls(const std::string& root);
   /// scratch -> archive
   pftool::JobReport pfcp_archive(const std::string& src, const std::string& dst);
@@ -91,13 +160,13 @@ class CotsParallelArchive {
   /// compare scratch tree against archive tree
   pftool::JobReport pfcm(const std::string& src, const std::string& dst);
 
-  /// Starts a pfcp without running the simulation — for concurrent-job
-  /// campaigns.  The job is owned by the system.
-  pftool::sim::PftoolJob& start_pfcp(
+  /// Deprecated: use submit(JobSpec::pfcp(src, dst)) instead.  Kept for
+  /// one release; the returned job stays alive until system destruction.
+  [[deprecated("use submit(JobSpec)")]] pftool::sim::PftoolJob& start_pfcp(
       const std::string& src, const std::string& dst,
       std::function<void(const pftool::JobReport&)> done,
       pftool::PftoolConfig cfg_override);
-  pftool::sim::PftoolJob& start_pfcp(
+  [[deprecated("use submit(JobSpec)")]] pftool::sim::PftoolJob& start_pfcp(
       const std::string& src, const std::string& dst,
       std::function<void(const pftool::JobReport&)> done);
 
@@ -115,6 +184,11 @@ class CotsParallelArchive {
                       std::uint64_t size, std::uint64_t tag);
 
  private:
+  void launch_attempt(const std::shared_ptr<detail::JobRecord>& rec);
+  void on_attempt_done(const std::shared_ptr<detail::JobRecord>& rec,
+                       const pftool::JobReport& report);
+  void wire_fault_targets();
+
   SystemConfig cfg_;
   // Declared before the kernel objects that hold probe pointers into it,
   // so it outlives them during destruction.
@@ -130,7 +204,14 @@ class CotsParallelArchive {
   std::unique_ptr<Trashcan> trashcan_;
   pftool::RestartJournal journal_;
   pfs::PolicyEngine policy_;
-  std::vector<std::unique_ptr<pftool::sim::PftoolJob>> jobs_;
+  fault::FaultInjector injector_{sim_, *obs_};
+  /// Saved capacities of pools currently degraded by a fault window.
+  std::map<std::string, double> saved_pool_caps_;
+  std::vector<std::shared_ptr<detail::JobRecord>> jobs_;
+  /// Watchdog-aborted jobs parked here until teardown: they finish with
+  /// events still in flight that reference them (all no-op once finished).
+  std::vector<std::unique_ptr<pftool::sim::PftoolJob>> graveyard_;
+  std::uint64_t next_job_id_ = 1;
 };
 
 }  // namespace cpa::archive

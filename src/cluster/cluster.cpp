@@ -31,6 +31,7 @@ Cluster::Cluster(sim::FlowNetwork& net, ClusterConfig cfg,
     }
   }
   loads_.assign(cfg_.fta_nodes, 0.0);
+  down_.assign(cfg_.fta_nodes, false);
 }
 
 const std::vector<sim::PoolId>& Cluster::nsd_pools_for(
@@ -99,12 +100,51 @@ void Cluster::remove_load(NodeId n, double amount) {
 }
 
 std::vector<NodeId> Cluster::machine_list() const {
-  std::vector<NodeId> nodes(loads_.size());
-  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  std::vector<NodeId> nodes;
+  nodes.reserve(loads_.size());
+  for (NodeId n = 0; n < loads_.size(); ++n) {
+    if (!down_[n]) nodes.push_back(n);
+  }
+  if (nodes.empty()) {
+    // Total outage: hand back every node so callers still have a target
+    // to schedule (and fail) against rather than an empty list.
+    nodes.resize(loads_.size());
+    std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  }
   std::stable_sort(nodes.begin(), nodes.end(), [this](NodeId a, NodeId b) {
     return loads_[a] < loads_[b];
   });
   return nodes;
+}
+
+void Cluster::set_node_down(NodeId n, bool down) {
+  if (down_.at(n) == down) return;
+  down_[n] = down;
+  if (down) loads_[n] = 0.0;  // the crash takes its workload with it
+  // Copy before notifying: listeners may (de)register during the walk.
+  std::vector<std::function<void(NodeId, bool)>> fns;
+  fns.reserve(node_listeners_.size());
+  for (const auto& [token, fn] : node_listeners_) fns.push_back(fn);
+  for (const auto& fn : fns) fn(n, down);
+}
+
+unsigned Cluster::nodes_up() const {
+  unsigned up = 0;
+  for (const bool d : down_) {
+    if (!d) ++up;
+  }
+  return up;
+}
+
+std::uint64_t Cluster::add_node_listener(
+    std::function<void(NodeId, bool down)> fn) {
+  const std::uint64_t token = next_listener_token_++;
+  node_listeners_.emplace(token, std::move(fn));
+  return token;
+}
+
+void Cluster::remove_node_listener(std::uint64_t token) {
+  node_listeners_.erase(token);
 }
 
 }  // namespace cpa::cluster

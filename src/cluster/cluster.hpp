@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,8 +89,23 @@ class Cluster {
   [[nodiscard]] double load(NodeId n) const { return loads_.at(n); }
   /// Machine list sorted ascending by load (ties by node id) — "sorting
   /// available MPI machine list in ascending order based on current
-  /// machine CPU workload".
+  /// machine CPU workload".  Down nodes are excluded; if every node is
+  /// down the full list is returned so callers always have a target.
   [[nodiscard]] std::vector<NodeId> machine_list() const;
+
+  // --- fault injection: FTA node crashes ---------------------------------------
+  /// Takes node `n` down (crash) or brings it back.  State only: killing
+  /// in-flight work on the node is the listeners' job (PFTool jobs
+  /// register one and abort/re-pin their workers).
+  void set_node_down(NodeId n, bool down);
+  [[nodiscard]] bool node_down(NodeId n) const { return down_.at(n); }
+  [[nodiscard]] unsigned nodes_up() const;
+
+  /// Registers a callback fired after every node state change.  Returns a
+  /// token for remove_node_listener.  Listener order is registration
+  /// order (deterministic).
+  std::uint64_t add_node_listener(std::function<void(NodeId, bool down)> fn);
+  void remove_node_listener(std::uint64_t token);
 
  private:
   [[nodiscard]] const std::vector<sim::PoolId>& nsd_pools_for(
@@ -105,6 +121,10 @@ class Cluster {
   std::vector<sim::PoolId> archive_nsds_;
   std::vector<sim::PoolId> scratch_nsds_;
   std::vector<double> loads_;
+  std::vector<bool> down_;
+  // std::map: stable iteration order for deterministic notification.
+  std::map<std::uint64_t, std::function<void(NodeId, bool)>> node_listeners_;
+  std::uint64_t next_listener_token_ = 1;
 };
 
 }  // namespace cpa::cluster

@@ -1,0 +1,58 @@
+// Arms a FaultPlan against the live simulation.
+//
+// The injector knows nothing about tape libraries or clusters: it holds a
+// set of target callbacks (wired up by whoever owns the substrates — in
+// practice CotsParallelArchive) and schedules each FaultEvent's strike and
+// repair on the shared virtual clock.  Everything it does is visible
+// through the observability layer: `fault.*` counters and spans on the
+// Component::Fault track, one lane per overlapping fault window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fault/plan.hpp"
+#include "obs/observer.hpp"
+#include "simcore/simulation.hpp"
+
+namespace cpa::fault {
+
+/// Substrate hooks the injector fires.  `down == true` is the strike,
+/// `down == false` the repair.  An unset callback makes events against
+/// that target no-ops (counted under fault.skipped_total) so plans can be
+/// reused across differently-shaped systems.
+struct FaultTargets {
+  std::function<void(std::uint64_t drive, bool down)> tape_drive;
+  std::function<void(std::uint64_t cartridge, bool down)> tape_media;
+  std::function<void(std::uint64_t node, bool down)> cluster_node;
+  /// Restart with the given outage; the server models its own recovery.
+  std::function<void(std::uint64_t server, sim::Tick outage)> hsm_server;
+  std::function<void(const std::string& pool, double factor, bool down)> net_pool;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, obs::Observer& obs);
+
+  void set_targets(FaultTargets targets) { targets_ = std::move(targets); }
+
+  /// Schedules every event of `plan`.  May be called more than once;
+  /// plans accumulate.
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t injected() const { return c_injected_.value(); }
+  [[nodiscard]] std::uint64_t repaired() const { return c_repaired_.value(); }
+
+ private:
+  void fire(const FaultEvent& ev);
+
+  sim::Simulation& sim_;
+  obs::Observer& obs_;
+  FaultTargets targets_;
+  obs::Counter& c_injected_;
+  obs::Counter& c_repaired_;
+  obs::Counter& c_skipped_;
+};
+
+}  // namespace cpa::fault

@@ -1,0 +1,134 @@
+// Deterministic fault planning: what breaks, when, and for how long.
+//
+// The paper is an *integration experience* report, and half of its Sec 5
+// operational lessons are about failure: tape drive and media errors, FTA
+// node loss, and interrupted multi-day archive jobs that PFTool's restart
+// journal must resume.  A FaultPlan is the reproducible script of such an
+// outage: a list of virtual-time fault windows against named targets,
+// built programmatically, parsed from a compact spec string, or drawn from
+// a seeded RNG (same seed -> identical plan -> identical run).
+//
+// Spec grammar (events separated by ';', durations accept s/m/h/d
+// suffixes, plain numbers are seconds):
+//
+//   tape.drive[3]:fail@t=120s,repair=300s    drive down for a window
+//   tape.media[7]:fail@t=1h,repair=30m       cartridge unreadable window
+//   cluster.node[2]:fail@t=10m,repair=20m    FTA node crash + reboot
+//   hsm.server[0]:restart@t=2h,outage=60s    archive server restart
+//   net.pool[trunk0]:degrade@t=5m,factor=0.5,repair=10m
+//
+// Omitting `repair=` makes the fault permanent.  RetryPolicy is the
+// recovery half: bounded attempts with exponential backoff in virtual
+// time, shared by the HSM migrator/recaller and the PFTool job layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace cpa::fault {
+
+/// Bounded-retry schedule: attempt N+1 runs `delay(N)` after attempt N
+/// failed, with exponential growth clamped at `max_backoff`.  Virtual
+/// time, so backoff is exact and assertable in tests.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retries.
+  unsigned max_attempts = 1;
+  /// Delay before the first retry.
+  sim::Tick backoff = sim::secs(5);
+  /// Growth factor per subsequent retry.
+  double multiplier = 2.0;
+  sim::Tick max_backoff = sim::minutes(10);
+
+  /// True when another attempt may run after `attempts_made` failures.
+  [[nodiscard]] bool allows(unsigned attempts_made) const {
+    return attempts_made < max_attempts;
+  }
+  /// Backoff before retry number `retry_index` (1-based: the first retry
+  /// waits `backoff`, the second `backoff * multiplier`, ...).
+  [[nodiscard]] sim::Tick delay(unsigned retry_index) const;
+
+  static RetryPolicy none() { return RetryPolicy{}; }
+  static RetryPolicy standard() {
+    RetryPolicy p;
+    p.max_attempts = 3;
+    return p;
+  }
+};
+
+enum class FaultTarget : std::uint8_t {
+  TapeDrive,    // tape.drive[i]  — drive down, in-flight transfer killed
+  TapeMedia,    // tape.media[i]  — cartridge i unreadable (media errors)
+  ClusterNode,  // cluster.node[i]— FTA node crash, in-flight workers die
+  HsmServer,    // hsm.server[i]  — server restart, in-flight txns requeue
+  NetPool,      // net.pool[name] — capacity degraded by `factor`
+};
+
+[[nodiscard]] const char* to_string(FaultTarget t);
+
+struct FaultEvent {
+  FaultTarget target = FaultTarget::TapeDrive;
+  /// Drive / cartridge / node / server index (unused for NetPool).
+  std::uint64_t index = 0;
+  /// Pool name (NetPool only).
+  std::string pool;
+  /// Virtual time the fault strikes.
+  sim::Tick at = 0;
+  /// Repair delay after `at`; 0 = permanent.  For HsmServer this is the
+  /// restart outage during which no metadata transaction is serviced.
+  sim::Tick repair = 0;
+  /// Remaining capacity fraction while degraded (NetPool only; 0 = dead).
+  double factor = 0.0;
+
+  /// Canonical spec form, e.g. "tape.drive[3]:fail@t=120s,repair=300s".
+  [[nodiscard]] std::string render() const;
+};
+
+/// Seeded random-plan shape: how many faults of each kind to scatter over
+/// `horizon`, against a plant of the given size.
+struct RandomFaultConfig {
+  unsigned drive_failures = 2;
+  unsigned node_crashes = 1;
+  unsigned media_errors = 0;
+  unsigned server_restarts = 0;
+  unsigned drives = 4;
+  unsigned nodes = 4;
+  unsigned cartridges = 4;
+  unsigned servers = 1;
+  sim::Tick horizon = sim::hours(1);
+  sim::Tick min_repair = sim::minutes(2);
+  sim::Tick max_repair = sim::minutes(10);
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+
+  FaultPlan& add(FaultEvent ev);
+  // Convenience builders (chainable).
+  FaultPlan& drive_failure(std::uint64_t drive, sim::Tick at, sim::Tick repair = 0);
+  FaultPlan& media_error(std::uint64_t cartridge, sim::Tick at, sim::Tick repair = 0);
+  FaultPlan& node_crash(std::uint64_t node, sim::Tick at, sim::Tick repair = 0);
+  FaultPlan& server_restart(std::uint64_t server, sim::Tick at, sim::Tick outage);
+  FaultPlan& pool_degrade(std::string pool, sim::Tick at, double factor,
+                          sim::Tick repair = 0);
+
+  /// Canonical spec string (parse(render()) round-trips exactly).
+  [[nodiscard]] std::string render() const;
+
+  /// Parses the spec grammar above.  Returns nullopt on error and, when
+  /// `error` is non-null, stores a one-line diagnostic.
+  static std::optional<FaultPlan> parse(const std::string& spec,
+                                        std::string* error = nullptr);
+
+  /// Seeded plan generation: the same (config, seed) pair always yields
+  /// the identical plan, so a whole faulty run replays byte-for-byte.
+  static FaultPlan random(const RandomFaultConfig& cfg, std::uint64_t seed);
+};
+
+}  // namespace cpa::fault

@@ -42,6 +42,8 @@ struct HsmSystem::MigrateJob {
   std::vector<Item> items;
   std::vector<WriteUnit> units;
   std::size_t next_unit = 0;
+  /// Failed attempts on the current unit (reset when the unit advances).
+  unsigned unit_attempts = 0;
   /// 0 = primary pool; 1..tape_copies-1 = copy-pool passes over the same
   /// units (run before files are punched, while data is still on disk).
   unsigned copy_phase = 0;
@@ -63,6 +65,7 @@ struct HsmSystem::RecallJob {
     std::uint64_t size = 0;
     std::uint64_t seq = 0;
     tape::NodeId node = 0;
+    unsigned attempts = 0;  // failed read attempts so far
   };
   struct CartWork {
     tape::Cartridge* cart = nullptr;
@@ -252,6 +255,7 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
   if (unit.bytes > lib_.config().cartridge_capacity) {
     job->report.files_failed += static_cast<unsigned>(unit.items.size());
     ++job->next_unit;
+    job->unit_attempts = 0;
     run_migrate_unit(job);
     return;
   }
@@ -303,21 +307,64 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
     unit_oid = owner_object_id(job->items[unit.items.front()].path);
     if (unit_oid == 0) {  // primary never landed; skip the copy
       ++job->next_unit;
+      job->unit_attempts = 0;
       run_migrate_unit(job);
       return;
     }
   }
 
+  const std::uint64_t epoch0 = server.epoch();
   job->drive->write_object(
       job->node, unit_oid, unit.bytes, std::move(pools),
-      [this, job, unit_oid](const tape::Segment* seg) {
+      [this, job, unit_oid, &server, epoch0](const tape::Segment* seg) {
         const auto& unit = job->units[job->next_unit];
         if (seg == nullptr) {
+          // A write fails transiently when the drive died (mid-transfer
+          // or before it started); everything else — oversized object,
+          // unmounted cartridge in a fault-free run — is permanent.
+          if (job->drive->failed() &&
+              cfg_.retry.allows(++job->unit_attempts)) {
+            ++job->report.retries;
+            // Failover: give the dead drive back (the library parks it)
+            // and re-run the unit on a healthy one after backoff.
+            lib_.release_drive(*job->drive);
+            job->drive = nullptr;
+            sim_.after(cfg_.retry.delay(job->unit_attempts), [this, job] {
+              lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
+                job->drive = &drive;
+                lib_.ensure_mounted(drive, *job->cart,
+                                    [this, job] { run_migrate_unit(job); });
+              });
+            });
+            return;
+          }
           if (job->copy_phase == 0) {
             job->report.files_failed += static_cast<unsigned>(unit.items.size());
           }
           ++job->next_unit;
+          job->unit_attempts = 0;
           run_migrate_unit(job);
+          return;
+        }
+        if (server.epoch() != epoch0) {
+          // The archive server restarted while the unit streamed: the
+          // session died with it, so the just-written object was never
+          // committed.  Reclaim the dead segment and requeue the unit.
+          job->cart->mark_deleted(unit_oid);
+          ++job->report.units_requeued;
+          if (cfg_.retry.allows(++job->unit_attempts)) {
+            ++job->report.retries;
+            sim_.after(cfg_.retry.delay(job->unit_attempts),
+                       [this, job] { run_migrate_unit(job); });
+          } else {
+            if (job->copy_phase == 0) {
+              job->report.files_failed +=
+                  static_cast<unsigned>(unit.items.size());
+            }
+            ++job->next_unit;
+            job->unit_attempts = 0;
+            run_migrate_unit(job);
+          }
           return;
         }
         ++job->report.tape_objects_written;
@@ -335,6 +382,7 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
               owner_server.record_object(std::move(updated));
             }
             ++job->next_unit;
+            job->unit_attempts = 0;
             run_migrate_unit(job);
           });
           return;
@@ -421,6 +469,7 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
     job->report.bytes += item.size;
   }
   ++job->next_unit;
+  job->unit_attempts = 0;
   run_migrate_unit(job);
 }
 
@@ -447,6 +496,8 @@ void HsmSystem::account_migrate(const MigrateJob& job) {
   m.counter("hsm.migrate_failed_files").add(job.report.files_failed);
   m.counter("hsm.migrated_bytes").add(job.report.bytes);
   m.counter("hsm.tape_objects_written").add(job.report.tape_objects_written);
+  m.counter("hsm.migrate_retries").add(job.report.retries);
+  m.counter("hsm.migrate_units_requeued").add(job.report.units_requeued);
   obs_->trace().arg_num(job.span, "files",
                         static_cast<std::uint64_t>(job.report.files_migrated));
   obs_->trace().arg_num(job.span, "bytes", job.report.bytes);
@@ -502,6 +553,8 @@ void HsmSystem::parallel_migrate(std::vector<std::string> paths,
                     combined->report.bytes += r.bytes;
                     combined->report.tape_objects_written +=
                         r.tape_objects_written;
+                    combined->report.retries += r.retries;
+                    combined->report.units_requeued += r.units_requeued;
                     if (--combined->outstanding == 0) {
                       combined->report.finished = sim_.now();
                       if (combined->done) combined->done(combined->report);
@@ -659,8 +712,38 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
       entry.node, entry.seq, std::move(pools),
       [this, job, work_idx, entry_idx, &drive](const tape::Segment* seg) {
         auto& work = job->work[work_idx];
-        const auto& entry = work.entries[entry_idx];
+        auto& entry = work.entries[entry_idx];
         if (seg == nullptr) {
+          // Transient causes: the drive died (fail over to a healthy one)
+          // or the media went bad (back off and re-read — the fault
+          // window or the copy-pool fallback may clear it).  A missing
+          // sequence number stays a permanent failure.
+          const bool drive_dead = drive.failed();
+          const bool media_bad = work.cart->damaged();
+          if ((drive_dead || media_bad) && cfg_.retry.allows(++entry.attempts)) {
+            ++job->report.retries;
+            const sim::Tick delay = cfg_.retry.delay(entry.attempts);
+            if (drive_dead) {
+              lib_.release_drive(drive);
+              sim_.after(delay, [this, job, work_idx, entry_idx] {
+                lib_.acquire_drive(
+                    [this, job, work_idx, entry_idx](tape::TapeDrive& nd) {
+                      tape::TapeDrive* ndp = &nd;
+                      lib_.ensure_mounted(
+                          nd, *job->work[work_idx].cart,
+                          [this, job, work_idx, entry_idx, ndp] {
+                            run_recall_entry(job, work_idx, entry_idx, *ndp);
+                          });
+                    });
+              });
+            } else {
+              tape::TapeDrive* dp = &drive;
+              sim_.after(delay, [this, job, work_idx, entry_idx, dp] {
+                run_recall_entry(job, work_idx, entry_idx, *dp);
+              });
+            }
+            return;
+          }
           ++job->report.files_failed;
           run_recall_entry(job, work_idx, entry_idx + 1, drive);
           return;
@@ -683,6 +766,7 @@ void HsmSystem::account_recall(const RecallJob& job) {
   m.counter("hsm.recall_failed_files").add(job.report.files_failed);
   m.counter("hsm.recalled_bytes").add(job.report.bytes);
   m.counter("hsm.recalled_tape_bytes").add(job.report.tape_bytes);
+  m.counter("hsm.recall_retries").add(job.report.retries);
   obs_->trace().arg_num(job.span, "files",
                         static_cast<std::uint64_t>(job.report.files_recalled));
   obs_->trace().arg_num(job.span, "bytes", job.report.bytes);

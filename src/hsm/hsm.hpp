@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "hsm/fabric.hpp"
 #include "hsm/object.hpp"
 #include "hsm/server.hpp"
@@ -51,6 +52,12 @@ struct HsmConfig {
   unsigned tape_copies = 1;
   unsigned server_count = 1;
   ServerConfig server;
+  /// Recovery from injected faults: failed tape reads/writes caused by a
+  /// drive failure, damaged media, or a server restart are retried with
+  /// backoff, failing over to a healthy drive.  Permanent errors (object
+  /// absent, oversized unit, ...) are never retried, so fault-free runs
+  /// behave exactly as before.
+  fault::RetryPolicy retry = fault::RetryPolicy::standard();
   /// Reconcile tree-walk cost per inode visited (Sec 4.2.6: the agent
   /// "does a directory tree-walk and compares each file one by one").
   sim::Tick reconcile_walk_cost = sim::msecs(2);
@@ -61,6 +68,8 @@ struct MigrateReport {
   unsigned files_failed = 0;
   std::uint64_t bytes = 0;
   unsigned tape_objects_written = 0;  // < files when aggregating
+  unsigned retries = 0;          // drive-failover / backoff retries
+  unsigned units_requeued = 0;   // interrupted by a server restart
   sim::Tick started = 0;
   sim::Tick finished = 0;
   [[nodiscard]] double mean_rate_bps() const {
@@ -85,6 +94,7 @@ struct RecallOptions {
 struct RecallReport {
   unsigned files_recalled = 0;
   unsigned files_failed = 0;
+  unsigned retries = 0;  // drive-failover / media backoff retries
   std::uint64_t bytes = 0;          // logical file bytes recalled
   std::uint64_t tape_bytes = 0;     // tape bytes actually read (aggregates)
   sim::Tick started = 0;

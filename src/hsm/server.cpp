@@ -19,9 +19,21 @@ void ArchiveServer::metadata_txn(std::function<void()> done) {
   if (!busy_) pump();
 }
 
+void ArchiveServer::restart(sim::Tick outage) {
+  ++epoch_;
+  up_at_ = sim_.now() + outage;
+  if (!busy_ && !queue_.empty()) pump();
+}
+
 void ArchiveServer::pump() {
   if (queue_.empty()) {
     busy_ = false;
+    return;
+  }
+  if (sim_.now() < up_at_) {
+    // Restart outage: hold the queue until the server is back.
+    busy_ = true;
+    sim_.at(up_at_, [this] { pump(); });
     return;
   }
   busy_ = true;

@@ -58,6 +58,17 @@ class ArchiveServer {
   [[nodiscard]] std::uint64_t txns_completed() const { return txns_; }
   [[nodiscard]] std::size_t txn_queue_depth() const { return queue_.size(); }
 
+  // --- fault injection: server restarts ------------------------------------
+  /// Restarts the server.  For `outage` no new transaction starts (queued
+  /// work waits until the server is back) and the epoch bumps, which
+  /// in-flight migrations use to detect that their session died and
+  /// requeue the interrupted unit.
+  void restart(sim::Tick outage);
+  /// Incremented on every restart.  Sample before an operation, compare
+  /// after: a difference means a restart interrupted it.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] bool down() const { return sim_.now() < up_at_; }
+
   // --- object database (call inside metadata_txn callbacks) ---------------
   [[nodiscard]] std::uint64_t allocate_object_id() { return next_object_id_++; }
   void record_object(ArchiveObject obj);
@@ -80,6 +91,8 @@ class ArchiveServer {
   bool busy_ = false;
   std::deque<std::function<void()>> queue_;
   std::uint64_t txns_ = 0;
+  std::uint64_t epoch_ = 0;
+  sim::Tick up_at_ = 0;  // no transaction completes before this time
   std::uint64_t next_object_id_ = 1;
   metadb::Table<ArchiveObject> objects_;
   metadb::TsmExportDb export_;

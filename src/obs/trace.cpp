@@ -47,6 +47,7 @@ const char* to_string(Component c) {
     case Component::Tape: return "tape";
     case Component::Pftool: return "pftool";
     case Component::Fuse: return "fuse";
+    case Component::Fault: return "fault";
   }
   return "?";
 }

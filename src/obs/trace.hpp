@@ -30,8 +30,10 @@ namespace cpa::obs {
 
 /// The subsystem a trace event or metric belongs to.  Exported as the
 /// event category and as the thread-name prefix.
-enum class Component : std::uint8_t { Sim, Net, Pfs, Hsm, Tape, Pftool, Fuse };
-inline constexpr unsigned kComponentCount = 7;
+enum class Component : std::uint8_t {
+  Sim, Net, Pfs, Hsm, Tape, Pftool, Fuse, Fault
+};
+inline constexpr unsigned kComponentCount = 8;
 
 [[nodiscard]] const char* to_string(Component c);
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/plan.hpp"
 #include "simcore/time.hpp"
 #include "simcore/units.hpp"
 
@@ -71,6 +72,11 @@ struct PftoolConfig {
   bool tape_optimization = true;
   /// Restart mode: consult the restart journal and skip good chunks.
   bool restartable = false;
+  /// Chunk-level recovery: a failed chunk copy (FUSE write error, worker
+  /// killed by an FTA node crash, ...) is requeued with backoff instead of
+  /// failing the file, up to the policy's attempt budget.  The default
+  /// none() preserves the historical fail-fast behaviour.
+  fault::RetryPolicy retry = fault::RetryPolicy::none();
   /// Storage pool placement hint for destination files (stgpool support).
   std::string dest_pool_hint;
 };

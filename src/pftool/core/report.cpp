@@ -33,6 +33,13 @@ std::string JobReport::render() const {
                   static_cast<unsigned long long>(chunks_skipped_restart));
     out += line;
   }
+  if (chunk_retries != 0 || worker_crashes != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  recovery: %llu chunk retries, %llu worker crashes\n",
+                  static_cast<unsigned long long>(chunk_retries),
+                  static_cast<unsigned long long>(worker_crashes));
+    out += line;
+  }
   if (fuse_files != 0) {
     std::snprintf(line, sizeof(line), "  %llu very large files via ArchiveFUSE\n",
                   static_cast<unsigned long long>(fuse_files));

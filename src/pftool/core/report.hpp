@@ -31,6 +31,10 @@ struct JobReport {
   std::uint64_t fuse_files = 0;              // very large via ArchiveFUSE
   std::uint64_t files_failed = 0;
 
+  // Recovery (fault injection).
+  std::uint64_t chunk_retries = 0;    // chunk attempts requeued with backoff
+  std::uint64_t worker_crashes = 0;   // workers killed by FTA node crashes
+
   // Tape restore.
   std::uint64_t files_restored = 0;
   std::uint64_t tapes_touched = 0;

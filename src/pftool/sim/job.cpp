@@ -86,6 +86,28 @@ class WorkerProc {
   [[nodiscard]] cluster::NodeId node() const { return node_; }
   [[nodiscard]] unsigned id() const { return id_; }
 
+  /// Respawn the (killed) worker process on a healthy node.  Copies whose
+  /// flow has not started yet pick up the new pinning automatically.
+  void set_node(cluster::NodeId node) { node_ = node; }
+
+  /// Kills the worker's in-flight copy flow (FTA node crash).  Returns
+  /// false when nothing was actually on the wire — e.g. the worker is in a
+  /// message/setup delay, or the flow just completed and its callback is
+  /// queued; those paths run to completion on their own.  On success the
+  /// aborted chunk is routed through on_chunk_done(..., false) so it gets
+  /// the standard retry treatment.
+  bool abort_inflight() {
+    if (!has_flow_) return false;
+    if (!job_.env_.net->abort_flow(flow_)) return false;
+    has_flow_ = false;
+    job_.env_.cluster->remove_load(flow_node_);
+    job_.env_.sim->after(job_.cfg_.msg_latency,
+                         [this, item = inflight_]() mutable {
+                           job_.on_chunk_done(this, item, false);
+                         });
+    return true;
+  }
+
  private:
   void run_copy(const PftoolJob::WorkItem& item) {
     // Per-file metadata overhead (open/create/close) on the first chunk.
@@ -95,6 +117,7 @@ class WorkerProc {
 
   void run_copy_flow(const PftoolJob::WorkItem& item) {
     job_.env_.cluster->add_load(node_);
+    flow_node_ = node_;  // the node whose load/pinning this flow uses
     std::vector<cpa::sim::PathLeg> path = job_.env_.cluster->copy_path(
         node_, *job_.env_.src_fs, item.src, *job_.env_.dst_fs, item.dst,
         item.chunk.offset, item.chunk.bytes);
@@ -102,10 +125,12 @@ class WorkerProc {
     const double cap = job_.cfg_.per_stream_max_bps > 0
                            ? job_.cfg_.per_stream_max_bps
                            : cpa::sim::FlowNetwork::kUnlimited;
-    job_.env_.net->start_flow(
+    inflight_ = item;
+    flow_ = job_.env_.net->start_flow(
         std::move(path), static_cast<double>(item.chunk.bytes),
         [this, item](const cpa::sim::FlowStats&) {
-          job_.env_.cluster->remove_load(node_);
+          has_flow_ = false;
+          job_.env_.cluster->remove_load(flow_node_);
           bool ok = true;
           if (item.mode == CopyMode::FuseNtoN && job_.env_.fuse != nullptr) {
             ok = job_.env_.fuse->write_chunk(
@@ -118,6 +143,7 @@ class WorkerProc {
           });
         },
         cap);
+    has_flow_ = true;
   }
 
   void run_compare(const PftoolJob::WorkItem& item) {
@@ -162,6 +188,11 @@ class WorkerProc {
   PftoolJob& job_;
   unsigned id_;
   cluster::NodeId node_;
+  // In-flight copy flow, retained so a node crash can abort it.
+  cpa::sim::FlowId flow_{};
+  cluster::NodeId flow_node_ = 0;
+  bool has_flow_ = false;
+  PftoolJob::WorkItem inflight_;
 };
 
 /// "The TapeProc (a) receives requests from the Manager, (b) restores
@@ -200,6 +231,7 @@ class TapeRestoreProc {
 
   [[nodiscard]] cluster::NodeId node() const { return node_; }
   [[nodiscard]] unsigned id() const { return id_; }
+  void set_node(cluster::NodeId node) { node_ = node; }
 
  private:
   PftoolJob& job_;
@@ -250,22 +282,30 @@ class WatchDogProc {
 /// results."
 class OutPutProc {
  public:
-  explicit OutPutProc(PftoolJob& job) : job_(job) {}
+  explicit OutPutProc(PftoolJob& job)
+      : job_(job), state_(std::make_shared<State>()) {}
 
   void line(std::string text) {
-    job_.env_.sim->after(job_.cfg_.msg_latency, [this, text = std::move(text)] {
-      ++lines_;
-      last_ = text;
-    });
+    // Delivery is deferred by msg_latency and may outlive the job (the
+    // system destroys finished jobs as soon as their done callback ran),
+    // so the event shares ownership of the sink instead of capturing it.
+    job_.env_.sim->after(job_.cfg_.msg_latency,
+                         [s = state_, text = std::move(text)] {
+                           ++s->lines;
+                           s->last = std::move(text);
+                         });
   }
 
-  [[nodiscard]] std::uint64_t lines() const { return lines_; }
-  [[nodiscard]] const std::string& last_line() const { return last_; }
+  [[nodiscard]] std::uint64_t lines() const { return state_->lines; }
+  [[nodiscard]] const std::string& last_line() const { return state_->last; }
 
  private:
+  struct State {
+    std::uint64_t lines = 0;
+    std::string last;
+  };
   PftoolJob& job_;
-  std::uint64_t lines_ = 0;
-  std::string last_;
+  std::shared_ptr<State> state_;
 };
 
 // ---------------------------------------------------------------------------
@@ -298,7 +338,12 @@ PftoolJob::PftoolJob(JobEnv env, PftoolConfig cfg, Command cmd,
   report_.dst_root = cmd_ == Command::Pfls ? "" : dst_root_;
 }
 
-PftoolJob::~PftoolJob() = default;
+PftoolJob::~PftoolJob() {
+  if (node_listener_registered_) {
+    env_.cluster->remove_node_listener(node_listener_);
+    node_listener_registered_ = false;
+  }
+}
 
 const std::vector<WatchdogSample>& PftoolJob::watchdog_samples() const {
   static const std::vector<WatchdogSample> kEmpty;
@@ -349,6 +394,11 @@ void PftoolJob::start() {
   watchdog_ = std::make_unique<WatchDogProc>(*this);
   output_ = std::make_unique<OutPutProc>(*this);
   watchdog_->start();
+  node_listener_ = env_.cluster->add_node_listener(
+      [this](cluster::NodeId n, bool down) {
+        if (down) on_node_down(n);
+      });
+  node_listener_registered_ = true;
 
   // Seed the tree walk.
   const auto st = env_.src_fs->stat(src_root_);
@@ -490,6 +540,28 @@ void PftoolJob::plan_copy(const FileMeta& meta) {
   }
 
   const bool journaled = cfg_.restartable && env_.journal != nullptr;
+  if (journaled && !env_.journal->known(dst)) {
+    // No journal entry means either a fresh file or one a previous attempt
+    // finished (and forgot).  If the destination already verifies against
+    // the source, skip it — a relaunched job then re-sends only real work.
+    bool done_already = false;
+    if (env_.fuse != nullptr && env_.fuse->is_chunked(dst)) {
+      const auto st = env_.fuse->stat(dst);
+      const auto tag = env_.fuse->origin_tag(dst);
+      done_already = st.ok() && st.value().complete &&
+                     st.value().size == meta.size && tag.ok() &&
+                     tag.value() == meta.tag;
+    } else if (env_.dst_fs->exists(dst)) {
+      const auto st = env_.dst_fs->stat(dst);
+      const auto tag = env_.dst_fs->read_tag(dst);
+      done_already = st.ok() && st.value().size == meta.size && tag.ok() &&
+                     tag.value() == meta.tag;
+    }
+    if (done_already) {
+      report_.chunks_skipped_restart += plan.chunks.size();
+      return;
+    }
+  }
   std::vector<std::uint64_t> pending;
   if (journaled) {
     env_.journal->begin(dst, meta.size, plan.chunks.size());
@@ -563,11 +635,28 @@ void PftoolJob::on_chunk_done(WorkerProc* w, const WorkItem& item, bool ok) {
     return;
   }
   if (!ok) {
-    it->second.failed = true;
     c_chunks_failed_->inc();
     if (cfg_.restartable && env_.journal != nullptr) {
       env_.journal->mark_bad(item.dst, item.chunk.index);
     }
+    if (cfg_.retry.allows(item.attempt + 1)) {
+      // Transient failure with budget left: requeue after backoff instead
+      // of failing the file.  The file's remaining count is untouched.
+      ++report_.chunk_retries;
+      ++pending_retries_;
+      WorkItem again = item;
+      ++again.attempt;
+      env_.sim->after(cfg_.retry.delay(again.attempt),
+                      [this, again = std::move(again)]() mutable {
+                        --pending_retries_;
+                        if (finished_) return;
+                        copyq_.push(std::move(again));
+                        pump();
+                      });
+      pump();
+      return;
+    }
+    it->second.failed = true;
   } else {
     ++report_.chunks_copied;
     report_.bytes_copied += item.chunk.bytes;
@@ -680,8 +769,30 @@ void PftoolJob::maybe_finish() {
   const bool procs_idle = idle_readdirs_.size() == readdirs_.size() &&
                           idle_workers_.size() == workers_.size() &&
                           idle_tapeprocs_.size() == tapeprocs_.size();
-  if (queues_empty && procs_idle && pending_files_.empty()) {
+  if (queues_empty && procs_idle && pending_files_.empty() &&
+      pending_retries_ == 0) {
     finish();
+  }
+}
+
+void PftoolJob::on_node_down(cluster::NodeId node) {
+  if (finished_ || !started_) return;
+  // Healthy nodes to respawn on (falls back to all nodes in a total
+  // outage — the respawned workers then fail and retry until repair).
+  const std::vector<cluster::NodeId> machines = env_.cluster->machine_list();
+  std::size_t next = 0;
+  for (auto& w : workers_) {
+    if (w->node() != node) continue;
+    ++report_.worker_crashes;
+    w->set_node(machines[next++ % machines.size()]);
+    if (w->abort_inflight()) {
+      env_.obs->trace().instant(obs::Component::Pftool, "fault",
+                                "worker_killed", env_.sim->now());
+    }
+  }
+  for (auto& tp : tapeprocs_) {
+    if (tp->node() != node) continue;
+    tp->set_node(machines[next++ % machines.size()]);
   }
 }
 
@@ -689,6 +800,10 @@ void PftoolJob::finish() {
   if (finished_) return;
   finished_ = true;
   if (watchdog_ != nullptr) watchdog_->stop();
+  if (node_listener_registered_) {
+    env_.cluster->remove_node_listener(node_listener_);
+    node_listener_registered_ = false;
+  }
   report_.finished = env_.sim->now();
   report_.dirq_max_depth = dirq_.max_depth();
   report_.nameq_max_depth = nameq_.max_depth();
@@ -707,6 +822,8 @@ void PftoolJob::finish() {
   m.counter("pftool.chunks_skipped_restart").add(report_.chunks_skipped_restart);
   m.counter("pftool.tapes_touched").add(report_.tapes_touched);
   m.counter("pftool.fuse_files").add(report_.fuse_files);
+  m.counter("pftool.retries_total").add(report_.chunk_retries);
+  m.counter("pftool.worker_crashes").add(report_.worker_crashes);
   if (report_.bytes_copied > 0) {
     m.series("pftool.job_rate_bps").add(report_.rate_bps());
   }

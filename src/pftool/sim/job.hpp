@@ -110,6 +110,8 @@ class PftoolJob {
     ChunkSpec chunk;
     /// N-to-1 write contention pool shared by all chunks of one dst file.
     cpa::sim::PoolId shared_dst_pool{};
+    /// Failed attempts so far (chunk retry bookkeeping).
+    unsigned attempt = 0;
   };
 
   void on_dir_listed(ReadDirProc* rd, const std::string& dir,
@@ -122,6 +124,10 @@ class PftoolJob {
                    unsigned failed);
   void watchdog_tick();
   void abort_stalled();
+  /// FTA node crash: workers/tapeprocs pinned there are killed and
+  /// respawned on healthy nodes; their in-flight copies abort and route
+  /// through on_chunk_done(..., false) for the usual retry treatment.
+  void on_node_down(cluster::NodeId node);
 
  private:
   friend class ReadDirProc;
@@ -175,8 +181,13 @@ class PftoolJob {
   JobReport report_;
   cpa::sim::RateMeter meter_;
   std::uint64_t outstanding_stats_ = 0;
+  /// Chunks sitting in a backoff delay before requeueing; completion
+  /// detection must wait for them.
+  std::uint64_t pending_retries_ = 0;
   bool started_ = false;
   bool finished_ = false;
+  std::uint64_t node_listener_ = 0;
+  bool node_listener_registered_ = false;
 
   obs::SpanId span_;
   // Cached so the per-chunk hot path never looks a metric name up; the

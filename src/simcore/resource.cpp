@@ -28,7 +28,12 @@ bool Resource::try_acquire(Grant on_grant) {
 void Resource::release() {
   assert(in_use_ > 0);
   --in_use_;
-  if (!waiters_.empty()) grant_one();
+  if (!waiters_.empty() && in_use_ < capacity_) grant_one();
+}
+
+void Resource::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (!waiters_.empty() && in_use_ < capacity_) grant_one();
 }
 
 bool Resource::cancel_wait(std::uint64_t ticket) {

@@ -34,6 +34,13 @@ class Resource {
   /// granted (in which case the holder must still `release()`).
   bool cancel_wait(std::uint64_t ticket);
 
+  /// Changes the concurrency limit (fault windows shrink it, repairs grow
+  /// it back).  Shrinking never revokes held slots — `in_use_` may exceed
+  /// the new capacity until holders release; no new grants happen until it
+  /// drops below.  Growing wakes waiters into the freed slots.  Capacity
+  /// zero is allowed while shrunk (all requests queue).
+  void set_capacity(std::size_t capacity);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t in_use() const { return in_use_; }

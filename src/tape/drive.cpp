@@ -33,6 +33,23 @@ void TapeDrive::cache_instruments() {
   g_backhitch_seconds_ = &m.gauge("tape.backhitch_seconds");
 }
 
+void TapeDrive::set_failed(bool failed) {
+  if (failed_ == failed) return;
+  failed_ = failed;
+  if (failed) {
+    obs_->trace().instant(obs::Component::Tape, name_, "drive_failed",
+                          sim_.now());
+    if (interrupt_) {
+      auto abort = std::move(interrupt_);
+      interrupt_ = nullptr;
+      abort();
+    }
+  } else {
+    obs_->trace().instant(obs::Component::Tape, name_, "drive_repaired",
+                          sim_.now());
+  }
+}
+
 void TapeDrive::enqueue(std::function<void(std::function<void()>)> op) {
   ops_.push_back(std::move(op));
   if (!busy_) run_next();
@@ -121,7 +138,7 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
                              std::function<void(const Segment*)> done) {
   enqueue([this, node, object_id, bytes, path = std::move(path),
            done = std::move(done)](std::function<void()> next) mutable {
-    if (cartridge_ == nullptr || !cartridge_->fits(bytes)) {
+    if (failed_ || cartridge_ == nullptr || !cartridge_->fits(bytes)) {
       if (done) done(nullptr);
       next();
       return;
@@ -143,11 +160,19 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
       position_ = end;
       sim_.after(seek, [this, object_id, bytes, path = std::move(path), done,
                         next, sp]() mutable {
+        if (failed_) {
+          // The drive died during the mechanical phase.
+          obs_->trace().end(sp, sim_.now());
+          if (done) done(nullptr);
+          next();
+          return;
+        }
         path.push_back(rate_pool_);
         const sim::Tick t0 = sim_.now();
-        net_.start_flow(
+        const sim::FlowId fid = net_.start_flow(
             std::move(path), static_cast<double>(bytes),
             [this, object_id, bytes, t0, done, next, sp](const sim::FlowStats&) {
+              interrupt_ = nullptr;
               stats_.transfer_time += sim_.now() - t0;
               // Copy: the cartridge's segment vector may reallocate before
               // the backhitch completes.
@@ -169,6 +194,14 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
                 next();
               });
             });
+        interrupt_ = [this, fid, done, next, sp] {
+          // abort_flow() fails when the flow's completion is already
+          // queued (degenerate 0-byte flows); let it run normally then.
+          if (!net_.abort_flow(fid)) return;
+          obs_->trace().end(sp, sim_.now());
+          if (done) done(nullptr);
+          next();
+        };
       });
     });
   });
@@ -179,7 +212,8 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
                             std::function<void(const Segment*)> done) {
   enqueue([this, node, seq, path = std::move(path),
            done = std::move(done)](std::function<void()> next) mutable {
-    const Segment* seg = cartridge_ != nullptr && !cartridge_->damaged()
+    const Segment* seg = !failed_ && cartridge_ != nullptr &&
+                                 !cartridge_->damaged()
                              ? cartridge_->segment_by_seq(seq)
                              : nullptr;
     if (seg == nullptr) {
@@ -210,20 +244,35 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
       const Segment segv = *seg;  // copy against vector reallocation
       sim_.after(pre, [this, segv, path = std::move(path), done, next,
                        sp]() mutable {
+        if (failed_ || cartridge_ == nullptr || cartridge_->damaged()) {
+          // Failed (or the media went bad) during the mechanical phase.
+          obs_->trace().end(sp, sim_.now());
+          if (done) done(nullptr);
+          next();
+          return;
+        }
         path.push_back(rate_pool_);
         const sim::Tick t0 = sim_.now();
-        net_.start_flow(std::move(path), static_cast<double>(segv.bytes),
-                        [this, segv, t0, done, next, sp](const sim::FlowStats&) {
-                          stats_.transfer_time += sim_.now() - t0;
-                          position_ = segv.offset + segv.bytes;
-                          ++stats_.read_txns;
-                          stats_.bytes_read += segv.bytes;
-                          c_read_txns_->inc();
-                          c_bytes_read_->add(segv.bytes);
-                          obs_->trace().end(sp, sim_.now());
-                          if (done) done(&segv);
-                          next();
-                        });
+        const sim::FlowId fid = net_.start_flow(
+            std::move(path), static_cast<double>(segv.bytes),
+            [this, segv, t0, done, next, sp](const sim::FlowStats&) {
+              interrupt_ = nullptr;
+              stats_.transfer_time += sim_.now() - t0;
+              position_ = segv.offset + segv.bytes;
+              ++stats_.read_txns;
+              stats_.bytes_read += segv.bytes;
+              c_read_txns_->inc();
+              c_bytes_read_->add(segv.bytes);
+              obs_->trace().end(sp, sim_.now());
+              if (done) done(&segv);
+              next();
+            });
+        interrupt_ = [this, fid, done, next, sp] {
+          if (!net_.abort_flow(fid)) return;
+          obs_->trace().end(sp, sim_.now());
+          if (done) done(nullptr);
+          next();
+        };
       });
     });
   });

@@ -62,6 +62,13 @@ class TapeDrive {
   /// counters; each drive traces onto its own named track).
   void set_observer(obs::Observer& obs);
 
+  /// Marks the drive failed / repaired.  Failing a drive aborts any
+  /// in-flight data transfer (its completion sees nullptr) and makes
+  /// queued/new read and write ops fail fast.  Mechanical mount/unmount
+  /// still works, so the library can recover the stuck cartridge.
+  void set_failed(bool failed);
+  [[nodiscard]] bool failed() const { return failed_; }
+
   /// Mounts a cartridge (load + label verify).  Drive must be empty when
   /// the operation runs.
   void mount(Cartridge* cartridge, std::function<void()> done);
@@ -102,6 +109,10 @@ class TapeDrive {
   std::uint64_t position_ = 0;  // current head byte position
   NodeId owner_ = kNoNode;      // node owning the data path
   bool busy_ = false;
+  bool failed_ = false;
+  // Set while a data flow is in flight; fired by set_failed(true) to abort
+  // the transfer and complete the op with nullptr.
+  std::function<void()> interrupt_;
   std::deque<std::function<void(std::function<void()>)>> ops_;
   DriveStats stats_;
 

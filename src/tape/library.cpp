@@ -15,9 +15,27 @@ TapeLibrary::TapeLibrary(sim::Simulation& sim, sim::FlowNetwork& net,
   }
 }
 
+void TapeLibrary::fail_drive(unsigned i) {
+  assert(i < drives_.size());
+  drives_[i]->set_failed(true);
+}
+
+void TapeLibrary::repair_drive(unsigned i) {
+  assert(i < drives_.size());
+  drives_[i]->set_failed(false);
+  // The drive is usable again: hand it to the longest waiter if idle.
+  if (!drive_busy_[i] && !drive_waiters_.empty()) {
+    drive_busy_[i] = true;
+    auto waiter = std::move(drive_waiters_.front());
+    drive_waiters_.pop_front();
+    TapeDrive* d = drives_[i].get();
+    sim_.after(0, [waiter = std::move(waiter), d] { waiter(*d); });
+  }
+}
+
 void TapeLibrary::acquire_drive(std::function<void(TapeDrive&)> on_grant) {
   for (std::size_t i = 0; i < drives_.size(); ++i) {
-    if (!drive_busy_[i]) {
+    if (!drive_busy_[i] && !drives_[i]->failed()) {
       drive_busy_[i] = true;
       TapeDrive* d = drives_[i].get();
       sim_.after(0, [on_grant = std::move(on_grant), d] { on_grant(*d); });
@@ -31,7 +49,9 @@ void TapeLibrary::release_drive(TapeDrive& drive) {
   for (std::size_t i = 0; i < drives_.size(); ++i) {
     if (drives_[i].get() == &drive) {
       assert(drive_busy_[i]);
-      if (!drive_waiters_.empty()) {
+      // A failed drive must not be handed to a waiter; it re-enters the
+      // rotation via repair_drive().
+      if (!drive_waiters_.empty() && !drive.failed()) {
         auto waiter = std::move(drive_waiters_.front());
         drive_waiters_.pop_front();
         TapeDrive* d = drives_[i].get();
@@ -47,8 +67,8 @@ void TapeLibrary::release_drive(TapeDrive& drive) {
 
 unsigned TapeLibrary::idle_drives() const {
   unsigned n = 0;
-  for (const bool b : drive_busy_) {
-    if (!b) ++n;
+  for (std::size_t i = 0; i < drive_busy_.size(); ++i) {
+    if (!drive_busy_[i] && !drives_[i]->failed()) ++n;
   }
   return n;
 }

@@ -42,6 +42,17 @@ class TapeLibrary {
   void release_drive(TapeDrive& drive);
   [[nodiscard]] unsigned idle_drives() const;
 
+  // --- fault injection -------------------------------------------------------
+  /// Fails drive `i`: aborts its in-flight transfer (see
+  /// TapeDrive::set_failed) and takes it out of the allocation rotation.
+  /// The current holder keeps the drive until it release_drive()s.
+  void fail_drive(unsigned i);
+  /// Repairs drive `i`; if it is idle a queued waiter gets it at once.
+  void repair_drive(unsigned i);
+  [[nodiscard]] bool drive_failed(unsigned i) const {
+    return drives_[i]->failed();
+  }
+
   // --- cartridges ------------------------------------------------------------
   Cartridge& new_cartridge(const std::string& colocation_group = "");
   [[nodiscard]] Cartridge* cartridge(CartridgeId id);

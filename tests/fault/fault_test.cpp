@@ -1,0 +1,254 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "obs/observer.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/time.hpp"
+
+namespace cpa::fault {
+namespace {
+
+// ---------------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicy, NoneNeverAllowsASecondAttempt) {
+  const RetryPolicy p = RetryPolicy::none();
+  EXPECT_TRUE(p.allows(0));   // the first attempt itself
+  EXPECT_FALSE(p.allows(1));  // no retry after one failure
+}
+
+TEST(RetryPolicy, StandardAllowsThreeTotalAttempts) {
+  const RetryPolicy p = RetryPolicy::standard();
+  EXPECT_TRUE(p.allows(1));
+  EXPECT_TRUE(p.allows(2));
+  EXPECT_FALSE(p.allows(3));
+}
+
+TEST(RetryPolicy, DelayGrowsExponentially) {
+  RetryPolicy p;
+  p.backoff = sim::secs(5);
+  p.multiplier = 2.0;
+  p.max_backoff = sim::minutes(10);
+  EXPECT_EQ(p.delay(1), sim::secs(5));
+  EXPECT_EQ(p.delay(2), sim::secs(10));
+  EXPECT_EQ(p.delay(3), sim::secs(20));
+  EXPECT_EQ(p.delay(4), sim::secs(40));
+}
+
+TEST(RetryPolicy, DelayClampsAtMaxBackoff) {
+  RetryPolicy p;
+  p.backoff = sim::minutes(1);
+  p.multiplier = 10.0;
+  p.max_backoff = sim::minutes(5);
+  EXPECT_EQ(p.delay(1), sim::minutes(1));
+  EXPECT_EQ(p.delay(2), sim::minutes(5));   // 10 min clamped
+  EXPECT_EQ(p.delay(10), sim::minutes(5));  // huge exponent still clamped
+}
+
+// ------------------------------------------------------------------ FaultPlan
+
+TEST(FaultPlan, BuildersRenderCanonicalSpec) {
+  FaultPlan plan;
+  plan.drive_failure(3, sim::secs(120), sim::secs(300))
+      .node_crash(2, sim::minutes(10), sim::minutes(20))
+      .pool_degrade("trunk0", sim::minutes(5), 0.5, sim::minutes(10));
+  const std::string spec = plan.render();
+  EXPECT_NE(spec.find("tape.drive[3]:fail@t=120s,repair=300s"), std::string::npos);
+  EXPECT_NE(spec.find("cluster.node[2]:fail@t=600s,repair=1200s"), std::string::npos);
+  EXPECT_NE(spec.find("net.pool[trunk0]:degrade@t=300s,factor=0.5,repair=600s"),
+            std::string::npos);
+}
+
+TEST(FaultPlan, ParseRenderRoundTripsExactly) {
+  const std::vector<std::string> specs = {
+      "tape.drive[3]:fail@t=120s,repair=300s",
+      "tape.media[7]:fail@t=3600s",
+      "cluster.node[2]:fail@t=600s,repair=1200s",
+      "hsm.server[0]:restart@t=7200s,outage=60s",
+      "net.pool[trunk0]:degrade@t=300s,factor=0.25,repair=600s",
+  };
+  for (const auto& s : specs) {
+    std::string err;
+    const auto plan = FaultPlan::parse(s, &err);
+    ASSERT_TRUE(plan.has_value()) << s << ": " << err;
+    EXPECT_EQ(plan->render(), s);
+    // render() output is itself parseable to the same plan.
+    const auto again = FaultPlan::parse(plan->render());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->render(), s);
+  }
+}
+
+TEST(FaultPlan, ParseAcceptsDurationSuffixesAndMultipleEvents) {
+  std::string err;
+  const auto plan = FaultPlan::parse(
+      "tape.drive[0]:fail@t=2m,repair=1h;cluster.node[1]:fail@t=1d", &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  ASSERT_EQ(plan->size(), 2u);
+  EXPECT_EQ(plan->events[0].at, sim::minutes(2));
+  EXPECT_EQ(plan->events[0].repair, sim::hours(1));
+  EXPECT_EQ(plan->events[1].at, sim::days(1));
+  EXPECT_EQ(plan->events[1].repair, 0u);  // permanent
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  for (const std::string bad : {
+           "tape.drive[x]:fail@t=10s",         // non-numeric index
+           "tape.drive[0]",                    // no verb
+           "tape.drive[0]:explode@t=10s",      // unknown verb
+           "gpu.core[0]:fail@t=10s",           // unknown target
+           "net.pool[trunk0]:degrade@t=10s",   // degrade needs factor
+           "tape.drive[0]:fail",               // missing @t
+       }) {
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(FaultPlan, RandomIsDeterministicPerSeed) {
+  RandomFaultConfig cfg;
+  cfg.drive_failures = 3;
+  cfg.node_crashes = 2;
+  cfg.media_errors = 1;
+  cfg.server_restarts = 1;
+  const FaultPlan a = FaultPlan::random(cfg, 42);
+  const FaultPlan b = FaultPlan::random(cfg, 42);
+  const FaultPlan c = FaultPlan::random(cfg, 43);
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_NE(a.render(), c.render());
+  EXPECT_EQ(a.size(), 7u);
+}
+
+TEST(FaultPlan, RandomRespectsPlantBoundsAndHorizon) {
+  RandomFaultConfig cfg;
+  cfg.drive_failures = 8;
+  cfg.node_crashes = 8;
+  cfg.drives = 2;
+  cfg.nodes = 3;
+  cfg.horizon = sim::minutes(30);
+  const FaultPlan plan = FaultPlan::random(cfg, 7);
+  for (const auto& ev : plan.events) {
+    EXPECT_LE(ev.at, cfg.horizon);
+    if (ev.target == FaultTarget::TapeDrive) EXPECT_LT(ev.index, 2u);
+    if (ev.target == FaultTarget::ClusterNode) EXPECT_LT(ev.index, 3u);
+    if (ev.repair != 0) {
+      EXPECT_GE(ev.repair, cfg.min_repair);
+      EXPECT_LE(ev.repair, cfg.max_repair);
+    }
+  }
+}
+
+// -------------------------------------------------------------- FaultInjector
+
+struct Recorded {
+  std::vector<std::pair<std::uint64_t, bool>> drives;
+  std::vector<std::pair<std::uint64_t, bool>> nodes;
+  std::vector<std::pair<std::string, double>> pools;
+  std::vector<sim::Tick> when;
+};
+
+TEST(FaultInjector, FiresStrikeAndRepairAtExactVirtualTimes) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  FaultInjector inj(sim, obs);
+
+  Recorded rec;
+  FaultTargets targets;
+  targets.tape_drive = [&](std::uint64_t d, bool down) {
+    rec.drives.emplace_back(d, down);
+    rec.when.push_back(sim.now());
+  };
+  targets.cluster_node = [&](std::uint64_t n, bool down) {
+    rec.nodes.emplace_back(n, down);
+    rec.when.push_back(sim.now());
+  };
+  inj.set_targets(std::move(targets));
+
+  FaultPlan plan;
+  plan.drive_failure(1, sim::secs(10), sim::secs(20));  // repaired at t=30
+  plan.node_crash(2, sim::secs(15));                    // permanent
+  inj.arm(plan);
+  sim.run();
+
+  ASSERT_EQ(rec.drives.size(), 2u);
+  EXPECT_EQ(rec.drives[0], (std::pair<std::uint64_t, bool>{1, true}));
+  EXPECT_EQ(rec.drives[1], (std::pair<std::uint64_t, bool>{1, false}));
+  ASSERT_EQ(rec.nodes.size(), 1u);
+  EXPECT_EQ(rec.nodes[0], (std::pair<std::uint64_t, bool>{2, true}));
+  ASSERT_EQ(rec.when.size(), 3u);
+  EXPECT_EQ(rec.when[0], sim::secs(10));
+  EXPECT_EQ(rec.when[1], sim::secs(15));
+  EXPECT_EQ(rec.when[2], sim::secs(30));
+
+  // Permanent faults count as injected but never repaired.
+  EXPECT_EQ(inj.injected(), 2u);
+  EXPECT_EQ(inj.repaired(), 1u);
+  EXPECT_EQ(obs.metrics().counter_value("fault.injected_total"), 2u);
+  EXPECT_EQ(obs.metrics().counter_value("fault.repaired_total"), 1u);
+}
+
+TEST(FaultInjector, PoolDegradePassesFactorThenRestores) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  FaultInjector inj(sim, obs);
+
+  Recorded rec;
+  FaultTargets targets;
+  targets.net_pool = [&](const std::string& pool, double factor, bool down) {
+    rec.pools.emplace_back(pool, down ? factor : 1.0);
+  };
+  inj.set_targets(std::move(targets));
+
+  FaultPlan plan;
+  plan.pool_degrade("trunk0", sim::secs(5), 0.25, sim::secs(10));
+  inj.arm(plan);
+  sim.run();
+
+  ASSERT_EQ(rec.pools.size(), 2u);
+  EXPECT_EQ(rec.pools[0].first, "trunk0");
+  EXPECT_DOUBLE_EQ(rec.pools[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(rec.pools[1].second, 1.0);
+}
+
+TEST(FaultInjector, UnwiredTargetsAreCountedSkipped) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  FaultInjector inj(sim, obs);  // no targets wired at all
+
+  FaultPlan plan;
+  plan.drive_failure(0, sim::secs(1), sim::secs(1));
+  plan.media_error(4, sim::secs(2));
+  inj.arm(plan);
+  sim.run();
+
+  EXPECT_EQ(inj.injected(), 0u);
+  EXPECT_GE(obs.metrics().counter_value("fault.skipped_total"), 2u);
+}
+
+TEST(FaultInjector, ArmAccumulatesAcrossCalls) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  FaultInjector inj(sim, obs);
+
+  unsigned strikes = 0;
+  FaultTargets targets;
+  targets.tape_drive = [&](std::uint64_t, bool down) { strikes += down; };
+  inj.set_targets(std::move(targets));
+
+  FaultPlan a;
+  a.drive_failure(0, sim::secs(1));
+  FaultPlan b;
+  b.drive_failure(1, sim::secs(2));
+  inj.arm(a);
+  inj.arm(b);
+  sim.run();
+  EXPECT_EQ(strikes, 2u);
+}
+
+}  // namespace
+}  // namespace cpa::fault

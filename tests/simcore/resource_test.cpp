@@ -80,5 +80,46 @@ TEST(Resource, CancelWaitAfterGrantReturnsFalse) {
   EXPECT_FALSE(r.cancel_wait(ticket));
 }
 
+TEST(Resource, ShrinkNeverRevokesHeldSlots) {
+  Simulation sim;
+  Resource r(sim, "drives", 2);
+  r.acquire([] {});
+  r.acquire([] {});
+  sim.run();
+  ASSERT_EQ(r.in_use(), 2u);
+
+  // Fault window: capacity drops below what is held; holders keep their
+  // slots and nothing new is granted until releases catch up.
+  r.set_capacity(1);
+  bool third = false;
+  r.acquire([&] { third = true; });
+  sim.run();
+  EXPECT_EQ(r.in_use(), 2u);
+  EXPECT_FALSE(third);
+
+  r.release();  // 1 in use == new capacity: still no free slot
+  sim.run();
+  EXPECT_FALSE(third);
+  r.release();
+  sim.run();
+  EXPECT_TRUE(third);
+}
+
+TEST(Resource, GrowWakesWaitersIntoFreedSlots) {
+  Simulation sim;
+  Resource r(sim, "drives", 0);  // fully down
+  unsigned granted = 0;
+  r.acquire([&] { ++granted; });
+  r.acquire([&] { ++granted; });
+  r.acquire([&] { ++granted; });
+  sim.run();
+  EXPECT_EQ(granted, 0u);
+
+  r.set_capacity(2);  // repair: two slots come back
+  sim.run();
+  EXPECT_EQ(granted, 2u);
+  EXPECT_EQ(r.queue_length(), 1u);
+}
+
 }  // namespace
 }  // namespace cpa::sim
