@@ -38,8 +38,12 @@ void schedule_background_load(archive::CotsParallelArchive& sys,
 /// 100 TB fast pool cannot absorb a ~150 TB campaign.  Cycles chain (a new
 /// scan starts only after the previous migration finished) to avoid
 /// double-migrating files still in flight.
-void schedule_migration_cycles(archive::CotsParallelArchive& sys,
-                               double horizon_days) {
+/// Returns the shared state keeping the cycle chain alive: queued lambdas
+/// hold only weak references (a self-referencing strong capture would leak
+/// the closure — LeakSanitizer vetoes it), so the caller must keep the
+/// returned pointer alive until the simulation finishes running.
+[[nodiscard]] std::shared_ptr<std::function<void()>> schedule_migration_cycles(
+    archive::CotsParallelArchive& sys, double horizon_days) {
   pfs::Rule rule;
   rule.name = "campaign-mig";
   rule.action = pfs::Rule::Action::List;
@@ -49,14 +53,20 @@ void schedule_migration_cycles(archive::CotsParallelArchive& sys,
   sys.policy().add_rule(rule);
 
   auto cycle = std::make_shared<std::function<void()>>();
-  *cycle = [&sys, cycle, horizon_days] {
+  const std::weak_ptr<std::function<void()>> weak = cycle;
+  *cycle = [&sys, weak, horizon_days] {
     if (sim::to_seconds(sys.sim().now()) > horizon_days * 86400.0) return;
     sys.run_migration_cycle("campaign-mig", "opensci",
-                            [&sys, cycle](const hsm::MigrateReport&) {
-                              sys.sim().after(sim::hours(4), [cycle] { (*cycle)(); });
+                            [&sys, weak](const hsm::MigrateReport&) {
+                              sys.sim().after(sim::hours(4), [weak] {
+                                if (const auto c = weak.lock()) (*c)();
+                              });
                             });
   };
-  sys.sim().at(sim::hours(2), [cycle] { (*cycle)(); });
+  sys.sim().at(sim::hours(2), [weak] {
+    if (const auto c = weak.lock()) (*c)();
+  });
+  return cycle;
 }
 
 }  // namespace
@@ -105,7 +115,8 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
 
   sim::Rng rng(opts.seed ^ 0xBADCAFE);
   schedule_background_load(sys, rng, wl.operation_days);
-  schedule_migration_cycles(sys, wl.operation_days + 2.0);
+  const auto migration_keeper =
+      schedule_migration_cycles(sys, wl.operation_days + 2.0);
 
   CampaignResult result;
   result.jobs.resize(specs.size());

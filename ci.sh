@@ -26,6 +26,20 @@ echo "== ASan+UBSan =="
 run_preset build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCPA_SANITIZE=address,undefined
 
+# Differential oracle, explicitly and at full depth, under the sanitizer
+# build: 24 seeds x 4500 randomized flow-network mutations, each checked
+# bit-for-bit against the from-scratch water-filling reference (the full
+# ctest pass above already ran it once; this run is the gate that fails
+# loudly on any rate divergence).
+echo "== Flow-scheduler differential oracle (ASan) =="
+./build-asan/tests/simcore_test --gtest_filter='RandomChurn/FlowOracle.*'
+
+# Churn-throughput smoke (Release build: this one is a perf measurement).
+# The bench cross-checks incremental vs reference rates at every checkpoint
+# and exits non-zero on divergence.
+echo "== bench_flow_churn smoke (Release) =="
+./build-release/bench/bench_flow_churn --smoke --json=build-release/BENCH_flow_churn.json
+
 # Fault-matrix smoke (under the sanitizer build): each canned plan injects
 # a different failure class against a live pfcp + migration; the bench
 # exits non-zero if any file is left unrecovered.

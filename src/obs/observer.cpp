@@ -8,10 +8,13 @@ Observer::Observer() : Observer(ObsConfig{}) {}
 
 Observer::Observer(const ObsConfig& cfg)
     : c_events_(metrics_.counter("sim.events_fired")),
+      c_events_cancelled_(metrics_.counter("sim.events.cancelled")),
       c_flows_started_(metrics_.counter("net.flows_started")),
       c_flows_completed_(metrics_.counter("net.flows_completed")),
       c_flows_aborted_(metrics_.counter("net.flows_aborted")),
-      c_bytes_moved_(metrics_.counter("net.bytes_moved")) {
+      c_bytes_moved_(metrics_.counter("net.bytes_moved")),
+      c_recompute_calls_(metrics_.counter("sim.flow.recompute_calls")),
+      c_recompute_flows_(metrics_.counter("sim.flow.recompute_flows_touched")) {
   trace_.set_enabled(cfg.tracing);
 }
 
@@ -21,6 +24,13 @@ Observer& Observer::nil() {
 }
 
 void Observer::on_event_fired(sim::Tick /*at*/) { c_events_.inc(); }
+
+void Observer::on_event_cancelled(sim::Tick /*at*/) { c_events_cancelled_.inc(); }
+
+void Observer::on_rates_recomputed(std::size_t flows_touched) {
+  c_recompute_calls_.inc();
+  c_recompute_flows_.add(flows_touched);
+}
 
 void Observer::on_flow_started(std::uint64_t flow_id, double bytes,
                                sim::Tick now) {

@@ -45,6 +45,7 @@ class Observer final : public sim::SimProbe, public sim::FlowProbe {
 
   // --- sim::SimProbe ------------------------------------------------------
   void on_event_fired(sim::Tick at) override;
+  void on_event_cancelled(sim::Tick at) override;
 
   // --- sim::FlowProbe -----------------------------------------------------
   void on_flow_started(std::uint64_t flow_id, double bytes,
@@ -52,6 +53,7 @@ class Observer final : public sim::SimProbe, public sim::FlowProbe {
   void on_flow_completed(std::uint64_t flow_id,
                          const sim::FlowStats& stats) override;
   void on_flow_aborted(std::uint64_t flow_id, sim::Tick now) override;
+  void on_rates_recomputed(std::size_t flows_touched) override;
 
  private:
   TraceRecorder trace_;
@@ -59,10 +61,13 @@ class Observer final : public sim::SimProbe, public sim::FlowProbe {
   // Hot-path instruments, cached at construction so probe hooks never do a
   // map lookup.
   Counter& c_events_;
+  Counter& c_events_cancelled_;
   Counter& c_flows_started_;
   Counter& c_flows_completed_;
   Counter& c_flows_aborted_;
   Counter& c_bytes_moved_;
+  Counter& c_recompute_calls_;
+  Counter& c_recompute_flows_;
   std::unordered_map<std::uint64_t, SpanId> open_flows_;
 };
 

@@ -3,25 +3,33 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <unordered_set>
 
 namespace cpa::sim {
 namespace {
 // Bytes below this are considered "transferred" when deciding completion;
 // integer-tick rounding can leave sub-nanosecond residues.
 constexpr double kByteEps = 1e-6;
+// Completion predictions beyond this many virtual seconds (> 100 years)
+// are treated as "never": the flow stays attached and is re-predicted
+// when a mutation changes its rate.  Keeps the seconds -> Tick cast in
+// range for pathological byte/rate combinations.
+constexpr double kNeverSeconds = 4.0e9;
 }  // namespace
 
 PoolId FlowNetwork::add_pool(std::string name, double capacity_bps) {
   assert(capacity_bps >= 0.0);
-  pools_.push_back(Pool{std::move(name), capacity_bps});
+  pools_.push_back(Pool{std::move(name), capacity_bps, 0.0, 0, {}});
   return PoolId{static_cast<std::uint32_t>(pools_.size() - 1)};
 }
 
 void FlowNetwork::set_pool_capacity(PoolId pool, double capacity_bps) {
   assert(pool.valid() && pool.idx < pools_.size());
-  advance();
   pools_[pool.idx].capacity = capacity_bps;
-  recompute_rates();
+  if (pools_[pool.idx].members.empty() && !full_recompute_) return;
+  seed_pools_.clear();
+  seed_pools_.push_back(pool.idx);
+  recompute_components(seed_pools_, 0);
   schedule_next_completion();
 }
 
@@ -37,16 +45,18 @@ const std::string& FlowNetwork::pool_name(PoolId pool) const {
 
 double FlowNetwork::pool_busy_seconds(PoolId pool) const {
   assert(pool.valid() && pool.idx < pools_.size());
-  return pools_[pool.idx].busy_seconds;
+  const Pool& p = pools_[pool.idx];
+  double busy = p.busy_seconds;
+  if (!p.members.empty()) busy += to_seconds(sim_.now() - p.busy_since);
+  return busy;
 }
 
 double FlowNetwork::pool_allocated(PoolId pool) const {
   assert(pool.valid() && pool.idx < pools_.size());
   double sum = 0.0;
-  for (const auto& [id, f] : flows_) {
-    for (const auto& [p, w] : f.pools) {
-      if (p == pool.idx) sum += f.rate * w;
-    }
+  for (const PoolMember& m : pools_[pool.idx].members) {
+    const auto it = flows_.find(m.flow);
+    sum += it->second.rate * it->second.legs[m.leg].weight;
   }
   return sum;
 }
@@ -57,23 +67,24 @@ FlowId FlowNetwork::start_flow(std::vector<PathLeg> path, double bytes,
   assert(bytes >= 0.0);
   assert(max_rate > 0.0);
   Flow f;
-  f.pools.reserve(path.size());
+  f.legs.reserve(path.size());
   for (const PathLeg& leg : path) {
     assert(leg.pool.valid() && leg.pool.idx < pools_.size());
     assert(leg.weight > 0.0);
     bool merged = false;
-    for (auto& [p, w] : f.pools) {
-      if (p == leg.pool.idx) {
-        w += leg.weight;
+    for (Leg& l : f.legs) {
+      if (l.pool == leg.pool.idx) {
+        l.weight += leg.weight;
         merged = true;
         break;
       }
     }
-    if (!merged) f.pools.emplace_back(leg.pool.idx, leg.weight);
+    if (!merged) f.legs.push_back(Leg{leg.pool.idx, leg.weight, 0});
   }
   f.bytes_total = bytes;
   f.max_rate = max_rate;
   f.started = sim_.now();
+  f.rate_epoch = sim_.now();
   f.on_complete = std::move(on_complete);
 
   const std::uint64_t id = next_flow_id_++;
@@ -81,96 +92,148 @@ FlowId FlowNetwork::start_flow(std::vector<PathLeg> path, double bytes,
   if (probe_ != nullptr) probe_->on_flow_started(id, bytes, sim_.now());
 
   if (bytes <= kByteEps) {
-    // Degenerate flow: complete immediately (via the event queue).
+    // Degenerate flow: complete immediately (via the event queue), but
+    // keep the queued completion cancellable through abort_flow.
     FlowStats st{f.started, sim_.now(), bytes};
-    sim_.after(0, [this, id, cb = std::move(f.on_complete), st] {
-      if (probe_ != nullptr) probe_->on_flow_completed(id, st);
-      if (cb) cb(st);
-    });
+    const Simulation::EventId ev =
+        sim_.after(0, [this, id, cb = std::move(f.on_complete), st] {
+          zero_flows_.erase(id);
+          if (probe_ != nullptr) probe_->on_flow_completed(id, st);
+          if (cb) cb(st);
+        });
+    zero_flows_.emplace(id, ev);
     return FlowId{id};
   }
 
-  advance();
-  for (const auto& [p, w] : f.pools) ++pools_[p].active;
-  flows_.emplace(id, std::move(f));
-  recompute_rates();
+  auto [it, inserted] = flows_.emplace(id, std::move(f));
+  assert(inserted);
+  attach_flow(id, it->second);
+  seed_pools_.clear();
+  recompute_components(seed_pools_, id);
   schedule_next_completion();
   return FlowId{id};
 }
 
 bool FlowNetwork::abort_flow(FlowId id) {
-  auto it = flows_.find(id.id);
+  const auto zit = zero_flows_.find(id.id);
+  if (zit != zero_flows_.end()) {
+    sim_.cancel(zit->second);
+    zero_flows_.erase(zit);
+    if (probe_ != nullptr) probe_->on_flow_aborted(id.id, sim_.now());
+    return true;
+  }
+  const auto it = flows_.find(id.id);
   if (it == flows_.end()) return false;
-  advance();
-  for (const auto& [p, w] : it->second.pools) --pools_[p].active;
+  Flow& f = it->second;
+  detach_flow(f);
+  seed_pools_.clear();
+  for (const Leg& leg : f.legs) seed_pools_.push_back(leg.pool);
   flows_.erase(it);
-  recompute_rates();
+  recompute_components(seed_pools_, 0);
   schedule_next_completion();
   if (probe_ != nullptr) probe_->on_flow_aborted(id.id, sim_.now());
   return true;
 }
 
 double FlowNetwork::flow_rate(FlowId id) const {
-  auto it = flows_.find(id.id);
+  const auto it = flows_.find(id.id);
   return it == flows_.end() ? 0.0 : it->second.rate;
 }
 
 double FlowNetwork::flow_bytes_done(FlowId id) const {
-  auto it = flows_.find(id.id);
+  const auto it = flows_.find(id.id);
   if (it == flows_.end()) return 0.0;
-  const double dt = to_seconds(sim_.now() - last_update_);
-  return std::min(it->second.bytes_total,
-                  it->second.bytes_done + it->second.rate * dt);
+  const Flow& f = it->second;
+  const double dt = to_seconds(sim_.now() - f.rate_epoch);
+  return std::min(f.bytes_total, f.bytes_done + f.rate * dt);
 }
 
-void FlowNetwork::advance() {
+std::vector<FlowId> FlowNetwork::live_flow_ids() const {
+  std::vector<FlowId> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) out.push_back(FlowId{id});
+  return out;
+}
+
+void FlowNetwork::sync_flow(Flow& f, Tick now) {
+  if (now == f.rate_epoch) return;
+  const double dt = to_seconds(now - f.rate_epoch);
+  f.bytes_done = std::min(f.bytes_total, f.bytes_done + f.rate * dt);
+  f.rate_epoch = now;
+}
+
+void FlowNetwork::attach_flow(std::uint64_t id, Flow& f) {
   const Tick now = sim_.now();
-  if (now == last_update_) return;
-  const double dt = to_seconds(now - last_update_);
-  for (auto& [id, f] : flows_) {
-    f.bytes_done = std::min(f.bytes_total, f.bytes_done + f.rate * dt);
+  for (std::uint32_t i = 0; i < f.legs.size(); ++i) {
+    Pool& p = pools_[f.legs[i].pool];
+    if (p.members.empty()) p.busy_since = now;  // idle -> active transition
+    f.legs[i].member_pos = static_cast<std::uint32_t>(p.members.size());
+    p.members.push_back(PoolMember{id, i});
   }
-  if (!flows_.empty()) {
-    for (Pool& p : pools_) {
-      if (p.active > 0) p.busy_seconds += dt;
+}
+
+void FlowNetwork::detach_flow(Flow& f) {
+  const Tick now = sim_.now();
+  for (const Leg& leg : f.legs) {
+    Pool& p = pools_[leg.pool];
+    const std::uint32_t pos = leg.member_pos;
+    const PoolMember moved = p.members.back();
+    p.members.pop_back();
+    if (pos < p.members.size()) {
+      p.members[pos] = moved;
+      flows_.find(moved.flow)->second.legs[moved.leg].member_pos = pos;
+    }
+    if (p.members.empty()) {
+      p.busy_seconds += to_seconds(now - p.busy_since);  // active -> idle
     }
   }
-  last_update_ = now;
 }
 
-void FlowNetwork::recompute_rates() {
+void FlowNetwork::predict_completion(std::uint64_t id, Flow& f, Tick now) {
+  ++f.pred_gen;  // tombstone any queued prediction
+  const double remaining = f.bytes_total - f.bytes_done;
+  Tick at;
+  if (remaining <= kByteEps) {
+    at = now;
+  } else if (f.rate > 0.0) {
+    const double s = remaining / f.rate;
+    if (s >= kNeverSeconds) return;  // effectively stalled
+    // Round up to the next tick so the flow is certainly finished when
+    // the event fires.
+    at = now + static_cast<Tick>(std::ceil(s * static_cast<double>(kTicksPerSec)));
+  } else {
+    return;  // stalled: re-predicted when a mutation restores its rate
+  }
+  finish_q_.push(FinishEntry{at, next_pred_order_++, id, f.pred_gen});
+}
+
+void FlowNetwork::solve_component(std::vector<WfFlow*>& unfixed,
+                                  const std::vector<std::uint32_t>& comp_pools,
+                                  std::vector<double>& residual,
+                                  std::vector<double>& weight_sum) {
   // Progressive filling (water-filling) with per-flow caps and per-leg
   // weights.  All unfixed flows' rates rise together; pool p saturates at
   // rate r = residual_p / W_p, where W_p is the total weight of unfixed
   // flows through it:
-  //   1. the system-wide bottleneck share is min_p residual_p / W_p;
+  //   1. the component bottleneck share is min_p residual_p / W_p;
   //   2. any unfixed flow whose cap is below that share is fixed at its
   //      cap first (it cannot use its full fair share anywhere);
   //   3. otherwise all unfixed flows through the bottleneck pool are fixed
   //      at the bottleneck share.
-  // Each round fixes at least one flow, so this is O(F * (F + P)).
-  if (flows_.empty()) return;
-
-  std::vector<double> residual(pools_.size());
-  for (std::size_t i = 0; i < pools_.size(); ++i) residual[i] = pools_[i].capacity;
-
-  std::vector<Flow*> unfixed;
-  unfixed.reserve(flows_.size());
-  for (auto& [id, f] : flows_) {
-    f.rate = 0.0;
-    unfixed.push_back(&f);
-  }
-
-  std::vector<double> weight_sum(pools_.size(), 0.0);
+  // Each round fixes at least one flow, so this is O(F * (F + P)) in the
+  // *component* size.  `unfixed` arrives in ascending flow-id order and
+  // `comp_pools` ascending; together with this function being shared by
+  // the incremental and reference paths, that makes both produce
+  // bit-identical floating-point rates.
   while (!unfixed.empty()) {
-    std::fill(weight_sum.begin(), weight_sum.end(), 0.0);
-    for (const Flow* f : unfixed) {
-      for (const auto& [p, w] : f->pools) weight_sum[p] += w;
+    for (const std::uint32_t p : comp_pools) weight_sum[p] = 0.0;
+    for (const WfFlow* f : unfixed) {
+      for (const Leg& leg : *f->legs) weight_sum[leg.pool] += leg.weight;
     }
 
     double share = std::numeric_limits<double>::infinity();
     std::uint32_t bottleneck = std::uint32_t(-1);
-    for (std::uint32_t p = 0; p < pools_.size(); ++p) {
+    for (const std::uint32_t p : comp_pools) {
       if (weight_sum[p] <= 0.0) continue;
       const double s = std::max(residual[p], 0.0) / weight_sum[p];
       if (s < share) {
@@ -179,17 +242,17 @@ void FlowNetwork::recompute_rates() {
       }
     }
 
-    auto fix_flow = [&](Flow* f, double rate) {
+    auto fix_flow = [&](WfFlow* f, double rate) {
       f->rate = rate;
-      for (const auto& [p, w] : f->pools) residual[p] -= rate * w;
+      for (const Leg& leg : *f->legs) residual[leg.pool] -= rate * leg.weight;
     };
 
     // Flows that traverse no pools at all are limited only by their cap.
     // (The archive always routes through at least one pool, but the model
     // stays well-defined without.)
     if (bottleneck == std::uint32_t(-1)) {
-      for (Flow* f : unfixed) {
-        f->rate = std::isinf(f->max_rate) ? 0.0 : f->max_rate;
+      for (WfFlow* f : unfixed) {
+        f->rate = std::isinf(f->cap) ? 0.0 : f->cap;
       }
       unfixed.clear();
       break;
@@ -198,9 +261,9 @@ void FlowNetwork::recompute_rates() {
     // Step 2: cap-limited flows first.
     bool fixed_any_capped = false;
     for (std::size_t i = 0; i < unfixed.size();) {
-      Flow* f = unfixed[i];
-      if (f->max_rate <= share) {
-        fix_flow(f, f->max_rate);
+      WfFlow* f = unfixed[i];
+      if (f->cap <= share) {
+        fix_flow(f, f->cap);
         unfixed[i] = unfixed.back();
         unfixed.pop_back();
         fixed_any_capped = true;
@@ -212,10 +275,10 @@ void FlowNetwork::recompute_rates() {
 
     // Step 3: saturate the bottleneck pool.
     for (std::size_t i = 0; i < unfixed.size();) {
-      Flow* f = unfixed[i];
+      WfFlow* f = unfixed[i];
       bool through = false;
-      for (const auto& [p, w] : f->pools) {
-        if (p == bottleneck) {
+      for (const Leg& leg : *f->legs) {
+        if (leg.pool == bottleneck) {
           through = true;
           break;
         }
@@ -231,60 +294,242 @@ void FlowNetwork::recompute_rates() {
   }
 }
 
+void FlowNetwork::recompute_components(
+    const std::vector<std::uint32_t>& seed_pools, std::uint64_t seed_flow) {
+  const Tick now = sim_.now();
+  ++mark_epoch_;
+  if (pool_mark_.size() < pools_.size()) pool_mark_.resize(pools_.size(), 0);
+  if (residual_.size() < pools_.size()) {
+    residual_.resize(pools_.size());
+    weight_sum_.resize(pools_.size());
+  }
+  std::size_t touched = 0;
+
+  // Expands the connected component reachable from a seed flow or pool
+  // (whichever is already collected in comp_flows_/comp_pools_), then
+  // re-solves it canonically: flows ascending by id, pools ascending.
+  const auto expand_and_solve = [&] {
+    for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
+      for (const Leg& leg : comp_flows_[i]->legs) {
+        if (pool_mark_[leg.pool] == mark_epoch_) continue;
+        pool_mark_[leg.pool] = mark_epoch_;
+        comp_pools_.push_back(leg.pool);
+        for (const PoolMember& m : pools_[leg.pool].members) {
+          Flow& mf = flows_.find(m.flow)->second;
+          if (mf.mark != mark_epoch_) {
+            mf.mark = mark_epoch_;
+            comp_flow_ids_.push_back(m.flow);
+            comp_flows_.push_back(&mf);
+          }
+        }
+      }
+    }
+    if (comp_flows_.empty()) return;
+    std::sort(comp_flow_ids_.begin(), comp_flow_ids_.end());
+    std::sort(comp_pools_.begin(), comp_pools_.end());
+    comp_flows_.clear();
+    for (const std::uint64_t cid : comp_flow_ids_) {
+      comp_flows_.push_back(&flows_.find(cid)->second);
+    }
+
+    for (const std::uint32_t p : comp_pools_) {
+      residual_[p] = pools_[p].capacity;
+      weight_sum_[p] = 0.0;
+    }
+    wf_items_.clear();
+    wf_unfixed_.clear();
+    wf_items_.reserve(comp_flows_.size());
+    for (Flow* f : comp_flows_) {
+      sync_flow(*f, now);  // accrue bytes at the outgoing rate
+      wf_items_.push_back(WfFlow{&f->legs, f->max_rate, 0.0});
+    }
+    for (WfFlow& item : wf_items_) wf_unfixed_.push_back(&item);
+    solve_component(wf_unfixed_, comp_pools_, residual_, weight_sum_);
+    for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
+      Flow& f = *comp_flows_[i];
+      f.rate = wf_items_[i].rate;
+      predict_completion(comp_flow_ids_[i], f, now);
+    }
+    touched += comp_flows_.size();
+  };
+
+  const auto seed_with_flow = [&](std::uint64_t id, Flow& f) {
+    comp_flows_.clear();
+    comp_flow_ids_.clear();
+    comp_pools_.clear();
+    f.mark = mark_epoch_;
+    comp_flow_ids_.push_back(id);
+    comp_flows_.push_back(&f);
+    expand_and_solve();
+  };
+
+  if (full_recompute_) {
+    for (auto& [id, f] : flows_) {
+      if (f.mark != mark_epoch_) seed_with_flow(id, f);
+    }
+  } else {
+    if (seed_flow != 0) {
+      const auto it = flows_.find(seed_flow);
+      if (it != flows_.end() && it->second.mark != mark_epoch_) {
+        seed_with_flow(seed_flow, it->second);
+      }
+    }
+    for (const std::uint32_t p : seed_pools) {
+      if (pool_mark_[p] == mark_epoch_ || pools_[p].members.empty()) continue;
+      comp_flows_.clear();
+      comp_flow_ids_.clear();
+      comp_pools_.clear();
+      pool_mark_[p] = mark_epoch_;
+      comp_pools_.push_back(p);
+      for (const PoolMember& m : pools_[p].members) {
+        Flow& mf = flows_.find(m.flow)->second;
+        if (mf.mark != mark_epoch_) {
+          mf.mark = mark_epoch_;
+          comp_flow_ids_.push_back(m.flow);
+          comp_flows_.push_back(&mf);
+        }
+      }
+      expand_and_solve();
+    }
+  }
+
+  if (probe_ != nullptr) probe_->on_rates_recomputed(touched);
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+FlowNetwork::recompute_rates_reference() const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  out.reserve(flows_.size());
+  if (flows_.empty()) return out;
+
+  // Mirrors recompute_components() with local scratch: same component
+  // discovery, same canonical ordering, same solver — so the floating
+  // point sequences match the incremental path operation for operation.
+  std::vector<char> pool_seen(pools_.size(), 0);
+  std::unordered_set<std::uint64_t> flow_seen;
+  std::vector<double> residual(pools_.size(), 0.0);
+  std::vector<double> weight_sum(pools_.size(), 0.0);
+  std::vector<std::uint32_t> comp_pools;
+  std::vector<std::uint64_t> comp_ids;
+  std::vector<const Flow*> work;
+  std::vector<WfFlow> items;
+  std::vector<WfFlow*> unfixed;
+
+  for (const auto& [id, f] : flows_) {
+    if (!flow_seen.insert(id).second) continue;
+    comp_pools.clear();
+    comp_ids.clear();
+    work.clear();
+    comp_ids.push_back(id);
+    work.push_back(&f);
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      for (const Leg& leg : work[i]->legs) {
+        if (pool_seen[leg.pool]) continue;
+        pool_seen[leg.pool] = 1;
+        comp_pools.push_back(leg.pool);
+        for (const PoolMember& m : pools_[leg.pool].members) {
+          if (flow_seen.insert(m.flow).second) {
+            comp_ids.push_back(m.flow);
+            work.push_back(&flows_.find(m.flow)->second);
+          }
+        }
+      }
+    }
+    std::sort(comp_ids.begin(), comp_ids.end());
+    std::sort(comp_pools.begin(), comp_pools.end());
+
+    for (const std::uint32_t p : comp_pools) {
+      residual[p] = pools_[p].capacity;
+      weight_sum[p] = 0.0;
+    }
+    items.clear();
+    unfixed.clear();
+    items.reserve(comp_ids.size());
+    for (const std::uint64_t cid : comp_ids) {
+      const Flow& cf = flows_.find(cid)->second;
+      items.push_back(WfFlow{&cf.legs, cf.max_rate, 0.0});
+    }
+    for (WfFlow& item : items) unfixed.push_back(&item);
+    solve_component(unfixed, comp_pools, residual, weight_sum);
+    for (std::size_t i = 0; i < comp_ids.size(); ++i) {
+      out.emplace_back(comp_ids[i], items[i].rate);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void FlowNetwork::schedule_next_completion() {
+  while (!finish_q_.empty()) {
+    const FinishEntry& e = finish_q_.top();
+    const auto it = flows_.find(e.flow);
+    if (it == flows_.end() || it->second.pred_gen != e.gen) {
+      finish_q_.pop();  // tombstoned prediction
+      continue;
+    }
+    break;
+  }
   if (completion_event_.valid()) {
     sim_.cancel(completion_event_);
     completion_event_ = {};
   }
-  if (flows_.empty()) return;
-
-  double earliest_s = std::numeric_limits<double>::infinity();
-  for (const auto& [id, f] : flows_) {
-    const double remaining = f.bytes_total - f.bytes_done;
-    if (remaining <= kByteEps) {
-      earliest_s = 0.0;
-      break;
-    }
-    if (f.rate > 0.0) {
-      earliest_s = std::min(earliest_s, remaining / f.rate);
-    }
-  }
-  if (std::isinf(earliest_s)) return;  // everything stalled (capacity 0)
-
-  // Round up to the next tick so the flow is certainly finished when the
-  // event fires.
-  const Tick dt =
-      static_cast<Tick>(std::ceil(earliest_s * static_cast<double>(kTicksPerSec)));
-  completion_event_ = sim_.after(dt, [this] { on_completion_event(); });
+  if (finish_q_.empty()) return;
+  completion_event_ =
+      sim_.at(finish_q_.top().at, [this] { on_completion_event(); });
 }
 
 void FlowNetwork::on_completion_event() {
   completion_event_ = {};
-  advance();
+  const Tick now = sim_.now();
 
-  // Collect finished flows first (callbacks may start new flows).
+  // Collect finished flows first (callbacks may start new flows), looping
+  // because freeing a finished flow's bandwidth can reveal further
+  // same-tick completions in the recomputed component.
   struct Done {
     std::uint64_t id;
     FlowStats st;
     std::function<void(const FlowStats&)> cb;
   };
   std::vector<Done> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    Flow& f = it->second;
-    if (f.bytes_total - f.bytes_done <= kByteEps) {
-      for (const auto& [p, w] : f.pools) --pools_[p].active;
-      done.push_back(Done{it->first,
-                          FlowStats{f.started, sim_.now(), f.bytes_total},
-                          std::move(f.on_complete)});
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  std::vector<std::uint64_t> due;
+  for (;;) {
+    due.clear();
+    while (!finish_q_.empty()) {
+      const FinishEntry& e = finish_q_.top();
+      const auto it = flows_.find(e.flow);
+      if (it == flows_.end() || it->second.pred_gen != e.gen) {
+        finish_q_.pop();  // tombstoned prediction
+        continue;
+      }
+      if (e.at > now) break;
+      due.push_back(e.flow);
+      finish_q_.pop();
     }
+    if (due.empty()) break;
+    std::sort(due.begin(), due.end());  // complete in ascending-id order
+    seed_pools_.clear();
+    bool finished_any = false;
+    for (const std::uint64_t id : due) {
+      const auto it = flows_.find(id);
+      Flow& f = it->second;
+      sync_flow(f, now);
+      if (f.bytes_total - f.bytes_done <= kByteEps) {
+        detach_flow(f);
+        for (const Leg& leg : f.legs) seed_pools_.push_back(leg.pool);
+        done.push_back(Done{id, FlowStats{f.started, now, f.bytes_total},
+                            std::move(f.on_complete)});
+        flows_.erase(it);
+        finished_any = true;
+      } else {
+        // Integer-tick rounding fired us a hair early: re-aim.
+        predict_completion(id, f, now);
+      }
+    }
+    if (finished_any) recompute_components(seed_pools_, 0);
   }
-  recompute_rates();
   schedule_next_completion();
 
-  for (auto& d : done) {
+  for (Done& d : done) {
     if (probe_ != nullptr) probe_->on_flow_completed(d.id, d.st);
     if (d.cb) d.cb(d.st);
   }

@@ -7,17 +7,25 @@
 // saturate the tightest pool), which is the standard fluid approximation
 // for TCP-like fair sharing used in storage/network simulators.
 //
-// Rates change only when the set of flows or a pool capacity changes; the
-// network then advances accumulated progress and reschedules the single
-// earliest completion event.  Per-flow rate caps (e.g. a tape drive's
-// streaming rate) participate in the fairness computation.
+// Scheduling is incremental.  Pools keep membership indexes of the flows
+// traversing them, so a mutation (flow start/finish/abort, capacity
+// change) re-solves only the connected component of pools and flows it
+// touches — a flow joining an idle pool never re-solves unrelated flows.
+// Progress accounting is lazy: each flow carries a rate epoch and accrues
+// bytes only when its own rate changes (or when it is queried), so
+// quiescent flows cost nothing per event.  Pool busy time is integrated
+// from idle/active transitions.  `recompute_rates_reference()` performs
+// the full from-scratch water-filling; the incremental path is required
+// (and differentially tested) to produce bit-identical rates.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcore/probe.hpp"
@@ -70,7 +78,9 @@ class FlowNetwork {
   /// Registers a bandwidth pool with the given capacity in bytes/second.
   PoolId add_pool(std::string name, double capacity_bps);
 
-  /// Changes a pool's capacity; active flow rates are recomputed.
+  /// Changes a pool's capacity; rates of the flows in the pool's connected
+  /// component are recomputed.  Capacity 0 stalls the component's flows
+  /// (they keep their byte progress and resume when capacity returns).
   void set_pool_capacity(PoolId pool, double capacity_bps);
 
   [[nodiscard]] double pool_capacity(PoolId pool) const;
@@ -78,9 +88,10 @@ class FlowNetwork {
   /// Sum of current flow rates through the pool.
   [[nodiscard]] double pool_allocated(PoolId pool) const;
   [[nodiscard]] std::size_t pool_count() const { return pools_.size(); }
-  /// Virtual seconds (up to the last rate change) during which at least
-  /// one flow traversed the pool — the utilization numerator behind the
-  /// paper's "~75% bandwidth utilization from two 10GigE trunks".
+  /// Virtual seconds (up to `now()`) during which at least one flow
+  /// traversed the pool — the utilization numerator behind the paper's
+  /// "~75% bandwidth utilization from two 10GigE trunks".  A stalled but
+  /// still-attached flow counts as busy (the pool is occupied).
   [[nodiscard]] double pool_busy_seconds(PoolId pool) const;
 
   /// Starts a flow of `bytes` through `path` (duplicate pools have their
@@ -92,6 +103,7 @@ class FlowNetwork {
                     double max_rate = kUnlimited);
 
   /// Aborts an in-progress flow; its completion callback never fires.
+  /// This includes zero-byte flows whose completion is still queued.
   /// Returns false if the flow already completed or does not exist.
   bool abort_flow(FlowId id);
 
@@ -99,48 +111,133 @@ class FlowNetwork {
   [[nodiscard]] double flow_rate(FlowId id) const;
 
   /// Bytes transferred so far by a flow (includes progress accrued since
-  /// the last rate change).
+  /// the flow's last rate change).
   [[nodiscard]] double flow_bytes_done(FlowId id) const;
 
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Ids of all in-progress flows, ascending (oracle/test accessor).
+  [[nodiscard]] std::vector<FlowId> live_flow_ids() const;
+
+  /// Full from-scratch progressive-filling water-filling over every active
+  /// flow, without mutating any state.  Returns (flow id, rate) pairs in
+  /// ascending id order.  This is the differential-test oracle: the
+  /// incrementally maintained `flow_rate()` values must equal these
+  /// *exactly* (bit for bit) after every mutation.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, double>>
+  recompute_rates_reference() const;
+
+  /// Debug/bench knob: when on, every mutation re-solves all components
+  /// from scratch instead of only the dirty component (the pre-incremental
+  /// behaviour; what bench_flow_churn measures against).
+  void set_full_recompute(bool on) { full_recompute_ = on; }
 
   /// Attaches a flow-lifecycle probe (nullptr detaches).
   void set_probe(FlowProbe* probe) { probe_ = probe; }
 
  private:
+  /// Membership entry: which flow, and which of its legs, sits in a pool.
+  /// The leg backpointer makes removal O(1) via swap-erase.
+  struct PoolMember {
+    std::uint64_t flow;
+    std::uint32_t leg;
+  };
   struct Pool {
     std::string name;
     double capacity;
-    unsigned active = 0;        // flows currently traversing the pool
-    double busy_seconds = 0.0;  // accumulated in advance()
+    double busy_seconds = 0.0;  // integrated over active intervals
+    Tick busy_since = 0;        // valid while members is non-empty
+    std::vector<PoolMember> members;
+  };
+  struct Leg {
+    std::uint32_t pool;
+    double weight;
+    std::uint32_t member_pos = 0;  // index into Pool::members
   };
   struct Flow {
-    // Deduplicated (pool, weight) pairs.
-    std::vector<std::pair<std::uint32_t, double>> pools;
+    std::vector<Leg> legs;  // deduplicated (pool, weight) pairs
     double bytes_total;
-    double bytes_done = 0.0;
+    double bytes_done = 0.0;  // as of `rate_epoch`
     double rate = 0.0;
     double max_rate;
     Tick started;
+    Tick rate_epoch = 0;        // when bytes_done/rate were last synced
+    std::uint32_t pred_gen = 0;  // invalidates queued FinishEntry records
+    std::uint64_t mark = 0;      // component-BFS visit stamp
     std::function<void(const FlowStats&)> on_complete;
   };
+  /// Water-filling working item; `legs` aliases the flow's leg list.
+  struct WfFlow {
+    const std::vector<Leg>* legs;
+    double cap;
+    double rate = 0.0;
+  };
+  /// Predicted completion, lazily invalidated by Flow::pred_gen.
+  struct FinishEntry {
+    Tick at;
+    std::uint64_t order;  // FIFO among equal ticks
+    std::uint64_t flow;
+    std::uint32_t gen;
+  };
+  struct FinishLater {
+    bool operator()(const FinishEntry& a, const FinishEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.order > b.order;
+    }
+  };
 
-  /// Accrues progress for all flows since `last_update_`.
-  void advance();
-  /// Progressive-filling max-min fairness over all active flows.
-  void recompute_rates();
-  /// Cancels and reschedules the single earliest-completion event.
+  /// Accrues the flow's bytes up to `now` and stamps its rate epoch.
+  void sync_flow(Flow& f, Tick now);
+  /// Inserts/removes the flow in its legs' pool membership indexes,
+  /// integrating pool busy time on idle/active transitions.
+  void attach_flow(std::uint64_t id, Flow& f);
+  void detach_flow(Flow& f);
+  /// Pushes a fresh completion prediction for the flow (tombstoning any
+  /// queued one).  Stalled flows (rate 0, bytes remaining) get none.
+  void predict_completion(std::uint64_t id, Flow& f, Tick now);
+  /// Re-solves the connected components reachable from the seed pools
+  /// (plus, for start_flow, the seed flow), or every component when
+  /// `full_recompute_` is set.  Flows in re-solved components have their
+  /// bytes synced, rates reassigned, and completions re-predicted.
+  void recompute_components(const std::vector<std::uint32_t>& seed_pools,
+                            std::uint64_t seed_flow);
+  /// Canonical per-component progressive filling.  `unfixed` must be in
+  /// ascending flow-id order and `comp_pools` ascending; both orders are
+  /// part of the determinism contract shared with the reference solver.
+  static void solve_component(std::vector<WfFlow*>& unfixed,
+                              const std::vector<std::uint32_t>& comp_pools,
+                              std::vector<double>& residual,
+                              std::vector<double>& weight_sum);
+  /// Cancels and reschedules the single sim event for the earliest
+  /// predicted completion.
   void schedule_next_completion();
-  /// Fires from the completion event: completes every flow that is done.
+  /// Fires from the completion event: completes every due flow, cascading
+  /// through same-tick completions revealed by the recompute.
   void on_completion_event();
 
   Simulation& sim_;
   FlowProbe* probe_ = nullptr;
+  bool full_recompute_ = false;
   std::vector<Pool> pools_;
   std::map<std::uint64_t, Flow> flows_;  // ordered: deterministic iteration
+  /// Zero-byte flows whose queued completion can still be aborted.
+  std::map<std::uint64_t, Simulation::EventId> zero_flows_;
   std::uint64_t next_flow_id_ = 1;
-  Tick last_update_ = 0;
+  std::uint64_t next_pred_order_ = 1;
+  std::uint64_t mark_epoch_ = 0;
+  std::priority_queue<FinishEntry, std::vector<FinishEntry>, FinishLater>
+      finish_q_;
   Simulation::EventId completion_event_{};
+  // Recompute scratch (member buffers so the steady path never allocates).
+  std::vector<std::uint32_t> seed_pools_;
+  std::vector<double> residual_;
+  std::vector<double> weight_sum_;
+  std::vector<std::uint64_t> pool_mark_;
+  std::vector<std::uint32_t> comp_pools_;
+  std::vector<Flow*> comp_flows_;
+  std::vector<std::uint64_t> comp_flow_ids_;
+  std::vector<WfFlow> wf_items_;
+  std::vector<WfFlow*> wf_unfixed_;
 };
 
 }  // namespace cpa::sim

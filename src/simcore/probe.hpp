@@ -7,6 +7,7 @@
 // test when no probe is attached.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "simcore/time.hpp"
@@ -21,6 +22,9 @@ class SimProbe {
   virtual ~SimProbe() = default;
   /// Called after the clock advanced to `at`, before the callback runs.
   virtual void on_event_fired(Tick at) = 0;
+  /// Called when a pending event is cancelled (tombstoned).  Defaulted so
+  /// probes that only care about fired events need not override it.
+  virtual void on_event_cancelled(Tick /*at*/) {}
 };
 
 /// Data-movement accounting: one call per flow transition.
@@ -32,6 +36,11 @@ class FlowProbe {
   virtual void on_flow_completed(std::uint64_t flow_id,
                                  const FlowStats& stats) = 0;
   virtual void on_flow_aborted(std::uint64_t flow_id, Tick now) = 0;
+  /// Called once per rate recomputation with the number of flows whose
+  /// rates were re-solved (the dirty-component size; the full flow count
+  /// when a reference/full recompute ran).  Defaulted: most probes only
+  /// watch flow lifecycles.
+  virtual void on_rates_recomputed(std::size_t /*flows_touched*/) {}
 };
 
 }  // namespace cpa::sim

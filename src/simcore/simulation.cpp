@@ -6,19 +6,33 @@ namespace cpa::sim {
 
 Simulation::EventId Simulation::at(Tick when, Callback fn) {
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{when, seq, std::move(fn)});
-  pending_seqs_.insert(seq);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_gen_.size());
+    slot_gen_.push_back(0);
+  }
+  const std::uint32_t gen = slot_gen_[slot];
+  heap_.push(Event{when, next_order_++, slot, gen, std::move(fn)});
   ++live_;
-  return EventId{seq};
+  return EventId{pack(slot, gen)};
 }
 
 bool Simulation::cancel(EventId id) {
   if (!id.valid()) return false;
-  // The heap cannot be edited in place; removing the seq from the pending
-  // set makes the heap entry stale, and pop_live() discards stale entries.
-  if (pending_seqs_.erase(id.seq) == 0) return false;  // fired or cancelled
+  const std::uint32_t slot = static_cast<std::uint32_t>((id.seq & 0xFFFFFFFFULL) - 1);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.seq >> 32);
+  if (slot >= slot_gen_.size() || slot_gen_[slot] != gen) {
+    return false;  // fired or already cancelled
+  }
+  // The heap cannot be edited in place; bumping the slot generation makes
+  // the heap entry stale, and pop_live() discards stale entries.
+  retire_slot(slot);
   --live_;
+  ++cancelled_;
+  if (probe_ != nullptr) probe_->on_event_cancelled(now_);
   return true;
 }
 
@@ -28,13 +42,16 @@ bool Simulation::pop_live(Event& out) {
     // const_cast the non-key payload (the heap invariant does not depend on
     // `fn`).
     Event& top = const_cast<Event&>(heap_.top());
-    if (pending_seqs_.erase(top.seq) == 0) {
+    if (!entry_live(top)) {
       heap_.pop();  // stale: was cancelled
       continue;
     }
     out.at = top.at;
-    out.seq = top.seq;
+    out.order = top.order;
+    out.slot = top.slot;
+    out.gen = top.gen;
     out.fn = std::move(top.fn);
+    retire_slot(top.slot);
     heap_.pop();
     --live_;
     return true;
@@ -64,7 +81,7 @@ std::size_t Simulation::run_until(Tick deadline) {
   std::size_t n = 0;
   while (!stopped_ && !heap_.empty()) {
     const Event& top = heap_.top();
-    if (pending_seqs_.find(top.seq) == pending_seqs_.end()) {
+    if (!entry_live(top)) {
       heap_.pop();  // stale: was cancelled
       continue;
     }

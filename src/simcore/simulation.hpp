@@ -7,13 +7,18 @@
 //
 // Ties are broken by insertion order (FIFO at equal timestamps), which the
 // rest of the code base relies on for determinism.
+//
+// Cancellation uses generation-stamped slots instead of a hash set: every
+// event occupies a slot in a flat vector whose generation stamp is baked
+// into its EventId and its heap entry.  Cancel/fire bump the stamp, which
+// tombstones any stale heap entry (discarded lazily on pop) and any stale
+// handle, so schedule/cancel/fire are allocation-free once the slot vector
+// and heap have reached their steady-state size.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "simcore/probe.hpp"
@@ -25,7 +30,10 @@ class Simulation {
  public:
   using Callback = std::function<void()>;
 
-  /// Handle to a scheduled event; may be used to cancel it before it fires.
+  /// Handle to a scheduled event; may be used to cancel it before it
+  /// fires.  Packs (slot, generation); stale handles compare against the
+  /// slot's current generation, so cancel-after-fire and double-cancel
+  /// are cheap no-ops.
   struct EventId {
     std::uint64_t seq = 0;
     [[nodiscard]] bool valid() const { return seq != 0; }
@@ -70,6 +78,9 @@ class Simulation {
   /// Total events fired since construction (for capacity reporting).
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  /// Total events cancelled since construction.
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
   /// Attaches an event-loop probe (nullptr detaches).  The probe sees
   /// every fired event; keep its hook trivial.
   void set_probe(SimProbe* probe) { probe_ = probe; }
@@ -77,30 +88,52 @@ class Simulation {
  private:
   struct Event {
     Tick at;
-    std::uint64_t seq;
+    std::uint64_t order;  // insertion order: FIFO among equal timestamps
+    std::uint32_t slot;
+    std::uint32_t gen;
     Callback fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;  // FIFO among equal timestamps
+      return a.order > b.order;
     }
   };
+
+  static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+    // +1 keeps seq nonzero (slot 0, generation 0 is a legal event).
+    return (static_cast<std::uint64_t>(gen) << 32) | (slot + 1ULL);
+  }
+
+  /// True when the heap entry's stamp matches its slot (i.e. not
+  /// cancelled and not fired).
+  [[nodiscard]] bool entry_live(const Event& e) const {
+    return e.slot < slot_gen_.size() && slot_gen_[e.slot] == e.gen;
+  }
+
+  /// Bumps the slot's generation (tombstoning every outstanding handle and
+  /// heap entry for it) and recycles it.
+  void retire_slot(std::uint32_t slot) {
+    ++slot_gen_[slot];
+    free_slots_.push_back(slot);
+  }
 
   /// Pops the next live event into `out`; returns false if none.
   bool pop_live(Event& out);
 
   Tick now_ = 0;
   SimProbe* probe_ = nullptr;
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_order_ = 1;
   std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  // Seqs currently scheduled and not cancelled.  Membership here is the
-  // source of truth for cancellation: the heap may hold stale (cancelled)
-  // entries, which are skipped on pop.
-  std::unordered_set<std::uint64_t> pending_seqs_;
+  // Per-slot generation stamps.  A handle or heap entry is live iff its
+  // stamp equals the slot's current one; the heap may hold stale
+  // (tombstoned) entries, which are skipped on pop.
+  std::vector<std::uint32_t> slot_gen_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace cpa::sim

@@ -212,6 +212,86 @@ TEST(FlowNetwork, FlowBytesDoneTracksProgress) {
   EXPECT_NEAR(net.flow_bytes_done(f), 300 * kMBd, 1.0);
 }
 
+TEST(FlowNetwork, AbortZeroByteFlowCancelsQueuedCompletion) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  const PoolId p = net.add_pool("p", 100 * kMBd);
+  bool done = false;
+  const FlowId f = net.start_flow({p}, 0.0, [&](const FlowStats&) { done = true; });
+  // The completion event is queued but has not fired yet: aborting must
+  // succeed, cancel it, and the callback must never run.
+  EXPECT_TRUE(net.abort_flow(f));
+  EXPECT_FALSE(net.abort_flow(f));  // second abort: already gone
+  sim.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(FlowNetwork, StallToZeroThenRestoreResumesWithCorrectAccounting) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  const PoolId p = net.add_pool("p", 100 * kMBd);
+  Tick t = 0;
+  const FlowId f =
+      net.start_flow({p}, 1000 * kMBd, [&](const FlowStats& s) { t = s.finished; });
+  sim.after(secs(2), [&] { net.set_pool_capacity(p, 0.0); });
+  sim.run_until(secs(5));
+  // Mid-stall: the 200 MB transferred before the stall are frozen, the
+  // rate is zero, and the flow is still attached.
+  EXPECT_NEAR(net.flow_bytes_done(f), 200 * kMBd, 1.0);
+  EXPECT_EQ(net.flow_rate(f), 0.0);
+  EXPECT_EQ(net.active_flows(), 1u);
+  sim.run_until(secs(7));
+  EXPECT_NEAR(net.flow_bytes_done(f), 200 * kMBd, 1.0);  // still frozen
+  net.set_pool_capacity(p, 100 * kMBd);
+  sim.run();
+  // 2 s of transfer + 5 s stalled + 8 s for the remaining 800 MB.
+  EXPECT_NEAR(to_seconds(t), 15.0, 1e-6);
+  // A stalled-but-attached flow keeps the pool occupied, so busy time
+  // covers the whole 15 s including the stall window.
+  EXPECT_NEAR(net.pool_busy_seconds(p), 15.0, 1e-6);
+}
+
+// Counts the incremental scheduler's work via the probe: mutations in one
+// component must not touch flows in another.
+struct RecomputeCounter final : FlowProbe {
+  std::size_t calls = 0;
+  std::size_t flows_touched = 0;
+  void on_flow_started(std::uint64_t, double, Tick) override {}
+  void on_flow_completed(std::uint64_t, const FlowStats&) override {}
+  void on_flow_aborted(std::uint64_t, Tick) override {}
+  void on_rates_recomputed(std::size_t n) override {
+    ++calls;
+    flows_touched += n;
+  }
+};
+
+TEST(FlowNetwork, DisjointComponentMutationTouchesOnlyItsFlows) {
+  Simulation sim;
+  FlowNetwork net(sim);
+  RecomputeCounter probe;
+  const PoolId a = net.add_pool("a", 100 * kMBd);
+  const PoolId b = net.add_pool("b", 100 * kMBd);
+  for (int i = 0; i < 8; ++i) net.start_flow({a}, 1e12, nullptr);
+  net.set_probe(&probe);
+  probe = RecomputeCounter{};
+  // Starting a flow in pool b must re-solve only that one flow, no matter
+  // how many flows share pool a.
+  const FlowId fb = net.start_flow({b}, 1e12, nullptr);
+  EXPECT_EQ(probe.calls, 1u);
+  EXPECT_EQ(probe.flows_touched, 1u);
+  // A capacity change on b likewise stays inside b's component.
+  probe = RecomputeCounter{};
+  net.set_pool_capacity(b, 50 * kMBd);
+  EXPECT_EQ(probe.calls, 1u);
+  EXPECT_EQ(probe.flows_touched, 1u);
+  EXPECT_EQ(net.flow_rate(fb), 50 * kMBd);
+  // Aborting it re-solves the (now empty) component: zero flows touched.
+  probe = RecomputeCounter{};
+  EXPECT_TRUE(net.abort_flow(fb));
+  EXPECT_EQ(probe.flows_touched, 0u);
+}
+
 TEST(FlowNetwork, CompletionCallbackMayStartNewFlow) {
   Simulation sim;
   FlowNetwork net(sim);

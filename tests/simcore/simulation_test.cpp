@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <vector>
+
+#include "simcore/rng.hpp"
 
 namespace cpa::sim {
 namespace {
@@ -172,6 +177,116 @@ TEST(Simulation, FormatDurationRendersHoursMinutesSeconds) {
   EXPECT_EQ(format_duration(secs(0.5)), "0.500s");
   EXPECT_EQ(format_duration(secs(65)), "1m05.0s");
   EXPECT_EQ(format_duration(hours(2) + minutes(3) + secs(12.5)), "2h03m12.5s");
+}
+
+// --- generation-stamped tombstone edge cases -------------------------------
+
+TEST(Simulation, CancelOwnIdInsideFiringCallbackReturnsFalse) {
+  Simulation sim;
+  Simulation::EventId self{};
+  bool self_cancel = true;
+  self = sim.at(secs(1), [&] { self_cancel = sim.cancel(self); });
+  sim.run();
+  // By the time the callback runs the slot is already retired; the handle
+  // is stale and cancelling it must be a no-op.
+  EXPECT_FALSE(self_cancel);
+  EXPECT_EQ(sim.events_cancelled(), 0u);
+}
+
+TEST(Simulation, CancelOtherPendingEventInsideFiringCallback) {
+  Simulation sim;
+  bool other_fired = false;
+  bool cancel_ok = false;
+  const auto other = sim.at(secs(2), [&] { other_fired = true; });
+  sim.at(secs(1), [&] { cancel_ok = sim.cancel(other); });
+  sim.run();
+  EXPECT_TRUE(cancel_ok);
+  EXPECT_FALSE(other_fired);
+  EXPECT_EQ(sim.events_fired(), 1u);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+}
+
+TEST(Simulation, StaleHandleSurvivesSlotReuse) {
+  Simulation sim;
+  // Fire an event, then schedule another: the new event recycles the old
+  // slot under a bumped generation, so the stale handle must not be able
+  // to cancel it.
+  const auto old_id = sim.at(secs(1), [] {});
+  sim.run();
+  bool fired = false;
+  sim.at(secs(2), [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(old_id));
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, EventsCancelledCounterAccumulates) {
+  Simulation sim;
+  std::vector<Simulation::EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(sim.at(secs(i + 1), [] {}));
+  EXPECT_TRUE(sim.cancel(ids[1]));
+  EXPECT_TRUE(sim.cancel(ids[3]));
+  EXPECT_FALSE(sim.cancel(ids[3]));                    // double cancel
+  EXPECT_FALSE(sim.cancel(Simulation::EventId{}));     // invalid
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 3u);
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+}
+
+// Differential model check: pending() and cancel() results must match a
+// naive map-based reference across a long random schedule/cancel/advance
+// interleaving (this is what flushes slot-recycling bugs out).
+TEST(Simulation, PendingMatchesMapReferenceAcross10kRandomOps) {
+  Rng rng(0xC0FFEE);
+  Simulation sim;
+  std::map<std::uint64_t, Tick> model;  // seq -> effective fire time
+  std::uint64_t model_fired = 0;
+  std::uint64_t model_cancelled = 0;
+  std::uint64_t fired = 0;
+  for (int op = 0; op < 10'000; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.55) {
+      const Tick when = sim.now() + msecs(static_cast<double>(
+                                        rng.uniform_u64(0, 5000)));
+      const auto id = sim.at(when, [&] { ++fired; });
+      ASSERT_TRUE(id.valid());
+      ASSERT_TRUE(model.emplace(id.seq, std::max(when, sim.now())).second)
+          << "EventId reused while still live, op " << op;
+    } else if (dice < 0.85 && !model.empty()) {
+      // Cancel a random outstanding handle (sometimes a stale one).
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.uniform_u64(0, model.size() - 1)));
+      const bool stale = rng.chance(0.1);
+      const Simulation::EventId id{stale ? it->first ^ (1ULL << 40)
+                                         : it->first};
+      const bool ok = sim.cancel(id);
+      ASSERT_EQ(ok, !stale) << "op " << op;
+      if (ok) {
+        model.erase(it);
+        ++model_cancelled;
+      }
+    } else {
+      const Tick deadline =
+          sim.now() + msecs(static_cast<double>(rng.uniform_u64(0, 2000)));
+      sim.run_until(deadline);
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second <= deadline) {
+          it = model.erase(it);
+          ++model_fired;
+        } else {
+          ++it;
+        }
+      }
+    }
+    ASSERT_EQ(sim.pending(), model.size()) << "op " << op;
+    ASSERT_EQ(fired, model_fired) << "op " << op;
+    ASSERT_EQ(sim.events_cancelled(), model_cancelled) << "op " << op;
+  }
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(fired, model_fired + model.size());
 }
 
 }  // namespace
