@@ -113,9 +113,12 @@ int run_fault_matrix(const std::string& spec) {
   sys.hsm().parallel_migrate(to_tape, {0, 1}, hsm::DistributionStrategy::SizeBalanced,
                              "smoke", [&mig](const hsm::MigrateReport& r) { mig = r; });
 
+  // --verify fixity mode: every copied chunk is read back and compared,
+  // so recovery must hand back bit-correct data, not just "a" file.
   archive::JobHandle job = sys.submit(
       archive::JobSpec::pfcp("/scratch/data", "/proj/data")
           .restartable()
+          .verified()
           .with_retry(rp));
   sys.sim().run();
 
@@ -146,7 +149,14 @@ int run_fault_matrix(const std::string& spec) {
   std::printf("  pfcm: %llu compared, %llu mismatched\n",
               static_cast<unsigned long long>(cm.files_compared),
               static_cast<unsigned long long>(cm.files_mismatched));
+  std::printf("  fixity: %llu chunks verified, %llu mismatches, "
+              "%llu unrepairable\n",
+              static_cast<unsigned long long>(cp.chunks_verified),
+              static_cast<unsigned long long>(cp.fixity_mismatches),
+              static_cast<unsigned long long>(cp.files_unrepairable));
 
+  // A fixity mismatch healed from another replica is recovered; only files
+  // with no clean replica (already in files_failed too) stay unrecovered.
   const std::uint64_t unrecovered =
       cp.files_failed + mig.files_failed + cm.files_mismatched;
   std::printf("  unrecovered files: %llu\n",

@@ -54,4 +54,12 @@ for plan in "${FAULT_PLANS[@]}"; do
   ./build-asan/bench/bench_restart_transfer --fault="$plan"
 done
 
+# Scrub smoke (under the sanitizer build): inject silent corruptions and
+# walk the whole repair lattice — every one must be detected, repaired
+# from the copy pool / premigrated disk data where a clean source exists,
+# and reported unrepairable exactly once where none does.  The bench
+# exits non-zero if any injected corruption goes undetected.
+echo "== Scrub smoke (ASan) =="
+./build-asan/bench/bench_scrub --smoke --json=build-asan/BENCH_scrub.json
+
 echo "CI passed."

@@ -52,6 +52,11 @@ JobSpec& JobSpec::restartable(bool on) {
   return *this;
 }
 
+JobSpec& JobSpec::verified(bool on) {
+  verify_override = on;
+  return *this;
+}
+
 const pftool::JobReport& JobHandle::report() const {
   static const pftool::JobReport kEmpty;
   return rec_ ? rec_->last_report : kEmpty;

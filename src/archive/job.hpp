@@ -49,6 +49,8 @@ struct JobSpec {
   /// Overrides the resolved config's `restartable` flag when set (keeps
   /// the system-default config otherwise intact).
   std::optional<bool> restart_override;
+  /// Overrides the resolved config's `verify_fixity` flag when set.
+  std::optional<bool> verify_override;
   /// Job-level relaunch budget: a failed/aborted attempt is retried after
   /// backoff, resuming from the restart journal.  Default: no relaunch.
   fault::RetryPolicy retry = fault::RetryPolicy::none();
@@ -69,6 +71,9 @@ struct JobSpec {
   /// Journal the transfer so interrupted attempts (and relaunches) skip
   /// chunks already copied.
   JobSpec& restartable(bool on = true);
+  /// End-to-end fixity verification: recompute-and-compare after every
+  /// copy; restores carry the archive's recall fixity verdict.
+  JobSpec& verified(bool on = true);
 };
 
 namespace detail {
@@ -112,6 +117,12 @@ class JobHandle {
   [[nodiscard]] unsigned attempts() const { return rec_ ? rec_->attempts : 0; }
   /// The latest attempt's report (final report once done()).
   [[nodiscard]] const pftool::JobReport& report() const;
+  /// Per-job fixity verdict: true when no tape read failed fixity and no
+  /// file was declared unrepairable.  Trivially true before completion.
+  [[nodiscard]] bool fixity_clean() const {
+    return rec_ == nullptr || (rec_->last_report.fixity_mismatches == 0 &&
+                               rec_->last_report.files_unrepairable == 0);
+  }
 
   /// Steps the simulation until this job is done; other submitted jobs
   /// progress alongside.  Returns the final report.

@@ -84,6 +84,14 @@ void CotsParallelArchive::wire_fault_targets() {
     // does not exist (yet) is a no-op.
     if (tape::Cartridge* c = library_->cartridge(cart)) c->set_damaged(down);
   };
+  t.tape_corrupt = [this](std::uint64_t cart, std::uint64_t segments,
+                          std::uint64_t seed) {
+    // Silent bit-rot: flips fingerprints only, so reads keep succeeding
+    // and the damage is visible to fixity verification alone.
+    if (tape::Cartridge* c = library_->cartridge(cart)) {
+      c->corrupt_random_segments(segments, seed);
+    }
+  };
   t.cluster_node = [this](std::uint64_t node, bool down) {
     if (node >= cfg_.cluster.fta_nodes) return;
     cluster_->set_node_down(static_cast<cluster::NodeId>(node), down);
@@ -157,6 +165,9 @@ JobHandle CotsParallelArchive::submit(JobSpec spec) {
   rec->cfg = spec.config.has_value() ? *spec.config : cfg_.pftool;
   if (spec.restart_override.has_value()) {
     rec->cfg.restartable = *spec.restart_override;
+  }
+  if (spec.verify_override.has_value()) {
+    rec->cfg.verify_fixity = *spec.verify_override;
   }
   rec->spec = std::move(spec);
   jobs_.push_back(rec);

@@ -45,6 +45,20 @@ void FaultInjector::arm(const FaultPlan& plan) {
 
 void FaultInjector::fire(const FaultEvent& ev) {
   const std::string label = target_label(ev);
+  if (ev.kind == FaultKind::Corrupt) {
+    // Silent bit-rot: no window, no repair schedule.  The cartridge keeps
+    // serving reads; only fixity verification can tell.
+    if (!targets_.tape_corrupt) {
+      c_skipped_.inc();
+      return;
+    }
+    targets_.tape_corrupt(ev.index, ev.segments, ev.seed);
+    c_injected_.inc();
+    obs_.metrics().counter("fault.corruptions").inc();
+    obs_.trace().instant(obs::Component::Fault, "plan", label + ":corrupt",
+                         sim_.now());
+    return;
+  }
   auto strike = [&]() -> bool {
     switch (ev.target) {
       case FaultTarget::TapeDrive:

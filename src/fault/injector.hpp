@@ -25,6 +25,12 @@ namespace cpa::fault {
 struct FaultTargets {
   std::function<void(std::uint64_t drive, bool down)> tape_drive;
   std::function<void(std::uint64_t cartridge, bool down)> tape_media;
+  /// Silent corruption (FaultKind::Corrupt): rot `segments` live segments
+  /// on the cartridge, deterministically in `seed`.  No repair event ever
+  /// fires — only scrub/recall-verify undoes it.
+  std::function<void(std::uint64_t cartridge, std::uint64_t segments,
+                     std::uint64_t seed)>
+      tape_corrupt;
   std::function<void(std::uint64_t node, bool down)> cluster_node;
   /// Restart with the given outage; the server models its own recovery.
   std::function<void(std::uint64_t server, sim::Tick outage)> hsm_server;

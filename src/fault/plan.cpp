@@ -119,14 +119,21 @@ bool parse_event(const std::string& clause, FaultEvent* ev, std::string* error) 
   if (at_sign == std::string::npos) {
     return fail_with(error, "missing '@' in action '" + action + "'");
   }
-  if (trim(action.substr(0, at_sign)) != verb) {
+  const std::string got_verb = trim(action.substr(0, at_sign));
+  if (ev->target == FaultTarget::TapeMedia && got_verb == "corrupt") {
+    // Silent bit-rot is a second verb on the media target: not a readable
+    // outage window but a fixity violation discovered later.
+    ev->kind = FaultKind::Corrupt;
+  } else if (got_verb != verb) {
     return fail_with(error, name + " wants action '" + verb + "', got '" +
-                                trim(action.substr(0, at_sign)) + "'");
+                                got_verb + "'");
   }
 
-  // key=value list: t= (required first), then repair=/outage=/factor=.
+  // key=value list: t= (required first), then repair=/outage=/factor=,
+  // or segments=/seed= for the corrupt kind.
   bool have_at = false;
   bool have_factor = false;
+  bool have_segments = false;
   std::string rest = action.substr(at_sign + 1);
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');
@@ -145,8 +152,28 @@ bool parse_event(const std::string& clause, FaultEvent* ev, std::string* error) 
       }
       have_at = true;
     } else if (key == "repair" || key == "outage") {
+      if (ev->kind == FaultKind::Corrupt) {
+        return fail_with(error,
+                         "corrupt is silent bit-rot; '" + key +
+                             "=' makes no sense (scrub repairs it)");
+      }
       if (!parse_duration(value, &ev->repair)) {
         return fail_with(error, "bad duration '" + value + "'");
+      }
+    } else if (key == "segments" && ev->kind == FaultKind::Corrupt) {
+      char* end = nullptr;
+      ev->segments = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' ||
+          ev->segments == 0) {
+        return fail_with(error, "segments must be a positive count, got '" +
+                                    value + "'");
+      }
+      have_segments = true;
+    } else if (key == "seed" && ev->kind == FaultKind::Corrupt) {
+      char* end = nullptr;
+      ev->seed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        return fail_with(error, "bad seed '" + value + "'");
       }
     } else if (key == "factor") {
       char* end = nullptr;
@@ -161,6 +188,9 @@ bool parse_event(const std::string& clause, FaultEvent* ev, std::string* error) 
     }
   }
   if (!have_at) return fail_with(error, "missing t= in '" + clause + "'");
+  if (ev->kind == FaultKind::Corrupt && !have_segments) {
+    return fail_with(error, "tape.media corrupt needs segments=");
+  }
   if (ev->target == FaultTarget::NetPool && !have_factor) {
     return fail_with(error, "net.pool degrade needs factor=");
   }
@@ -202,6 +232,12 @@ std::string FaultEvent::render() const {
     out += std::to_string(index);
   }
   out += "]:";
+  if (kind == FaultKind::Corrupt) {
+    out += "corrupt@t=" + render_duration(at);
+    out += ",segments=" + std::to_string(segments);
+    out += ",seed=" + std::to_string(seed);
+    return out;
+  }
   switch (target) {
     case FaultTarget::HsmServer: out += "restart"; break;
     case FaultTarget::NetPool: out += "degrade"; break;
@@ -233,6 +269,19 @@ FaultPlan& FaultPlan::drive_failure(std::uint64_t drive, sim::Tick at,
 FaultPlan& FaultPlan::media_error(std::uint64_t cartridge, sim::Tick at,
                                   sim::Tick repair) {
   return add({FaultTarget::TapeMedia, cartridge, {}, at, repair, 0.0});
+}
+
+FaultPlan& FaultPlan::media_corruption(std::uint64_t cartridge, sim::Tick at,
+                                       std::uint64_t segments,
+                                       std::uint64_t seed) {
+  FaultEvent ev;
+  ev.target = FaultTarget::TapeMedia;
+  ev.kind = FaultKind::Corrupt;
+  ev.index = cartridge;
+  ev.at = at;
+  ev.segments = segments;
+  ev.seed = seed;
+  return add(std::move(ev));
 }
 
 FaultPlan& FaultPlan::node_crash(std::uint64_t node, sim::Tick at,
@@ -304,6 +353,16 @@ FaultPlan FaultPlan::random(const RandomFaultConfig& cfg, std::uint64_t seed) {
     ev.target = FaultTarget::TapeMedia;
     ev.index = rng.uniform_u64(0, cfg.cartridges - 1);
     window(std::move(ev));
+  }
+  for (unsigned i = 0; i < cfg.media_corruptions && cfg.cartridges > 0; ++i) {
+    FaultEvent ev;
+    ev.target = FaultTarget::TapeMedia;
+    ev.kind = FaultKind::Corrupt;
+    ev.index = rng.uniform_u64(0, cfg.cartridges - 1);
+    ev.at = rng.uniform_u64(0, cfg.horizon);
+    ev.segments = rng.uniform_u64(1, 4);
+    ev.seed = rng.uniform_u64(0, 0xFFFFFFFFULL);
+    plan.add(std::move(ev));
   }
   for (unsigned i = 0; i < cfg.server_restarts && cfg.servers > 0; ++i) {
     FaultEvent ev;

@@ -13,9 +13,14 @@
 //
 //   tape.drive[3]:fail@t=120s,repair=300s    drive down for a window
 //   tape.media[7]:fail@t=1h,repair=30m       cartridge unreadable window
+//   tape.media[7]:corrupt@t=1h,segments=3,seed=42   silent bit-rot
 //   cluster.node[2]:fail@t=10m,repair=20m    FTA node crash + reboot
 //   hsm.server[0]:restart@t=2h,outage=60s    archive server restart
 //   net.pool[trunk0]:degrade@t=5m,factor=0.5,repair=10m
+//
+// `corrupt@` differs from the hard `fail@` window: reads of a corrupted
+// segment still succeed, but the fixity checksum no longer matches, so
+// only recall verification or the scrubber notices.
 //
 // Omitting `repair=` makes the fault permanent.  RetryPolicy is the
 // recovery half: bounded attempts with exponential backoff in virtual
@@ -69,6 +74,11 @@ enum class FaultTarget : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FaultTarget t);
 
+enum class FaultKind : std::uint8_t {
+  Window,   // fail/restart/degrade: target is down or slow, then repaired
+  Corrupt,  // silent bit-rot on tape.media: reads succeed, fixity fails
+};
+
 struct FaultEvent {
   FaultTarget target = FaultTarget::TapeDrive;
   /// Drive / cartridge / node / server index (unused for NetPool).
@@ -82,6 +92,13 @@ struct FaultEvent {
   sim::Tick repair = 0;
   /// Remaining capacity fraction while degraded (NetPool only; 0 = dead).
   double factor = 0.0;
+  /// Window faults are the classic down-then-repaired outage; Corrupt is
+  /// silent tape bit-rot (TapeMedia only, never repaired by time).
+  FaultKind kind = FaultKind::Window;
+  /// Corrupt only: how many live segments flip (>= 1).
+  std::uint64_t segments = 0;
+  /// Corrupt only: seed for the deterministic segment pick.
+  std::uint64_t seed = 0;
 
   /// Canonical spec form, e.g. "tape.drive[3]:fail@t=120s,repair=300s".
   [[nodiscard]] std::string render() const;
@@ -93,6 +110,7 @@ struct RandomFaultConfig {
   unsigned drive_failures = 2;
   unsigned node_crashes = 1;
   unsigned media_errors = 0;
+  unsigned media_corruptions = 0;
   unsigned server_restarts = 0;
   unsigned drives = 4;
   unsigned nodes = 4;
@@ -113,6 +131,8 @@ struct FaultPlan {
   // Convenience builders (chainable).
   FaultPlan& drive_failure(std::uint64_t drive, sim::Tick at, sim::Tick repair = 0);
   FaultPlan& media_error(std::uint64_t cartridge, sim::Tick at, sim::Tick repair = 0);
+  FaultPlan& media_corruption(std::uint64_t cartridge, sim::Tick at,
+                              std::uint64_t segments, std::uint64_t seed = 0);
   FaultPlan& node_crash(std::uint64_t node, sim::Tick at, sim::Tick repair = 0);
   FaultPlan& server_restart(std::uint64_t server, sim::Tick at, sim::Tick outage);
   FaultPlan& pool_degrade(std::string pool, sim::Tick at, double factor,

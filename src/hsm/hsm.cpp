@@ -64,6 +64,7 @@ struct HsmSystem::RecallJob {
     std::string path;
     std::uint64_t size = 0;
     std::uint64_t seq = 0;
+    std::uint64_t oid = 0;  // owning tape object (aggregate for members)
     tape::NodeId node = 0;
     unsigned attempts = 0;  // failed read attempts so far
   };
@@ -368,6 +369,23 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
           return;
         }
         ++job->report.tape_objects_written;
+        // Fixity: checksum the unit's content identity, stamp it on the
+        // just-written segment, and record the row next to the tape
+        // position.  Rides the write completion — zero virtual time, and
+        // primary + copy passes produce the same checksum so copy-pool
+        // repair can compare like for like.
+        {
+          std::uint64_t sum = integrity::fixity_checksum(
+              unit_oid, unit.bytes, 0, cfg_.content_salt);
+          for (const std::size_t idx : unit.items) {
+            sum = integrity::fixity_fold(sum, job->items[idx].tag);
+            sum = integrity::fixity_fold(sum, job->items[idx].size);
+          }
+          job->cart->set_fingerprint(seg->seq, sum);
+          fixity_.add(unit_oid, job->cart->id(), seg->seq, unit.bytes, sum,
+                      job->copy_phase);
+          ++job->report.checksums_computed;
+        }
         if (job->copy_phase > 0) {
           // One transaction registers the replica on the owner object.
           ArchiveServer& owner_server =
@@ -496,6 +514,9 @@ void HsmSystem::account_migrate(const MigrateJob& job) {
   m.counter("hsm.migrate_failed_files").add(job.report.files_failed);
   m.counter("hsm.migrated_bytes").add(job.report.bytes);
   m.counter("hsm.tape_objects_written").add(job.report.tape_objects_written);
+  if (job.report.checksums_computed > 0) {
+    m.counter("integrity.checksums_computed").add(job.report.checksums_computed);
+  }
   m.counter("hsm.migrate_retries").add(job.report.retries);
   m.counter("hsm.migrate_units_requeued").add(job.report.units_requeued);
   obs_->trace().arg_num(job.span, "files",
@@ -553,6 +574,7 @@ void HsmSystem::parallel_migrate(std::vector<std::string> paths,
                     combined->report.bytes += r.bytes;
                     combined->report.tape_objects_written +=
                         r.tape_objects_written;
+                    combined->report.checksums_computed += r.checksums_computed;
                     combined->report.retries += r.retries;
                     combined->report.units_requeued += r.units_requeued;
                     if (--combined->outstanding == 0) {
@@ -583,6 +605,7 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
   struct Resolved {
     std::string path;
     std::uint64_t size, cart, seq;
+    std::uint64_t oid = 0;
   };
   std::vector<Resolved> resolved;
   for (const std::string& path : paths) {
@@ -617,7 +640,8 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
         continue;
       }
     }
-    resolved.push_back(Resolved{path, row->size_bytes, cart, seq});
+    resolved.push_back(
+        Resolved{path, row->size_bytes, cart, seq, owner_object_id(path)});
   }
 
   // Per-file round-robin assignment happens in arrival order, before any
@@ -630,6 +654,7 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
     e.path = r.path;
     e.size = r.size;
     e.seq = r.seq;
+    e.oid = r.oid;
     if (options.assignment == RecallOptions::Assignment::RoundRobin) {
       e.node = options.nodes[file_rr++ % options.nodes.size()];
     }
@@ -749,6 +774,37 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
           return;
         }
         job->report.tape_bytes += seg->bytes;
+        // Fixity verification on every recall: recompute-and-compare is a
+        // zero-virtual-time check against the metadb row for this exact
+        // tape location.  A mismatch is *not* a read failure — the bits
+        // arrived, they are just wrong — so the loud-fault retry loop
+        // above never sees it; we fall back to untried copy locations
+        // instead, and exhaustion is a distinct unrepairable verdict.
+        if (entry.oid != 0) {
+          const integrity::FixityRow* frow =
+              fixity_.at_location(entry.oid, work.cart->id());
+          if (frow != nullptr &&
+              seg->observed_fingerprint() != frow->checksum) {
+            ++job->report.fixity_mismatches;
+            auto alts = std::make_shared<
+                std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
+            if (ArchiveServer* os = find_object_server(entry.oid)) {
+              if (const ArchiveObject* obj = os->object(entry.oid)) {
+                if (obj->cartridge_id != work.cart->id()) {
+                  alts->emplace_back(obj->cartridge_id, obj->tape_seq);
+                }
+                for (const auto& replica : obj->copies) {
+                  if (replica.cartridge_id != work.cart->id()) {
+                    alts->emplace_back(replica.cartridge_id, replica.tape_seq);
+                  }
+                }
+              }
+            }
+            recall_fallback(job, work_idx, entry_idx, drive, alts, 0);
+            return;
+          }
+          if (frow != nullptr) ++job->report.fixity_verified;
+        }
         job->report.bytes += entry.size;
         ++job->report.files_recalled;
         fs_.mark_recalled(entry.path);  // no-op if not punched
@@ -759,6 +815,72 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
       });
 }
 
+void HsmSystem::recall_fallback(
+    std::shared_ptr<RecallJob> job, std::size_t work_idx, std::size_t entry_idx,
+    tape::TapeDrive& drive,
+    std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>> alts,
+    std::size_t alt_idx) {
+  auto resume_batch = [this, job, work_idx, entry_idx, &drive] {
+    // Put the batch's cartridge back under the heads (extra mounts are
+    // the honest price of chasing replicas mid-batch) and move on.
+    lib_.ensure_mounted(drive, *job->work[work_idx].cart,
+                        [this, job, work_idx, entry_idx, &drive] {
+                          run_recall_entry(job, work_idx, entry_idx + 1, drive);
+                        });
+  };
+  if (alt_idx >= alts->size()) {
+    // Primary and every duplicate failed fixity: permanently bad, and
+    // deliberately not retried — re-reading rotten bits cannot help.
+    ++job->report.files_unrepairable;
+    ++job->report.files_failed;
+    resume_batch();
+    return;
+  }
+  const auto [alt_cart_id, alt_seq] = (*alts)[alt_idx];
+  tape::Cartridge* alt_cart = lib_.cartridge(alt_cart_id);
+  if (alt_cart == nullptr || alt_cart->damaged()) {
+    recall_fallback(job, work_idx, entry_idx, drive, alts, alt_idx + 1);
+    return;
+  }
+  lib_.ensure_mounted(drive, *alt_cart, [this, job, work_idx, entry_idx,
+                                         &drive, alts, alt_idx, alt_cart,
+                                         alt_seq = alt_seq] {
+    auto& entry = job->work[work_idx].entries[entry_idx];
+    std::vector<sim::PathLeg> pools =
+        data_path(entry.node, entry.path, entry.size);
+    drive.read_object(
+        entry.node, alt_seq, std::move(pools),
+        [this, job, work_idx, entry_idx, &drive, alts, alt_idx,
+         alt_cart](const tape::Segment* seg) {
+          auto& entry = job->work[work_idx].entries[entry_idx];
+          if (seg == nullptr) {
+            recall_fallback(job, work_idx, entry_idx, drive, alts, alt_idx + 1);
+            return;
+          }
+          job->report.tape_bytes += seg->bytes;
+          const integrity::FixityRow* frow =
+              fixity_.at_location(entry.oid, alt_cart->id());
+          if (frow == nullptr || seg->observed_fingerprint() != frow->checksum) {
+            ++job->report.fixity_mismatches;
+            recall_fallback(job, work_idx, entry_idx, drive, alts, alt_idx + 1);
+            return;
+          }
+          ++job->report.fixity_verified;
+          job->report.bytes += entry.size;
+          ++job->report.files_recalled;
+          fs_.mark_recalled(entry.path);
+          server_for(entry.path).metadata_txn(
+              [this, job, work_idx, entry_idx, &drive] {
+                lib_.ensure_mounted(
+                    drive, *job->work[work_idx].cart,
+                    [this, job, work_idx, entry_idx, &drive] {
+                      run_recall_entry(job, work_idx, entry_idx + 1, drive);
+                    });
+              });
+        });
+  });
+}
+
 void HsmSystem::account_recall(const RecallJob& job) {
   obs::MetricsRegistry& m = obs_->metrics();
   m.counter("hsm.recalls").inc();
@@ -767,6 +889,20 @@ void HsmSystem::account_recall(const RecallJob& job) {
   m.counter("hsm.recalled_bytes").add(job.report.bytes);
   m.counter("hsm.recalled_tape_bytes").add(job.report.tape_bytes);
   m.counter("hsm.recall_retries").add(job.report.retries);
+  // Integrity counters materialize only once a checksum was actually
+  // compared, so fault-free metric sets predating the fixity layer stay
+  // byte-identical (pay-as-you-go).
+  if (job.report.fixity_verified > 0) {
+    m.counter("integrity.checksums_verified").add(job.report.fixity_verified);
+  }
+  if (job.report.fixity_mismatches > 0) {
+    m.counter("integrity.checksums_mismatches")
+        .add(job.report.fixity_mismatches);
+  }
+  if (job.report.files_unrepairable > 0) {
+    m.counter("hsm.recall_unrepairable_files")
+        .add(job.report.files_unrepairable);
+  }
   obs_->trace().arg_num(job.span, "files",
                         static_cast<std::uint64_t>(job.report.files_recalled));
   obs_->trace().arg_num(job.span, "bytes", job.report.bytes);
@@ -816,6 +952,7 @@ void HsmSystem::synchronous_delete(const std::string& path,
               cart->mark_deleted(owner.object_id);
             }
           }
+          fixity_.erase_object(owner.object_id);
         };
         if (obj->is_member()) {
           const std::uint64_t agg_id = obj->aggregate_id;
@@ -882,6 +1019,7 @@ void HsmSystem::reconcile(bool delete_orphans,
         if (tape::Cartridge* cart = lib_.cartridge(o.cartridge_id)) {
           cart->mark_deleted(o.object_id);
         }
+        fixity_.erase_object(o.object_id);
       }
       o.server->delete_object(o.object_id);
       ++report.orphans_deleted;
@@ -1088,14 +1226,20 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
           run_reclaim_segment(job, seg_idx + 1);
           return;
         }
+        // Reclamation copies bits, not truth: the destination inherits
+        // whatever fingerprint the source actually reads back, so silent
+        // corruption travels with the segment and scrub still flags it at
+        // the new location.
+        const std::uint64_t moved_fp = read->observed_fingerprint();
         job->dst_drive->write_object(
             job->node, seg.object_id, seg.bytes, net_legs(job->node, ""),
-            [this, job, seg, seg_idx](const tape::Segment* written) {
+            [this, job, seg, seg_idx, moved_fp](const tape::Segment* written) {
               if (written == nullptr) {
                 run_reclaim_segment(job, seg_idx + 1);
                 return;
               }
               const std::uint64_t new_seq = written->seq;
+              job->dst->set_fingerprint(new_seq, moved_fp);
               ArchiveServer* server = find_object_server(seg.object_id);
               if (server == nullptr) {
                 run_reclaim_segment(job, seg_idx + 1);
@@ -1104,6 +1248,8 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
               server->metadata_txn([this, job, seg, seg_idx, new_seq] {
                 relocate_object(seg.object_id, job->src->id(), job->dst->id(),
                                 new_seq);
+                fixity_.relocate(seg.object_id, job->src->id(), job->dst->id(),
+                                 new_seq);
                 job->src->mark_deleted(seg.object_id);
                 ++job->report.objects_moved;
                 job->report.bytes_moved += seg.bytes;
@@ -1121,6 +1267,307 @@ void HsmSystem::account_reclaim(const ReclaimJob& job) {
   m.counter("hsm.reclaim_bytes_moved").add(job.report.bytes_moved);
   obs_->trace().arg_num(job.span, "volumes",
                         static_cast<std::uint64_t>(job.report.volumes_reclaimed));
+  obs_->trace().end(job.span, sim_.now());
+}
+
+// ---------------------------------------------------------------------------
+// Scrubbing
+// ---------------------------------------------------------------------------
+
+struct HsmSystem::ScrubJob {
+  integrity::ScrubConfig cfg;
+  std::vector<integrity::FixityRow> rows;  // snapshot, in visit order
+  std::size_t next = 0;
+  tape::TapeDrive* drive = nullptr;
+  std::uint64_t last_cart = 0;
+  integrity::ScrubReport report;
+  obs::SpanId span;
+  std::function<void(const integrity::ScrubReport&)> done;
+};
+
+void HsmSystem::scrub(integrity::ScrubConfig scfg,
+                      std::function<void(const integrity::ScrubReport&)> done) {
+  auto job = std::make_shared<ScrubJob>();
+  job->cfg = scfg;
+  job->rows = integrity::plan_scrub_order(fixity_, scfg.tape_ordered);
+  job->done = std::move(done);
+  job->report.started = sim_.now();
+  job->span = obs_->trace().begin_lane(obs::Component::Hsm, "scrub", "scrub",
+                                       sim_.now());
+  obs_->trace().arg_num(job->span, "rows",
+                        static_cast<std::uint64_t>(job->rows.size()));
+  if (job->rows.empty()) {
+    sim_.after(0, [this, job] { finish_scrub(job); });
+    return;
+  }
+  // One drive for the whole pass: foreground recalls keep the others.
+  lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
+    job->drive = &drive;
+    run_scrub_row(job);
+  });
+}
+
+void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
+  if (job->next >= job->rows.size()) {
+    finish_scrub(job);
+    return;
+  }
+  if (job->drive->failed()) {
+    // Loud drive failure mid-scrub: fail over and carry on.
+    lib_.release_drive(*job->drive);
+    job->drive = nullptr;
+    lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
+      job->drive = &drive;
+      run_scrub_row(job);
+    });
+    return;
+  }
+  const integrity::FixityRow row = job->rows[job->next];
+  tape::Cartridge* cart = lib_.cartridge(row.cartridge_id);
+  const tape::Segment* live =
+      cart != nullptr ? cart->segment_by_seq(row.tape_seq) : nullptr;
+  if (cart == nullptr || live == nullptr || live->object_id != row.object_id) {
+    // Stale snapshot entry: the segment moved or died since planning.
+    ++job->next;
+    run_scrub_row(job);
+    return;
+  }
+  if (lib_.volume_claimed_elsewhere(*cart, *job->drive)) {
+    // A foreground batch (recall, migrate) wants this volume; drop the
+    // scrub's claim so the contender can take it and re-check the row
+    // once it has moved on.
+    lib_.relinquish_claim(*job->drive);
+    sim_.after(sim::secs(5), [this, job] { run_scrub_row(job); });
+    return;
+  }
+  if (cart->id() != job->last_cart) {
+    job->last_cart = cart->id();
+    ++job->report.cartridges_visited;
+  }
+  lib_.ensure_mounted(*job->drive, *cart, [this, job, row] {
+    job->drive->read_object(
+        job->cfg.node, row.tape_seq, net_legs(job->cfg.node, ""),
+        [this, job, row](const tape::Segment* seg) {
+          if (seg == nullptr) {
+            ++job->report.read_errors;
+            ++job->next;
+            run_scrub_row(job);
+            return;
+          }
+          ++job->report.segments_scanned;
+          job->report.bytes_scanned += seg->bytes;
+          if (seg->observed_fingerprint() == row.checksum) {
+            scrub_pace(job, seg->bytes);
+            return;
+          }
+          ++job->report.mismatches;
+          // Repair lattice: clean tape duplicate -> disk re-migration ->
+          // unrepairable.  Candidates are the object's other recorded
+          // locations, each read back and verified before it is trusted.
+          auto alts = std::make_shared<
+              std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
+          if (ArchiveServer* os = find_object_server(row.object_id)) {
+            if (const ArchiveObject* obj = os->object(row.object_id)) {
+              if (obj->cartridge_id != row.cartridge_id) {
+                alts->emplace_back(obj->cartridge_id, obj->tape_seq);
+              }
+              for (const auto& replica : obj->copies) {
+                if (replica.cartridge_id != row.cartridge_id) {
+                  alts->emplace_back(replica.cartridge_id, replica.tape_seq);
+                }
+              }
+            }
+          }
+          run_scrub_repair(job, row, alts, 0);
+        });
+  });
+}
+
+void HsmSystem::run_scrub_repair(
+    std::shared_ptr<ScrubJob> job, const integrity::FixityRow& row,
+    std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>> alts,
+    std::size_t alt_idx) {
+  if (alt_idx < alts->size()) {
+    const auto [cand_cart_id, cand_seq] = (*alts)[alt_idx];
+    tape::Cartridge* cand = lib_.cartridge(cand_cart_id);
+    const tape::Segment* live =
+        cand != nullptr ? cand->segment_by_seq(cand_seq) : nullptr;
+    if (cand == nullptr || cand->damaged() || live == nullptr ||
+        live->object_id != row.object_id) {
+      run_scrub_repair(job, row, alts, alt_idx + 1);
+      return;
+    }
+    if (lib_.volume_claimed_elsewhere(*cand, *job->drive)) {
+      lib_.relinquish_claim(*job->drive);
+      sim_.after(sim::secs(5), [this, job, row, alts, alt_idx] {
+        run_scrub_repair(job, row, alts, alt_idx);
+      });
+      return;
+    }
+    lib_.ensure_mounted(*job->drive, *cand, [this, job, row, alts, alt_idx,
+                                             cand, cand_seq = cand_seq] {
+      job->drive->read_object(
+          job->cfg.node, cand_seq, net_legs(job->cfg.node, ""),
+          [this, job, row, alts, alt_idx, cand](const tape::Segment* seg) {
+            if (seg == nullptr ||
+                seg->observed_fingerprint() != row.checksum) {
+              // This duplicate is rotten (or unreadable) too.
+              run_scrub_repair(job, row, alts, alt_idx + 1);
+              return;
+            }
+            write_scrub_repair(job, row, cand->id(),
+                               net_legs(job->cfg.node, ""),
+                               integrity::ScrubRepair::Action::RepairedFromCopy);
+          });
+    });
+    return;
+  }
+  // No clean duplicate anywhere on tape: re-migrate from the original
+  // disk data if it is still resident or premigrated.
+  ArchiveServer* server = find_object_server(row.object_id);
+  const ArchiveObject* obj =
+      server != nullptr ? server->object(row.object_id) : nullptr;
+  if (obj != nullptr && !obj->path.empty()) {
+    const auto st = fs_.stat(obj->path);
+    if (st.ok() && st.value().kind == pfs::FileKind::Regular &&
+        st.value().dmapi != pfs::DmapiState::Migrated) {
+      write_scrub_repair(job, row, 0,
+                         data_path(job->cfg.node, obj->path, row.length),
+                         integrity::ScrubRepair::Action::Remigrated);
+      return;
+    }
+  }
+  scrub_unrepairable(job, row);
+}
+
+void HsmSystem::write_scrub_repair(std::shared_ptr<ScrubJob> job,
+                                   const integrity::FixityRow& row,
+                                   std::uint64_t source_cartridge,
+                                   std::vector<sim::PathLeg> pools,
+                                   integrity::ScrubRepair::Action action) {
+  tape::Cartridge* bad = lib_.cartridge(row.cartridge_id);
+  if (bad == nullptr) {
+    scrub_unrepairable(job, row);
+    return;
+  }
+  tape::Cartridge* dst = &lib_.checkout_cartridge(bad->colocation_group(),
+                                                  row.length, row.cartridge_id);
+  lib_.ensure_mounted(*job->drive, *dst, [this, job, row, source_cartridge,
+                                          pools = std::move(pools), action,
+                                          dst]() mutable {
+    job->drive->write_object(
+        job->cfg.node, row.object_id, row.length, std::move(pools),
+        [this, job, row, source_cartridge, action,
+         dst](const tape::Segment* written) {
+          if (written == nullptr) {
+            lib_.checkin_cartridge(*dst);
+            scrub_unrepairable(job, row);
+            return;
+          }
+          const std::uint64_t new_seq = written->seq;
+          // The rewrite carries verified-clean bits: stamp the recorded
+          // checksum on the fresh segment.
+          dst->set_fingerprint(new_seq, row.checksum);
+          ArchiveServer* server = find_object_server(row.object_id);
+          if (server == nullptr) {
+            lib_.checkin_cartridge(*dst);
+            scrub_unrepairable(job, row);
+            return;
+          }
+          server->metadata_txn([this, job, row, source_cartridge, action,
+                                dst, new_seq] {
+            relocate_object(row.object_id, row.cartridge_id, dst->id(),
+                            new_seq);
+            fixity_.relocate(row.object_id, row.cartridge_id, dst->id(),
+                             new_seq);
+            if (tape::Cartridge* bad = lib_.cartridge(row.cartridge_id)) {
+              bad->mark_deleted(row.object_id);
+            }
+            lib_.checkin_cartridge(*dst);
+            integrity::ScrubRepair entry;
+            entry.object_id = row.object_id;
+            entry.bad_cartridge = row.cartridge_id;
+            entry.bad_seq = row.tape_seq;
+            entry.source_cartridge = source_cartridge;
+            entry.new_cartridge = dst->id();
+            entry.new_seq = new_seq;
+            entry.action = action;
+            job->report.repair_log.push_back(entry);
+            if (action == integrity::ScrubRepair::Action::RepairedFromCopy) {
+              ++job->report.repaired_from_copy;
+            } else {
+              ++job->report.remigrated;
+            }
+            scrub_pace(job, 0);
+          });
+        });
+  });
+}
+
+void HsmSystem::scrub_unrepairable(std::shared_ptr<ScrubJob> job,
+                                   const integrity::FixityRow& row) {
+  // Reported exactly once: the row's status flips, so the next scrub's
+  // plan (status == Ok only) never revisits it.
+  fixity_.set_status(row.row_id, integrity::FixityStatus::Unrepairable);
+  ++job->report.unrepairable;
+  integrity::ScrubRepair entry;
+  entry.object_id = row.object_id;
+  entry.bad_cartridge = row.cartridge_id;
+  entry.bad_seq = row.tape_seq;
+  entry.action = integrity::ScrubRepair::Action::Unrepairable;
+  job->report.repair_log.push_back(entry);
+  scrub_pace(job, 0);
+}
+
+void HsmSystem::scrub_pace(std::shared_ptr<ScrubJob> job,
+                           std::uint64_t scanned_bytes) {
+  ++job->next;
+  if (job->cfg.rate_limit_bps > 0 && scanned_bytes > 0) {
+    // Pause long enough that scanned bytes over (read time + pause) can
+    // never exceed the ceiling; the drive is held but the robot and the
+    // other drives service foreground recalls meanwhile.
+    const sim::Tick pause = sim::secs(static_cast<double>(scanned_bytes) /
+                                      job->cfg.rate_limit_bps);
+    sim_.after(pause, [this, job] { run_scrub_row(job); });
+    return;
+  }
+  run_scrub_row(job);
+}
+
+void HsmSystem::finish_scrub(std::shared_ptr<ScrubJob> job) {
+  if (job->drive != nullptr) {
+    lib_.release_drive(*job->drive);
+    job->drive = nullptr;
+  }
+  job->report.finished = sim_.now();
+  account_scrub(*job);
+  if (job->done) {
+    auto done = std::move(job->done);
+    sim_.after(0,
+               [done = std::move(done), report = job->report] { done(report); });
+  }
+}
+
+void HsmSystem::account_scrub(const ScrubJob& job) {
+  obs::MetricsRegistry& m = obs_->metrics();
+  m.counter("scrub.runs").inc();
+  m.counter("scrub.segments_scanned").add(job.report.segments_scanned);
+  m.counter("scrub.bytes_scanned").add(job.report.bytes_scanned);
+  if (job.report.segments_scanned > 0) {
+    m.counter("integrity.checksums_verified").add(job.report.segments_scanned);
+  }
+  if (job.report.mismatches > 0) {
+    m.counter("scrub.mismatches").add(job.report.mismatches);
+    m.counter("integrity.checksums_mismatches").add(job.report.mismatches);
+  }
+  if (job.report.repaired() > 0) {
+    m.counter("scrub.repaired").add(job.report.repaired());
+  }
+  if (job.report.unrepairable > 0) {
+    m.counter("scrub.unrepairable").add(job.report.unrepairable);
+  }
+  obs_->trace().arg_num(job.span, "scanned", job.report.segments_scanned);
+  obs_->trace().arg_num(job.span, "mismatches", job.report.mismatches);
   obs_->trace().end(job.span, sim_.now());
 }
 

@@ -21,10 +21,13 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/plan.hpp"
 #include "hsm/fabric.hpp"
+#include "integrity/fixity.hpp"
+#include "integrity/scrubber.hpp"
 #include "hsm/object.hpp"
 #include "hsm/server.hpp"
 #include "obs/observer.hpp"
@@ -61,6 +64,10 @@ struct HsmConfig {
   /// Reconcile tree-walk cost per inode visited (Sec 4.2.6: the agent
   /// "does a directory tree-walk and compares each file one by one").
   sim::Tick reconcile_walk_cost = sim::msecs(2);
+  /// Per-run salt folded into every fixity checksum: two archives of the
+  /// same content under different salts disagree, so a stale checksum
+  /// can never mask corruption.
+  std::uint64_t content_salt = 0x5EEDULL;
 };
 
 struct MigrateReport {
@@ -68,6 +75,7 @@ struct MigrateReport {
   unsigned files_failed = 0;
   std::uint64_t bytes = 0;
   unsigned tape_objects_written = 0;  // < files when aggregating
+  unsigned checksums_computed = 0;    // fixity rows recorded (all copies)
   unsigned retries = 0;          // drive-failover / backoff retries
   unsigned units_requeued = 0;   // interrupted by a server restart
   sim::Tick started = 0;
@@ -94,6 +102,12 @@ struct RecallOptions {
 struct RecallReport {
   unsigned files_recalled = 0;
   unsigned files_failed = 0;
+  /// Both the primary segment and every copy-pool duplicate failed fixity:
+  /// a distinct, permanent verdict (also counted in files_failed) — never
+  /// retried, because the reads themselves succeed.
+  unsigned files_unrepairable = 0;
+  unsigned fixity_verified = 0;    // recalls whose checksum matched
+  unsigned fixity_mismatches = 0;  // failed compares (incl. bad fallbacks)
   unsigned retries = 0;  // drive-failover / media backoff retries
   std::uint64_t bytes = 0;          // logical file bytes recalled
   std::uint64_t tape_bytes = 0;     // tape bytes actually read (aggregates)
@@ -189,6 +203,21 @@ class HsmSystem : public pfs::DmapiListener {
                         double low_water,
                         std::function<void(const SpaceManagementReport&)> done);
 
+  /// Tape scrubbing: walks the fixity table (tape order by default,
+  /// reusing the Sec 4.2.5 optimization so scrub cost is mount/seek
+  /// realistic), reads every segment back, verifies its checksum, and
+  /// repairs mismatches — from a clean copy-pool duplicate, else by
+  /// re-migrating still-resident/premigrated disk data, else reporting
+  /// the object unrepairable exactly once.  Holds a single drive for the
+  /// whole pass and paces itself to `rate_limit_bps`, so foreground
+  /// recalls keep the remaining drives.
+  void scrub(integrity::ScrubConfig scfg,
+             std::function<void(const integrity::ScrubReport&)> done);
+
+  /// The fixity table (checksums keyed by tape location).
+  [[nodiscard]] integrity::FixityDb& fixity_db() { return fixity_; }
+  [[nodiscard]] const integrity::FixityDb& fixity_db() const { return fixity_; }
+
   /// Space reclamation: volumes whose dead fraction is at least
   /// `dead_fraction` have their live segments copied tape-to-tape (two
   /// drives: source + destination in the same volume family) and every
@@ -212,6 +241,7 @@ class HsmSystem : public pfs::DmapiListener {
   struct RecallJob;
   struct UnitRecorder;
   struct ReclaimJob;
+  struct ScrubJob;
 
   void run_reclaim_volume(std::shared_ptr<ReclaimJob> job);
   void run_reclaim_segment(std::shared_ptr<ReclaimJob> job, std::size_t seg_idx);
@@ -229,6 +259,38 @@ class HsmSystem : public pfs::DmapiListener {
   void account_migrate(const MigrateJob& job);
   void account_recall(const RecallJob& job);
   void account_reclaim(const ReclaimJob& job);
+  void account_scrub(const ScrubJob& job);
+
+  void run_scrub_row(std::shared_ptr<ScrubJob> job);
+  /// Tries repair sources in lattice order: each alternate tape location
+  /// in `alts` (read + verify), then the disk-resident original, then
+  /// declares the row unrepairable.
+  void run_scrub_repair(
+      std::shared_ptr<ScrubJob> job, const integrity::FixityRow& row,
+      std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>> alts,
+      std::size_t alt_idx);
+  /// Rewrites a corrupted segment from `pools` into a fresh volume of the
+  /// bad cartridge's family and rebinds object + fixity rows to it.
+  void write_scrub_repair(std::shared_ptr<ScrubJob> job,
+                          const integrity::FixityRow& row,
+                          std::uint64_t source_cartridge,
+                          std::vector<sim::PathLeg> pools,
+                          integrity::ScrubRepair::Action action);
+  void scrub_unrepairable(std::shared_ptr<ScrubJob> job,
+                          const integrity::FixityRow& row);
+  /// Advances to the next fixity row, pausing to honor the scan-rate
+  /// ceiling when `scanned_bytes` were just read.
+  void scrub_pace(std::shared_ptr<ScrubJob> job, std::uint64_t scanned_bytes);
+  void finish_scrub(std::shared_ptr<ScrubJob> job);
+
+  /// Recall-verify fallback: re-reads the object from each untried tape
+  /// location until one passes fixity, remounting the batch cartridge
+  /// before the walk continues; exhausted -> files_unrepairable.
+  void recall_fallback(
+      std::shared_ptr<RecallJob> job, std::size_t work_idx,
+      std::size_t entry_idx, tape::TapeDrive& drive,
+      std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>> alts,
+      std::size_t alt_idx);
 
   void run_migrate_unit(std::shared_ptr<MigrateJob> job);
   /// Chains one metadata transaction per object in the just-written unit.
@@ -255,6 +317,7 @@ class HsmSystem : public pfs::DmapiListener {
   Fabric fabric_;
   HsmConfig cfg_;
   std::vector<std::unique_ptr<ArchiveServer>> servers_;
+  integrity::FixityDb fixity_;
   obs::Observer* obs_ = &obs::Observer::nil();
   std::uint64_t offline_reads_ = 0;
   std::uint64_t destroys_ = 0;

@@ -1,0 +1,56 @@
+#include "integrity/scrubber.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cpa::integrity {
+
+std::string ScrubRepair::render() const {
+  const char* verb = "unrepairable";
+  switch (action) {
+    case Action::RepairedFromCopy: verb = "copy"; break;
+    case Action::Remigrated: verb = "remigrate"; break;
+    case Action::Unrepairable: verb = "unrepairable"; break;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "obj=%llu bad=%llu/%llu %s src=%llu new=%llu/%llu",
+                static_cast<unsigned long long>(object_id),
+                static_cast<unsigned long long>(bad_cartridge),
+                static_cast<unsigned long long>(bad_seq), verb,
+                static_cast<unsigned long long>(source_cartridge),
+                static_cast<unsigned long long>(new_cartridge),
+                static_cast<unsigned long long>(new_seq));
+  return buf;
+}
+
+std::string ScrubReport::render_repair_log() const {
+  std::string out;
+  for (const ScrubRepair& r : repair_log) {
+    out += r.render();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<FixityRow> plan_scrub_order(const FixityDb& db, bool tape_ordered) {
+  std::vector<FixityRow> rows;
+  rows.reserve(db.size());
+  db.for_each([&](const FixityRow& r) {
+    if (r.status == FixityStatus::Ok) rows.push_back(r);
+  });
+  // for_each yields primary-key (row-id) order: the naive archive order.
+  if (tape_ordered) {
+    std::sort(rows.begin(), rows.end(),
+              [](const FixityRow& a, const FixityRow& b) {
+                if (a.cartridge_id != b.cartridge_id) {
+                  return a.cartridge_id < b.cartridge_id;
+                }
+                if (a.tape_seq != b.tape_seq) return a.tape_seq < b.tape_seq;
+                return a.row_id < b.row_id;
+              });
+  }
+  return rows;
+}
+
+}  // namespace cpa::integrity

@@ -77,6 +77,10 @@ struct PftoolConfig {
   /// failing the file, up to the policy's attempt budget.  The default
   /// none() preserves the historical fail-fast behaviour.
   fault::RetryPolicy retry = fault::RetryPolicy::none();
+  /// Fixity verification (--verify): recompute each copied chunk's content
+  /// tag after the transfer and compare against the planned value; tape
+  /// recalls additionally report the archive's own fixity verdict.
+  bool verify_fixity = false;
   /// Storage pool placement hint for destination files (stgpool support).
   std::string dest_pool_hint;
 };

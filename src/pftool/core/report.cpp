@@ -51,6 +51,20 @@ std::string JobReport::render() const {
                   static_cast<unsigned long long>(tapes_touched));
     out += line;
   }
+  if (chunks_verified != 0 || fixity_verified != 0 || fixity_mismatches != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  fixity: %llu chunks verified, %llu tape reads verified, "
+                  "%llu mismatches\n",
+                  static_cast<unsigned long long>(chunks_verified),
+                  static_cast<unsigned long long>(fixity_verified),
+                  static_cast<unsigned long long>(fixity_mismatches));
+    out += line;
+  }
+  if (files_unrepairable != 0) {
+    std::snprintf(line, sizeof(line), "  UNREPAIRABLE: %llu files\n",
+                  static_cast<unsigned long long>(files_unrepairable));
+    out += line;
+  }
   if (files_compared != 0) {
     std::snprintf(line, sizeof(line), "  compared %llu files: %llu match, %llu differ\n",
                   static_cast<unsigned long long>(files_compared),

@@ -39,6 +39,13 @@ struct JobReport {
   std::uint64_t files_restored = 0;
   std::uint64_t tapes_touched = 0;
 
+  // Fixity (--verify and recall-time verification).  A file counted in
+  // files_unrepairable is also in files_failed; it is never retried.
+  std::uint64_t chunks_verified = 0;     // pfcp --verify recompute-and-compare
+  std::uint64_t fixity_verified = 0;     // tape reads that passed fixity
+  std::uint64_t fixity_mismatches = 0;   // tape reads failing fixity
+  std::uint64_t files_unrepairable = 0;  // every replica failed fixity
+
   // Compare (pfcm).
   std::uint64_t files_compared = 0;
   std::uint64_t files_matched = 0;

@@ -207,8 +207,20 @@ RtReport RtEngine::run(Mode mode, const std::string& src_root,
       } else {
         bool ok = true;
         bool equal = true;
+        bool verified = false;
+        bool verify_ok = true;
         if (mode == Mode::Copy) {
           ok = ops_->copy_range(task.src, task.dst, task.offset, task.len);
+          if (ok && cfg_.verify) {
+            // --verify: read both sides back and compare the bytes that
+            // just landed, so a torn or corrupted write fails the file
+            // instead of surviving silently.
+            verified = true;
+            bool same = true;
+            verify_ok = ops_->compare_range(task.src, task.dst, task.offset,
+                                            task.len, &same) &&
+                        same;
+          }
         } else {
           ok = ops_->compare_range(task.src, task.dst, task.offset, task.len,
                                    &equal);
@@ -217,10 +229,18 @@ RtReport RtEngine::run(Mode mode, const std::string& src_root,
         auto it = sh.files.find(task.dst);
         if (it != sh.files.end()) {
           auto& st = it->second;
+          if (verified) {
+            ++sh.report.chunks_verified;
+            if (!verify_ok) {
+              ++sh.report.verify_mismatches;
+              st.failed = true;
+              if (sh.journaling) sh.journal.mark_bad(task.dst, task.chunk_index);
+            }
+          }
           if (!ok) {
             st.failed = true;
             if (sh.journaling) sh.journal.mark_bad(task.dst, task.chunk_index);
-          } else if (mode == Mode::Copy) {
+          } else if (mode == Mode::Copy && verify_ok) {
             ++sh.report.chunks_copied;
             sh.report.bytes_copied += task.len;
             if (sh.journaling) {

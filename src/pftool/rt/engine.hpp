@@ -29,6 +29,9 @@ struct RtConfig {
   /// Restartable mode: load/persist the journal at this path (empty =
   /// journaling disabled).
   std::string journal_path;
+  /// --verify: after each copied chunk, read both sides back and compare
+  /// (recompute-and-compare fixity).  A mismatch fails the file.
+  bool verify = false;
 };
 
 struct RtReport {
@@ -42,6 +45,8 @@ struct RtReport {
   std::uint64_t files_compared = 0;
   std::uint64_t files_matched = 0;
   std::uint64_t files_mismatched = 0;
+  std::uint64_t chunks_verified = 0;     // --verify readback comparisons run
+  std::uint64_t verify_mismatches = 0;   // readbacks that differed
   double elapsed_seconds = 0.0;
 };
 

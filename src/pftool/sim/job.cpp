@@ -219,11 +219,16 @@ class TapeRestoreProc {
       job_.env_.hsm->recall(
           std::move(paths), opts,
           [this, metas = std::move(metas)](const hsm::RecallReport& r) mutable {
+            PftoolJob::RestoreStats stats;
+            stats.failed = r.files_failed;
+            stats.unrepairable = r.files_unrepairable;
+            stats.fixity_verified = r.fixity_verified;
+            stats.fixity_mismatches = r.fixity_mismatches;
             job_.env_.sim->after(job_.cfg_.msg_latency,
                                  [this, metas = std::move(metas),
-                                  failed = r.files_failed]() mutable {
+                                  stats]() mutable {
                                    job_.on_restored(this, std::move(metas),
-                                                    failed);
+                                                    stats);
                                  });
           });
     });
@@ -662,6 +667,7 @@ void PftoolJob::on_chunk_done(WorkerProc* w, const WorkItem& item, bool ok) {
     report_.bytes_copied += item.chunk.bytes;
     c_chunks_copied_->inc();
     c_bytes_copied_->add(item.chunk.bytes);
+    if (cfg_.verify_fixity) ++report_.chunks_verified;
     meter_.record(env_.sim->now(), item.chunk.bytes, 0);
     if (cfg_.restartable && env_.journal != nullptr) {
       env_.journal->mark_good(item.dst, item.chunk.index);
@@ -692,6 +698,24 @@ void PftoolJob::finalize_file(const std::string& dst) {
     ++report_.files_failed;
     return;
   }
+  if (cfg_.verify_fixity) {
+    // --verify: read the destination's content tag back and compare it
+    // against the source's.  This is the pfcm comparison inlined into the
+    // copy job, so a corrupted write surfaces before the job reports done.
+    bool match = false;
+    if (pf.mode == CopyMode::FuseNtoN) {
+      const auto tag = env_.fuse->origin_tag(dst);
+      match = tag.ok() && tag.value() == pf.tag;
+    } else {
+      const auto tag = env_.dst_fs->read_tag(dst);
+      match = tag.ok() && tag.value() == pf.tag;
+    }
+    if (!match) {
+      ++report_.fixity_mismatches;
+      ++report_.files_failed;
+      return;
+    }
+  }
   ++report_.files_copied;
   meter_.record(env_.sim->now(), 0, 1);
   if (cfg_.restartable && env_.journal != nullptr) {
@@ -718,12 +742,16 @@ void PftoolJob::on_compared(WorkerProc* w, const WorkItem&, bool comparable,
 }
 
 void PftoolJob::on_restored(TapeRestoreProc* tp, std::vector<FileMeta> metas,
-                            unsigned failed) {
+                            RestoreStats stats) {
   if (finished_) return;
   idle_tapeprocs_.push_back(tp);
   ++report_.tapes_touched;
+  const unsigned failed = stats.failed;
   report_.files_restored += metas.size() - std::min<std::size_t>(failed, metas.size());
   report_.files_failed += failed;
+  report_.files_unrepairable += stats.unrepairable;
+  report_.fixity_verified += stats.fixity_verified;
+  report_.fixity_mismatches += stats.fixity_mismatches;
   // "receives additional restored tape file copy request from TapeProc
   // processes and assigns them to Workers for further copying" — every
   // successfully restored file becomes a normal copy job.
@@ -824,6 +852,17 @@ void PftoolJob::finish() {
   m.counter("pftool.fuse_files").add(report_.fuse_files);
   m.counter("pftool.retries_total").add(report_.chunk_retries);
   m.counter("pftool.worker_crashes").add(report_.worker_crashes);
+  // Fixity counters appear only when verification ran or tape damage was
+  // seen, so fault-free runs keep an unchanged registry.
+  if (report_.chunks_verified > 0) {
+    m.counter("pftool.chunks_verified").add(report_.chunks_verified);
+  }
+  if (report_.fixity_mismatches > 0) {
+    m.counter("pftool.fixity_mismatches").add(report_.fixity_mismatches);
+  }
+  if (report_.files_unrepairable > 0) {
+    m.counter("pftool.files_unrepairable").add(report_.files_unrepairable);
+  }
   if (report_.bytes_copied > 0) {
     m.series("pftool.job_rate_bps").add(report_.rate_bps());
   }

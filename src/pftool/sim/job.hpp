@@ -120,8 +120,16 @@ class PftoolJob {
   void on_chunk_done(WorkerProc* w, const WorkItem& item, bool ok);
   void on_compared(WorkerProc* w, const WorkItem& item, bool comparable,
                    bool match);
+  /// Fixity outcome of one tape-restore batch (forwarded from the HSM's
+  /// RecallReport).  `unrepairable` files are a subset of `failed`.
+  struct RestoreStats {
+    unsigned failed = 0;
+    unsigned unrepairable = 0;
+    unsigned fixity_verified = 0;
+    unsigned fixity_mismatches = 0;
+  };
   void on_restored(TapeRestoreProc* tp, std::vector<FileMeta> metas,
-                   unsigned failed);
+                   RestoreStats stats);
   void watchdog_tick();
   void abort_stalled();
   /// FTA node crash: workers/tapeprocs pinned there are killed and

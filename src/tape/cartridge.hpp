@@ -19,6 +19,15 @@ struct Segment {
   std::uint64_t seq = 0;         // 1-based position on this cartridge
   std::uint64_t offset = 0;      // starting byte on tape
   std::uint64_t bytes = 0;
+  std::uint64_t fingerprint = 0;  // fixity checksum written with the data
+  bool corrupted = false;         // silent bit-rot: reads succeed, fixity fails
+
+  /// What a verifying reader recomputes from the bits on tape.  A healthy
+  /// segment yields the fingerprint that was written; a silently corrupted
+  /// one yields something else (deterministically, so replays agree).
+  [[nodiscard]] std::uint64_t observed_fingerprint() const {
+    return corrupted ? ~fingerprint : fingerprint;
+  }
 };
 
 class Cartridge {
@@ -55,6 +64,21 @@ class Cartridge {
   /// must fall back to copy-pool replicas.
   void set_damaged(bool damaged) { damaged_ = damaged; }
   [[nodiscard]] bool damaged() const { return damaged_; }
+
+  /// Records the fixity checksum written alongside a segment's data.  The
+  /// drive hands completion callbacks a *copy* of the segment, so writers
+  /// attach the fingerprint through the cartridge by sequence number.
+  bool set_fingerprint(std::uint64_t seq, std::uint64_t fingerprint);
+
+  /// Silent bit-rot injection: flips up to `count` distinct live segments
+  /// into the corrupted state.  Deterministic in `seed` so a fault plan
+  /// replays bit-identically.  Returns how many segments were corrupted.
+  std::uint64_t corrupt_random_segments(std::uint64_t count,
+                                        std::uint64_t seed);
+
+  /// Clears the corrupted flag (segment rewritten / repaired in place).
+  bool clear_corruption(std::uint64_t seq);
+  [[nodiscard]] std::uint64_t corrupted_segment_count() const;
 
  private:
   CartridgeId id_;

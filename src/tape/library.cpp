@@ -12,6 +12,7 @@ TapeLibrary::TapeLibrary(sim::Simulation& sim, sim::FlowNetwork& net,
     drives_.push_back(std::make_unique<TapeDrive>(
         sim, net, "drive" + std::to_string(i), cfg_.timings));
     drive_busy_.push_back(false);
+    drive_claim_.push_back(0);
   }
 }
 
@@ -49,6 +50,7 @@ void TapeLibrary::release_drive(TapeDrive& drive) {
   for (std::size_t i = 0; i < drives_.size(); ++i) {
     if (drives_[i].get() == &drive) {
       assert(drive_busy_[i]);
+      drive_claim_[i] = 0;  // the departing batch no longer needs a volume
       // A failed drive must not be handed to a waiter; it re-enters the
       // rotation via repair_drive().
       if (!drive_waiters_.empty() && !drive.failed()) {
@@ -120,26 +122,76 @@ void TapeLibrary::checkin_cartridge(Cartridge& cart) {
   checked_out_.erase(cart.id());
 }
 
+bool TapeLibrary::volume_claimed_elsewhere(const Cartridge& cart,
+                                           const TapeDrive& self) const {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].get() == &self) continue;
+    if (drive_busy_[i] && drive_claim_[i] == cart.id()) return true;
+  }
+  return false;
+}
+
+void TapeLibrary::relinquish_claim(const TapeDrive& drive) {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].get() == &drive) {
+      drive_claim_[i] = 0;
+      return;
+    }
+  }
+}
+
+void TapeLibrary::set_claim(const TapeDrive& drive, CartridgeId cart) {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].get() == &drive) {
+      drive_claim_[i] = cart;
+      return;
+    }
+  }
+}
+
+bool TapeLibrary::mount_conflict(const Cartridge& cart,
+                                 const TapeDrive& into) const {
+  for (std::size_t i = 0; i < drives_.size(); ++i) {
+    const TapeDrive* d = drives_[i].get();
+    if (d == &into || d->mounted() != &cart) continue;
+    // Mid-operation: yanking the volume would corrupt the holder's stream.
+    if (d->busy()) return true;
+    // Idle but its batch still wants the volume (claims expire on
+    // release_drive or when the holder claims a different cartridge).
+    if (drive_busy_[i] && drive_claim_[i] == cart.id()) return true;
+  }
+  return false;
+}
+
 void TapeLibrary::ensure_mounted(TapeDrive& drive, Cartridge& cart,
                                  std::function<void()> done) {
   if (!done) done = [] {};
+  // Record intent first: this drive's batch now needs `cart`, and any
+  // earlier claim by the same drive is stale.
+  set_claim(drive, cart.id());
   if (drive.mounted() == &cart) {
     sim_.after(0, std::move(done));
     return;
   }
-  // If the volume sits in another drive that is still working, wait for
-  // it — a volume is physically in one place, and yanking it mid-read
-  // would corrupt that drive's operation stream.
-  for (auto& d : drives_) {
-    if (d->mounted() == &cart && d.get() != &drive && d->busy()) {
+  // A volume is physically in one place: while its current holder is
+  // working or still claims it, wait rather than steal.
+  if (mount_conflict(cart, drive)) {
+    sim_.after(sim::secs(5), [this, &drive, &cart, done = std::move(done)]() mutable {
+      ensure_mounted(drive, cart, std::move(done));
+    });
+    return;
+  }
+  // Robot serializes the physical exchange.
+  robot_.acquire([this, &drive, &cart, done = std::move(done)]() mutable {
+    // The world may have changed while the robot was busy elsewhere:
+    // re-check before touching the holder's drive.
+    if (mount_conflict(cart, drive)) {
+      robot_.release();
       sim_.after(sim::secs(5), [this, &drive, &cart, done = std::move(done)]() mutable {
         ensure_mounted(drive, cart, std::move(done));
       });
       return;
     }
-  }
-  // Robot serializes the physical exchange.
-  robot_.acquire([this, &drive, &cart, done = std::move(done)]() mutable {
     auto do_mount = [this, &drive, &cart, done = std::move(done)]() mutable {
       drive.mount(&cart, [this, done = std::move(done)] {
         robot_.release();

@@ -83,6 +83,16 @@ class TapeLibrary {
   void ensure_mounted(TapeDrive& drive, Cartridge& cart, std::function<void()> done);
   /// Unmounts whatever the drive holds (no-op when empty).
   void dismount(TapeDrive& drive, std::function<void()> done);
+  /// True while another *acquired* drive has claimed `cart` through
+  /// ensure_mounted(): its batch still needs the volume even when the
+  /// drive idles between reads.  Claims die with release_drive(), so a
+  /// volume left mounted in a released drive is fair game.
+  [[nodiscard]] bool volume_claimed_elsewhere(const Cartridge& cart,
+                                              const TapeDrive& self) const;
+  /// Drops `drive`'s claim so a waiting peer may take the volume.  Used
+  /// by background scans that yield to foreground batches; the claim is
+  /// re-established by the next ensure_mounted() on the drive.
+  void relinquish_claim(const TapeDrive& drive);
 
   /// Sums stats over all drives.
   [[nodiscard]] DriveStats aggregate_stats() const;
@@ -95,8 +105,15 @@ class TapeLibrary {
  private:
   sim::Simulation& sim_;
   LibraryConfig cfg_;
+  /// True when `cart` may not be moved into `into` right now: it sits in
+  /// a drive that is mid-operation, or an acquired drive still claims it.
+  [[nodiscard]] bool mount_conflict(const Cartridge& cart,
+                                    const TapeDrive& into) const;
+  void set_claim(const TapeDrive& drive, CartridgeId cart);
+
   std::vector<std::unique_ptr<TapeDrive>> drives_;
   std::vector<bool> drive_busy_;
+  std::vector<CartridgeId> drive_claim_;  // 0: none; parallel to drives_
   std::deque<std::function<void(TapeDrive&)>> drive_waiters_;
   sim::Resource robot_;
   std::map<CartridgeId, std::unique_ptr<Cartridge>> cartridges_;

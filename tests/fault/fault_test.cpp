@@ -70,6 +70,8 @@ TEST(FaultPlan, ParseRenderRoundTripsExactly) {
       "cluster.node[2]:fail@t=600s,repair=1200s",
       "hsm.server[0]:restart@t=7200s,outage=60s",
       "net.pool[trunk0]:degrade@t=300s,factor=0.25,repair=600s",
+      "tape.media[7]:corrupt@t=3600s,segments=3,seed=42",
+      "tape.media[0]:corrupt@t=90s,segments=1,seed=0",
   };
   for (const auto& s : specs) {
     std::string err;
@@ -81,6 +83,54 @@ TEST(FaultPlan, ParseRenderRoundTripsExactly) {
     ASSERT_TRUE(again.has_value());
     EXPECT_EQ(again->render(), s);
   }
+}
+
+TEST(FaultPlan, CorruptBuilderRendersCanonicalSpec) {
+  FaultPlan plan;
+  plan.media_corruption(7, sim::hours(1), 3, 42);
+  EXPECT_EQ(plan.render(), "tape.media[7]:corrupt@t=3600s,segments=3,seed=42");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::Corrupt);
+  EXPECT_EQ(plan.events[0].segments, 3u);
+  EXPECT_EQ(plan.events[0].seed, 42u);
+}
+
+TEST(FaultPlan, CorruptParseRejectsBadShapes) {
+  for (const std::string bad : {
+           "tape.media[1]:corrupt@t=10s",                 // needs segments=
+           "tape.media[1]:corrupt@t=10s,segments=0",      // zero segments
+           "tape.media[1]:corrupt@t=10s,segments=2,repair=5s",  // silent fault
+           "tape.drive[0]:corrupt@t=10s,segments=1",      // media only
+           "cluster.node[0]:corrupt@t=10s,segments=1",    // media only
+       }) {
+    std::string err;
+    EXPECT_FALSE(FaultPlan::parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(FaultPlan, RandomCoversCorruptionsDeterministically) {
+  RandomFaultConfig cfg;
+  cfg.drive_failures = 0;
+  cfg.node_crashes = 0;
+  cfg.media_corruptions = 5;
+  cfg.cartridges = 3;
+  const FaultPlan a = FaultPlan::random(cfg, 11);
+  const FaultPlan b = FaultPlan::random(cfg, 11);
+  EXPECT_EQ(a.render(), b.render());
+  ASSERT_EQ(a.size(), 5u);
+  for (const auto& ev : a.events) {
+    EXPECT_EQ(ev.target, FaultTarget::TapeMedia);
+    EXPECT_EQ(ev.kind, FaultKind::Corrupt);
+    EXPECT_LT(ev.index, 3u);
+    EXPECT_GE(ev.segments, 1u);
+    EXPECT_LE(ev.segments, 4u);
+    EXPECT_LE(ev.at, cfg.horizon);
+  }
+  // Round-trips through the grammar like every other kind.
+  const auto parsed = FaultPlan::parse(a.render());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->render(), a.render());
 }
 
 TEST(FaultPlan, ParseAcceptsDurationSuffixesAndMultipleEvents) {
@@ -228,6 +278,39 @@ TEST(FaultInjector, UnwiredTargetsAreCountedSkipped) {
 
   EXPECT_EQ(inj.injected(), 0u);
   EXPECT_GE(obs.metrics().counter_value("fault.skipped_total"), 2u);
+}
+
+TEST(FaultInjector, CorruptFiresSilentCallbackWithSegmentsAndSeed) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  FaultInjector inj(sim, obs);
+
+  struct Hit {
+    std::uint64_t cart, segments, seed;
+    sim::Tick when;
+  };
+  std::vector<Hit> hits;
+  FaultTargets targets;
+  targets.tape_corrupt = [&](std::uint64_t cart, std::uint64_t segments,
+                             std::uint64_t seed) {
+    hits.push_back({cart, segments, seed, sim.now()});
+  };
+  inj.set_targets(std::move(targets));
+
+  FaultPlan plan;
+  plan.media_corruption(2, sim::secs(30), 4, 99);
+  inj.arm(plan);
+  sim.run();
+
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].cart, 2u);
+  EXPECT_EQ(hits[0].segments, 4u);
+  EXPECT_EQ(hits[0].seed, 99u);
+  EXPECT_EQ(hits[0].when, sim::secs(30));
+  // Silent bit-rot never schedules a repair event.
+  EXPECT_EQ(inj.injected(), 1u);
+  EXPECT_EQ(inj.repaired(), 0u);
+  EXPECT_EQ(obs.metrics().counter_value("fault.corruptions"), 1u);
 }
 
 TEST(FaultInjector, ArmAccumulatesAcrossCalls) {
