@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   opts.tracing = obs_cli.tracing();
   opts.trace_path = obs_cli.trace_path;
   opts.metrics_path = obs_cli.metrics_path;
+  opts.profile_path = obs_cli.profile_path;
   opts.fault_spec = obs_cli.fault_spec;  // --fault=auto or a plan spec
   if (obs_cli.seed_set) opts.seed = obs_cli.seed;
   const bench::CampaignResult result = bench::run_campaign(opts);
@@ -84,6 +85,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "  error: could not write metrics to %s\n",
                    obs_cli.metrics_path.c_str());
+      return 1;
+    }
+  }
+  if (!obs_cli.profile_path.empty()) {
+    std::printf("  attribution report (%zu jobs) -> %s  conservation: %s\n",
+                result.profiled_jobs, obs_cli.profile_path.c_str(),
+                result.profile_conservation_ok ? "ok" : "VIOLATED");
+    if (!result.profile_conservation_ok) {
+      std::fprintf(stderr,
+                   "  error: bucket sums diverged from job wall-clock\n");
       return 1;
     }
   }

@@ -1,6 +1,9 @@
 #include "bench/campaign_runner.hpp"
 
+#include <cstdio>
+
 #include "archive/system.hpp"
+#include "obs/profile.hpp"
 #include "simcore/rng.hpp"
 #include "workload/tree.hpp"
 
@@ -85,7 +88,9 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   SystemConfig cfg = SystemConfig::roadrunner();
   cfg.cluster.trunk_bps *= kGoodput;
   cfg.cluster.node_nic_bps *= kGoodput;
-  cfg.obs.tracing = opts.tracing || !opts.trace_path.empty();
+  const bool profiling = opts.profile || !opts.profile_path.empty();
+  cfg.obs.tracing = opts.tracing || !opts.trace_path.empty() ||
+                    !opts.raw_trace_path.empty() || profiling;
   const bool faulty = !opts.fault_spec.empty();
   std::size_t widened_job = specs.size();  // index of the 16-worker job
   if (faulty) {
@@ -202,8 +207,26 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
   if (!opts.trace_path.empty()) {
     result.trace_written = ob.trace().write_chrome_json(opts.trace_path);
   }
+  if (!opts.raw_trace_path.empty()) {
+    result.trace_written =
+        ob.trace().save(opts.raw_trace_path) && result.trace_written;
+  }
   if (!opts.metrics_path.empty()) {
     result.metrics_written = ob.metrics().write_summary(opts.metrics_path);
+  }
+  if (profiling) {
+    const obs::Profiler prof(ob.trace());
+    result.profile_report = prof.report(opts.profile_topk);
+    result.profile_conservation_ok = prof.conservation_ok();
+    result.profiled_jobs = prof.jobs().size();
+    if (!opts.profile_path.empty()) {
+      if (opts.profile_path == "-") {
+        std::fputs(result.profile_report.c_str(), stdout);
+      } else if (std::FILE* f = std::fopen(opts.profile_path.c_str(), "w")) {
+        std::fputs(result.profile_report.c_str(), f);
+        std::fclose(f);
+      }
+    }
   }
   result.faults_injected = ob.metrics().counter_value("fault.injected_total");
   result.faults_repaired = ob.metrics().counter_value("fault.repaired_total");

@@ -49,6 +49,17 @@ struct CampaignOptions {
   /// the largest early job (which is widened to 16 workers so every node
   /// hosts one — the crash is guaranteed to kill in-flight copies).
   std::string fault_spec;
+  /// Run the causal critical-path profiler over the recorded trace and
+  /// fill CampaignResult::profile_report.  Implies tracing.
+  bool profile = false;
+  /// When set, the attribution report is also written here ("-" = stdout).
+  /// Implies profile.
+  std::string profile_path;
+  /// When set, the raw span log (TraceRecorder::save format, reloadable by
+  /// `pfprof --trace=`) is written here.  Implies tracing.
+  std::string raw_trace_path;
+  /// Top-k critical-path spans to include in the report.
+  std::size_t profile_topk = 10;
 };
 
 struct CampaignResult {
@@ -74,6 +85,11 @@ struct CampaignResult {
   /// regardless of campaign length (the jobs_ vector no longer grows
   /// forever).
   std::size_t jobs_live_after_reap = 0;
+  /// Attribution report text (empty unless CampaignOptions::profile).
+  std::string profile_report;
+  /// True when every profiled job's buckets summed to its wall-clock.
+  bool profile_conservation_ok = true;
+  std::size_t profiled_jobs = 0;
 };
 
 /// Runs the campaign once with full control over scale and observability.

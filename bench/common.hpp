@@ -45,6 +45,10 @@ inline std::string fmt(const char* format, double value) {
 struct ObsCli {
   std::string trace_path;
   std::string metrics_path;
+  /// `--profile=out.txt`: run the causal critical-path profiler after the
+  /// bench and write the attribution report ("-" = stdout).  Implies
+  /// tracing for the run.
+  std::string profile_path;
   /// Fault-spec string (fault/plan.hpp grammar, or a bench-defined alias
   /// like "auto") from `--fault=...`.  Empty means fault-free.
   std::string fault_spec;
@@ -52,7 +56,9 @@ struct ObsCli {
   /// their workload generator so runs are reproducible bit-for-bit.
   std::uint64_t seed = 0;
   bool seed_set = false;
-  [[nodiscard]] bool tracing() const { return !trace_path.empty(); }
+  [[nodiscard]] bool tracing() const {
+    return !trace_path.empty() || !profile_path.empty();
+  }
 };
 
 inline ObsCli parse_obs_cli(int argc, char** argv) {
@@ -63,6 +69,8 @@ inline ObsCli parse_obs_cli(int argc, char** argv) {
       cli.trace_path = arg.substr(8);
     } else if (arg.rfind("--metrics=", 0) == 0) {
       cli.metrics_path = arg.substr(10);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      cli.profile_path = arg.substr(10);
     } else if (arg.rfind("--fault=", 0) == 0) {
       cli.fault_spec = arg.substr(8);
     } else if (arg.rfind("--seed=", 0) == 0) {

@@ -1,0 +1,136 @@
+// pfprof: causal critical-path profiler CLI.
+//
+// Answers the paper's "why is this job slower than the hardware" question
+// for any recorded run: loads a trace (TraceRecorder::save format) or runs
+// the Figure-10 campaign in-process with tracing on, then prints per-class
+// attribution tables, exact p50/p95/p99/max latency percentiles, and the
+// top-k critical-path spans.  Exits nonzero if any job's bucket
+// decomposition fails the `sum(buckets) == wall-clock` invariant, so CI
+// can use it as a conservation gate.
+//
+// Usage:
+//   pfprof --trace=run.cpatrace [--topk=N] [--out=report.txt]
+//   pfprof --campaign [--scale=0.01] [--seed=2009] [--fault=auto]
+//          [--topk=N] [--out=report.txt] [--save-trace=run.cpatrace]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/campaign_runner.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --trace=FILE | --campaign [--scale=S] [--seed=N] "
+               "[--fault=SPEC] [--topk=K] [--out=FILE] [--save-trace=FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpa;
+
+  std::string trace_path;
+  std::string out_path = "-";
+  std::string save_trace;
+  std::string fault_spec;
+  bool campaign = false;
+  double scale = 0.01;
+  std::uint64_t seed = 2009;
+  std::size_t topk = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--campaign") {
+      campaign = true;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = arg.substr(8);
+    } else if (arg.rfind("--topk=", 0) == 0) {
+      topk = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--save-trace=", 0) == 0) {
+      save_trace = arg.substr(13);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (campaign == !trace_path.empty()) return usage(argv[0]);
+
+  obs::TraceRecorder trace;
+  if (campaign) {
+    bench::CampaignOptions opts;
+    opts.file_count_scale = scale;
+    opts.seed = seed;
+    opts.fault_spec = fault_spec;
+    opts.profile = true;
+    opts.profile_topk = topk;
+    opts.raw_trace_path = save_trace;
+    std::fprintf(stderr, "pfprof: running campaign (scale %g, seed %llu)...\n",
+                 scale, static_cast<unsigned long long>(seed));
+    const bench::CampaignResult result = bench::run_campaign(opts);
+    if (!write_text(out_path, result.profile_report)) {
+      std::fprintf(stderr, "pfprof: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    if (!save_trace.empty() && !result.trace_written) {
+      std::fprintf(stderr, "pfprof: cannot save trace %s\n",
+                   save_trace.c_str());
+      return 2;
+    }
+    if (!result.profile_conservation_ok) {
+      std::fprintf(stderr,
+                   "pfprof: CONSERVATION VIOLATION: bucket sums diverged "
+                   "from job wall-clock\n");
+      return 1;
+    }
+    std::fprintf(stderr, "pfprof: %zu jobs profiled, conservation ok\n",
+                 result.profiled_jobs);
+    return 0;
+  }
+
+  if (!trace.load(trace_path)) {
+    std::fprintf(stderr, "pfprof: cannot load trace %s\n", trace_path.c_str());
+    return 2;
+  }
+  if (!save_trace.empty() && !trace.save(save_trace)) {
+    std::fprintf(stderr, "pfprof: cannot save trace %s\n", save_trace.c_str());
+    return 2;
+  }
+  const obs::Profiler prof(trace);
+  if (!write_text(out_path, prof.report(topk))) {
+    std::fprintf(stderr, "pfprof: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  if (!prof.conservation_ok()) {
+    std::fprintf(stderr,
+                 "pfprof: CONSERVATION VIOLATION in %zu of %zu jobs\n",
+                 prof.violations(), prof.jobs().size());
+    return 1;
+  }
+  std::fprintf(stderr, "pfprof: %zu jobs profiled, conservation ok\n",
+               prof.jobs().size());
+  return 0;
+}

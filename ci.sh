@@ -62,4 +62,50 @@ done
 echo "== Scrub smoke (ASan) =="
 ./build-asan/bench/bench_scrub --smoke --json=build-asan/BENCH_scrub.json
 
+# Attribution-conservation gate (under the sanitizer build): run the
+# causal critical-path profiler over the fig10 campaign and require that
+# every job's bucket decomposition sums exactly, in virtual ticks, to its
+# wall-clock.  pfprof exits non-zero on any violation — a dropped or
+# double-counted handoff in the span DAG fails CI here.
+echo "== pfprof conservation gate (ASan) =="
+./build-asan/bench/pfprof --campaign --scale=0.01 --seed=2009 --out=/dev/null
+
+# Perf-regression gate: diff the freshly produced BENCH_*.json against the
+# checked-in baselines.  CPA_UPDATE_BASELINE=1 regenerates the baselines
+# instead of gating (mirroring CPA_UPDATE_GOLDEN for the campaign digest).
+echo "== bench regression gate =="
+BASELINES=bench/baselines
+REGRESS=./build-release/bench/bench_regress
+if [[ "${CPA_UPDATE_BASELINE:-0}" == "1" ]]; then
+  mkdir -p "$BASELINES"
+  cp build-release/BENCH_flow_churn.json "$BASELINES/BENCH_flow_churn.json"
+  cp build-asan/BENCH_scrub.json "$BASELINES/BENCH_scrub.json"
+  echo "baselines regenerated in $BASELINES"
+else
+  # Churn speedup is wall-clock derived, so only a collapse (for example
+  # the incremental scheduler silently reverting to full recompute) trips
+  # the loose tolerance; pool counts are deterministic and exact.
+  "$REGRESS" --baseline="$BASELINES/BENCH_flow_churn.json" \
+    --fresh=build-release/BENCH_flow_churn.json --key=flows \
+    --metric=pools --metric=speedup:75:higher
+  # Scrub verdict counts are virtual-time deterministic: exact equality.
+  "$REGRESS" --baseline="$BASELINES/BENCH_scrub.json" \
+    --fresh=build-asan/BENCH_scrub.json --key=scenario \
+    --metric=injected --metric=detected --metric=repaired_from_copy \
+    --metric=remigrated --metric=unrepairable --metric=rescrub_mismatches \
+    --metric=segments --metric=tape_ordered_mounts --metric=naive_mounts
+  # Self-test: a doctored baseline must trip the gate (exit non-zero).
+  doctored=$(mktemp)
+  sed -E 's/"speedup": [0-9.]+/"speedup": 99999.0/' \
+    "$BASELINES/BENCH_flow_churn.json" > "$doctored"
+  if "$REGRESS" --baseline="$doctored" \
+      --fresh=build-release/BENCH_flow_churn.json --key=flows \
+      --metric=speedup:75:higher >/dev/null 2>&1; then
+    echo "ERROR: regression gate failed to flag a doctored baseline" >&2
+    rm -f "$doctored"
+    exit 1
+  fi
+  rm -f "$doctored"
+fi
+
 echo "CI passed."

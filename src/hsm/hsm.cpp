@@ -145,6 +145,19 @@ std::vector<sim::PathLeg> HsmSystem::data_path(tape::NodeId node,
   return pools;
 }
 
+void HsmSystem::trace_wait(obs::Component comp, const char* name,
+                           obs::SpanId parent, sim::Tick since) {
+  if (sim_.now() <= since) return;
+  obs::TraceRecorder& tr = obs_->trace();
+  tr.link(parent, tr.complete(comp, name, name, since, sim_.now()));
+}
+
+void HsmSystem::trace_backoff(obs::SpanId parent, sim::Tick delay) {
+  obs::TraceRecorder& tr = obs_->trace();
+  tr.link(parent, tr.complete(obs::Component::Hsm, "retry", "retry_backoff",
+                              sim_.now(), sim_.now() + delay));
+}
+
 // ---------------------------------------------------------------------------
 // Migration
 // ---------------------------------------------------------------------------
@@ -213,7 +226,9 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
     return;
   }
 
-  lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
+  const sim::Tick t_req = sim_.now();
+  lib_.acquire_drive([this, job, t_req](tape::TapeDrive& drive) {
+    trace_wait(obs::Component::Tape, "drive_wait", job->span, t_req);
     job->drive = &drive;
     run_migrate_unit(job);
   });
@@ -266,8 +281,11 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
   if (job->cart == nullptr || !job->cart->fits(unit.bytes)) {
     if (job->cart != nullptr) lib_.checkin_cartridge(*job->cart);
     job->cart = &lib_.checkout_cartridge(job->phase_group(), unit.bytes);
-    lib_.ensure_mounted(*job->drive, *job->cart,
-                        [this, job] { run_migrate_unit(job); });
+    const sim::Tick t_m = sim_.now();
+    lib_.ensure_mounted(*job->drive, *job->cart, [this, job, t_m] {
+      trace_wait(obs::Component::Tape, "mount_wait", job->span, t_m);
+      run_migrate_unit(job);
+    });
     return;
   }
 
@@ -330,11 +348,20 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
             // and re-run the unit on a healthy one after backoff.
             lib_.release_drive(*job->drive);
             job->drive = nullptr;
-            sim_.after(cfg_.retry.delay(job->unit_attempts), [this, job] {
-              lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
+            const sim::Tick delay = cfg_.retry.delay(job->unit_attempts);
+            trace_backoff(job->span, delay);
+            sim_.after(delay, [this, job] {
+              const sim::Tick t_req = sim_.now();
+              lib_.acquire_drive([this, job, t_req](tape::TapeDrive& drive) {
+                trace_wait(obs::Component::Tape, "drive_wait", job->span,
+                           t_req);
                 job->drive = &drive;
-                lib_.ensure_mounted(drive, *job->cart,
-                                    [this, job] { run_migrate_unit(job); });
+                const sim::Tick t_m = sim_.now();
+                lib_.ensure_mounted(drive, *job->cart, [this, job, t_m] {
+                  trace_wait(obs::Component::Tape, "mount_wait", job->span,
+                             t_m);
+                  run_migrate_unit(job);
+                });
               });
             });
             return;
@@ -355,8 +382,9 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
           ++job->report.units_requeued;
           if (cfg_.retry.allows(++job->unit_attempts)) {
             ++job->report.retries;
-            sim_.after(cfg_.retry.delay(job->unit_attempts),
-                       [this, job] { run_migrate_unit(job); });
+            const sim::Tick delay = cfg_.retry.delay(job->unit_attempts);
+            trace_backoff(job->span, delay);
+            sim_.after(delay, [this, job] { run_migrate_unit(job); });
           } else {
             if (job->copy_phase == 0) {
               job->report.files_failed +=
@@ -392,8 +420,10 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
               server_for(job->items[unit.items.front()].path);
           const std::uint64_t cart_id = job->cart->id();
           const std::uint64_t seq = seg->seq;
+          const sim::Tick t_md = sim_.now();
           owner_server.metadata_txn([this, job, unit_oid, cart_id, seq,
-                                     &owner_server] {
+                                     &owner_server, t_md] {
+            trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
             if (const ArchiveObject* obj = owner_server.object(unit_oid)) {
               ArchiveObject updated = *obj;
               updated.copies.push_back(ArchiveObject::Replica{cart_id, seq});
@@ -410,7 +440,8 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
         rec->cart_id = job->cart->id();
         rec->seq = seg->seq;
         record_unit_objects(job, rec);
-      });
+      },
+      job->span);
 }
 
 std::uint64_t HsmSystem::owner_object_id(const std::string& path) {
@@ -448,10 +479,13 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
       rec->agg_offset += item.size;
       rec->member_ids.push_back(obj.object_id);
     }
-    owner.metadata_txn([this, job, rec, obj = std::move(obj), &owner]() mutable {
-      owner.record_object(std::move(obj));
-      record_unit_objects(job, rec);
-    });
+    const sim::Tick t_md = sim_.now();
+    owner.metadata_txn(
+        [this, job, rec, obj = std::move(obj), &owner, t_md]() mutable {
+          trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
+          owner.record_object(std::move(obj));
+          record_unit_objects(job, rec);
+        });
     return;
   }
 
@@ -466,8 +500,10 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
     agg.tape_seq = rec->seq;
     agg.colocation_group = job->group;
     agg.members = rec->member_ids;
+    const sim::Tick t_md = sim_.now();
     server.metadata_txn(
-        [this, job, rec, agg = std::move(agg), &server]() mutable {
+        [this, job, rec, agg = std::move(agg), &server, t_md]() mutable {
+          trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
           server.record_object(std::move(agg));
           record_unit_objects(job, rec);
         });
@@ -598,6 +634,9 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
   job->report.started = sim_.now();
   job->span = obs_->trace().begin_lane(obs::Component::Hsm, "recall", "recall",
                                        sim_.now());
+  // Cross the pftool→HSM boundary: the recall batch hangs off the caller's
+  // job span so the profiler can attribute tape time to that job.
+  obs_->trace().link(options.parent_span, job->span);
   obs_->trace().arg_num(job->span, "paths",
                         static_cast<std::uint64_t>(paths.size()));
 
@@ -705,9 +744,13 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
 
 void HsmSystem::run_recall_cart(std::shared_ptr<RecallJob> job,
                                 std::size_t work_idx) {
-  lib_.acquire_drive([this, job, work_idx](tape::TapeDrive& drive) {
+  const sim::Tick t_req = sim_.now();
+  lib_.acquire_drive([this, job, work_idx, t_req](tape::TapeDrive& drive) {
+    trace_wait(obs::Component::Tape, "drive_wait", job->span, t_req);
     auto& work = job->work[work_idx];
-    lib_.ensure_mounted(drive, *work.cart, [this, job, work_idx, &drive] {
+    const sim::Tick t_m = sim_.now();
+    lib_.ensure_mounted(drive, *work.cart, [this, job, work_idx, &drive, t_m] {
+      trace_wait(obs::Component::Tape, "mount_wait", job->span, t_m);
       run_recall_entry(job, work_idx, 0, drive);
     });
   });
@@ -748,18 +791,25 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
           if ((drive_dead || media_bad) && cfg_.retry.allows(++entry.attempts)) {
             ++job->report.retries;
             const sim::Tick delay = cfg_.retry.delay(entry.attempts);
+            trace_backoff(job->span, delay);
             if (drive_dead) {
               lib_.release_drive(drive);
               sim_.after(delay, [this, job, work_idx, entry_idx] {
-                lib_.acquire_drive(
-                    [this, job, work_idx, entry_idx](tape::TapeDrive& nd) {
-                      tape::TapeDrive* ndp = &nd;
-                      lib_.ensure_mounted(
-                          nd, *job->work[work_idx].cart,
-                          [this, job, work_idx, entry_idx, ndp] {
-                            run_recall_entry(job, work_idx, entry_idx, *ndp);
-                          });
-                    });
+                const sim::Tick t_req = sim_.now();
+                lib_.acquire_drive([this, job, work_idx, entry_idx,
+                                    t_req](tape::TapeDrive& nd) {
+                  trace_wait(obs::Component::Tape, "drive_wait", job->span,
+                             t_req);
+                  tape::TapeDrive* ndp = &nd;
+                  const sim::Tick t_m = sim_.now();
+                  lib_.ensure_mounted(
+                      nd, *job->work[work_idx].cart,
+                      [this, job, work_idx, entry_idx, ndp, t_m] {
+                        trace_wait(obs::Component::Tape, "mount_wait",
+                                   job->span, t_m);
+                        run_recall_entry(job, work_idx, entry_idx, *ndp);
+                      });
+                });
               });
             } else {
               tape::TapeDrive* dp = &drive;
@@ -808,11 +858,14 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
         job->report.bytes += entry.size;
         ++job->report.files_recalled;
         fs_.mark_recalled(entry.path);  // no-op if not punched
+        const sim::Tick t_md = sim_.now();
         server_for(entry.path).metadata_txn([this, job, work_idx, entry_idx,
-                                             &drive] {
+                                             &drive, t_md] {
+          trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
           run_recall_entry(job, work_idx, entry_idx + 1, drive);
         });
-      });
+      },
+      job->span);
 }
 
 void HsmSystem::recall_fallback(
@@ -823,8 +876,11 @@ void HsmSystem::recall_fallback(
   auto resume_batch = [this, job, work_idx, entry_idx, &drive] {
     // Put the batch's cartridge back under the heads (extra mounts are
     // the honest price of chasing replicas mid-batch) and move on.
+    const sim::Tick t_m = sim_.now();
     lib_.ensure_mounted(drive, *job->work[work_idx].cart,
-                        [this, job, work_idx, entry_idx, &drive] {
+                        [this, job, work_idx, entry_idx, &drive, t_m] {
+                          trace_wait(obs::Component::Tape, "mount_wait",
+                                     job->span, t_m);
                           run_recall_entry(job, work_idx, entry_idx + 1, drive);
                         });
   };
@@ -842,9 +898,11 @@ void HsmSystem::recall_fallback(
     recall_fallback(job, work_idx, entry_idx, drive, alts, alt_idx + 1);
     return;
   }
+  const sim::Tick t_alt = sim_.now();
   lib_.ensure_mounted(drive, *alt_cart, [this, job, work_idx, entry_idx,
                                          &drive, alts, alt_idx, alt_cart,
-                                         alt_seq = alt_seq] {
+                                         alt_seq = alt_seq, t_alt] {
+    trace_wait(obs::Component::Tape, "mount_wait", job->span, t_alt);
     auto& entry = job->work[work_idx].entries[entry_idx];
     std::vector<sim::PathLeg> pools =
         data_path(entry.node, entry.path, entry.size);
@@ -869,15 +927,21 @@ void HsmSystem::recall_fallback(
           job->report.bytes += entry.size;
           ++job->report.files_recalled;
           fs_.mark_recalled(entry.path);
+          const sim::Tick t_md = sim_.now();
           server_for(entry.path).metadata_txn(
-              [this, job, work_idx, entry_idx, &drive] {
+              [this, job, work_idx, entry_idx, &drive, t_md] {
+                trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
+                const sim::Tick t_m = sim_.now();
                 lib_.ensure_mounted(
                     drive, *job->work[work_idx].cart,
-                    [this, job, work_idx, entry_idx, &drive] {
+                    [this, job, work_idx, entry_idx, &drive, t_m] {
+                      trace_wait(obs::Component::Tape, "mount_wait", job->span,
+                                 t_m);
                       run_recall_entry(job, work_idx, entry_idx + 1, drive);
                     });
               });
-        });
+        },
+        job->span);
   });
 }
 
@@ -1292,8 +1356,8 @@ void HsmSystem::scrub(integrity::ScrubConfig scfg,
   job->rows = integrity::plan_scrub_order(fixity_, scfg.tape_ordered);
   job->done = std::move(done);
   job->report.started = sim_.now();
-  job->span = obs_->trace().begin_lane(obs::Component::Hsm, "scrub", "scrub",
-                                       sim_.now());
+  job->span = obs_->trace().begin_lane(obs::Component::Integrity, "scrub",
+                                       "scrub", sim_.now());
   obs_->trace().arg_num(job->span, "rows",
                         static_cast<std::uint64_t>(job->rows.size()));
   if (job->rows.empty()) {
@@ -1379,7 +1443,8 @@ void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
             }
           }
           run_scrub_repair(job, row, alts, 0);
-        });
+        },
+        job->span);
   });
 }
 
@@ -1549,22 +1614,24 @@ void HsmSystem::finish_scrub(std::shared_ptr<ScrubJob> job) {
 }
 
 void HsmSystem::account_scrub(const ScrubJob& job) {
+  // All scrub counters live under the integrity.* namespace, matching the
+  // Component::Integrity tag on the scrub span.
   obs::MetricsRegistry& m = obs_->metrics();
-  m.counter("scrub.runs").inc();
-  m.counter("scrub.segments_scanned").add(job.report.segments_scanned);
-  m.counter("scrub.bytes_scanned").add(job.report.bytes_scanned);
+  m.counter("integrity.scrub_runs").inc();
+  m.counter("integrity.scrub_segments_scanned").add(job.report.segments_scanned);
+  m.counter("integrity.scrub_bytes_scanned").add(job.report.bytes_scanned);
   if (job.report.segments_scanned > 0) {
     m.counter("integrity.checksums_verified").add(job.report.segments_scanned);
   }
   if (job.report.mismatches > 0) {
-    m.counter("scrub.mismatches").add(job.report.mismatches);
+    m.counter("integrity.scrub_mismatches").add(job.report.mismatches);
     m.counter("integrity.checksums_mismatches").add(job.report.mismatches);
   }
   if (job.report.repaired() > 0) {
-    m.counter("scrub.repaired").add(job.report.repaired());
+    m.counter("integrity.scrub_repaired").add(job.report.repaired());
   }
   if (job.report.unrepairable > 0) {
-    m.counter("scrub.unrepairable").add(job.report.unrepairable);
+    m.counter("integrity.scrub_unrepairable").add(job.report.unrepairable);
   }
   obs_->trace().arg_num(job.span, "scanned", job.report.segments_scanned);
   obs_->trace().arg_num(job.span, "mismatches", job.report.mismatches);

@@ -97,6 +97,10 @@ struct RecallOptions {
   std::vector<tape::NodeId> nodes = {0};
   /// Cap on cartridges recalled concurrently (each needs a drive).
   unsigned max_parallel_tapes = 0xFFFFFFFFu;
+  /// Caller's trace span (e.g. the pftool job): the recall's span is
+  /// causally linked under it so per-job attribution crosses the HSM
+  /// boundary.  Invalid (default) leaves the recall a DAG root.
+  obs::SpanId parent_span{};
 };
 
 struct RecallReport {
@@ -260,6 +264,15 @@ class HsmSystem : public pfs::DmapiListener {
   void account_recall(const RecallJob& job);
   void account_reclaim(const ReclaimJob& job);
   void account_scrub(const ScrubJob& job);
+
+  /// Records a retroactive wait span [since, now) linked under `parent` —
+  /// used for drive-queue, mount and metadata-transaction waits.  No event
+  /// when the wait was zero ticks (or tracing is off).
+  void trace_wait(obs::Component comp, const char* name, obs::SpanId parent,
+                  sim::Tick since);
+  /// Records the upcoming retry-backoff window [now, now+delay) under
+  /// `parent` so the profiler can attribute fault-handling latency.
+  void trace_backoff(obs::SpanId parent, sim::Tick delay);
 
   void run_scrub_row(std::shared_ptr<ScrubJob> job);
   /// Tries repair sources in lattice order: each alternate tape location

@@ -1,0 +1,231 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "simcore/stats.hpp"
+
+namespace cpa::obs {
+namespace {
+
+// Beyond this the DAG is almost certainly malformed (a cycle would need a
+// backward edge, which link() rejects); the walk degrades to self time so
+// conservation still holds.
+constexpr int kMaxDepth = 64;
+
+std::string fmt_secs(double s) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string fmt_pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Bucket b) {
+  switch (b) {
+    case Bucket::PfsTransfer: return "pfs transfer";
+    case Bucket::TapeMountWait: return "tape mount wait";
+    case Bucket::TapePosition: return "tape position";
+    case Bucket::TapeTransfer: return "tape transfer";
+    case Bucket::DriveQueueWait: return "drive queue wait";
+    case Bucket::Metadata: return "metadata";
+    case Bucket::RetryBackoff: return "retry backoff";
+    case Bucket::SchedulerIdle: return "scheduler idle";
+  }
+  return "?";
+}
+
+sim::Tick CriticalPath::total() const {
+  sim::Tick t = 0;
+  for (const PathSegment& s : segments) t += s.end - s.begin;
+  return t;
+}
+
+sim::Tick JobProfile::bucket_sum() const {
+  sim::Tick t = 0;
+  for (const sim::Tick b : buckets) t += b;
+  return t;
+}
+
+Profiler::Profiler(const TraceRecorder& trace) : trace_(trace) {
+  const std::size_t n = trace_.event_count();
+  children_.assign(n, {});
+  for (const auto& [p, c] : trace_.edges()) {
+    if (p < n && c < n) children_[p].push_back(c);
+  }
+  // The backward walk takes children latest-ending first.
+  for (auto& kids : children_) {
+    std::sort(kids.begin(), kids.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                const sim::Tick ea = trace_.view(a).end;
+                const sim::Tick eb = trace_.view(b).end;
+                if (ea != eb) return ea > eb;
+                return a < b;
+              });
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const TraceRecorder::SpanView v = trace_.view(i);
+    if (v.phase != 'X' || v.comp != Component::Pftool) continue;
+    if (v.track == nullptr || v.track->rfind("job#", 0) != 0) continue;
+    JobProfile jp;
+    jp.root = i;
+    jp.job_class = *v.name;
+    jp.started = v.begin;
+    jp.finished = v.end;
+    if (jp.finished > jp.started) {
+      walk(jp, i, jp.started, jp.finished, false, 0);
+      std::sort(jp.path.segments.begin(), jp.path.segments.end(),
+                [](const PathSegment& a, const PathSegment& b) {
+                  return a.begin < b.begin;
+                });
+    }
+    jobs_.push_back(std::move(jp));
+  }
+}
+
+void Profiler::walk(JobProfile& jp, std::uint32_t s, sim::Tick lo,
+                    sim::Tick hi, bool in_tape, int depth) {
+  const TraceRecorder::SpanView v = trace_.view(s);
+  const bool is_root = s == jp.root;
+  auto emit = [&](sim::Tick b, sim::Tick e) {
+    const Bucket bucket = classify_self(v, is_root, in_tape);
+    jp.buckets[static_cast<std::size_t>(bucket)] += e - b;
+    jp.path.segments.push_back(PathSegment{s, b, e, bucket});
+  };
+  sim::Tick cursor = hi;
+  if (depth < kMaxDepth) {
+    for (const std::uint32_t c : children_[s]) {
+      const TraceRecorder::SpanView cv = trace_.view(c);
+      if (cv.phase != 'X') continue;
+      const sim::Tick ce = std::min(cv.end, cursor);
+      const sim::Tick cb = std::max(cv.begin, lo);
+      if (ce <= cb) continue;  // fully shadowed or outside the window
+      if (ce < cursor) emit(ce, cursor);  // gap: the parent itself was the cause
+      const bool child_tape =
+          in_tape || (cv.comp == Component::Tape &&
+                      (*cv.name == "read" || *cv.name == "write"));
+      walk(jp, c, cb, ce, child_tape, depth + 1);
+      cursor = cb;
+      if (cursor <= lo) break;
+    }
+  }
+  if (cursor > lo) emit(lo, cursor);
+}
+
+Bucket Profiler::classify_self(const TraceRecorder::SpanView& v, bool is_root,
+                               bool in_tape) const {
+  if (is_root) return Bucket::SchedulerIdle;
+  const std::string& n = *v.name;
+  switch (v.comp) {
+    case Component::Net:
+      // A flow's cause decides its bucket: under a tape read/write it is
+      // the drive streaming, otherwise a parallel-file-system transfer.
+      return in_tape ? Bucket::TapeTransfer : Bucket::PfsTransfer;
+    case Component::Tape:
+      if (n == "drive_wait") return Bucket::DriveQueueWait;
+      if (n == "mount_wait" || n == "handoff_wait" || n == "mount" ||
+          n == "unmount" || n == "handoff") {
+        return Bucket::TapeMountWait;
+      }
+      if (n == "position" || n == "seek" || n == "backhitch") {
+        return Bucket::TapePosition;
+      }
+      if (n == "read" || n == "write") return Bucket::TapeTransfer;
+      return Bucket::TapePosition;
+    default:
+      if (n == "retry_backoff") return Bucket::RetryBackoff;
+      return Bucket::Metadata;
+  }
+}
+
+bool Profiler::conservation_ok() const { return violations() == 0; }
+
+std::size_t Profiler::violations() const {
+  std::size_t n = 0;
+  for (const JobProfile& jp : jobs_) {
+    if (!jp.conserved()) ++n;
+  }
+  return n;
+}
+
+std::string Profiler::report(std::size_t top_k) const {
+  std::string out;
+  out += "== pfprof: causal critical-path attribution ==\n";
+  out += "jobs profiled: " + std::to_string(jobs_.size()) + "\n";
+  const std::size_t bad = violations();
+  if (bad == 0) {
+    out += "conservation: OK (every job's buckets sum to its wall-clock)\n";
+  } else {
+    out += "conservation: VIOLATED for " + std::to_string(bad) + " job(s)\n";
+  }
+
+  // Group jobs by class for the percentile and attribution tables.
+  std::map<std::string, std::vector<const JobProfile*>> by_class;
+  for (const JobProfile& jp : jobs_) by_class[jp.job_class].push_back(&jp);
+
+  for (const auto& [cls, js] : by_class) {
+    sim::Samples wall;
+    std::array<sim::Tick, kBucketCount> total{};
+    sim::Tick grand = 0;
+    for (const JobProfile* jp : js) {
+      wall.add(sim::to_seconds(jp->wall()));
+      for (std::size_t b = 0; b < kBucketCount; ++b) total[b] += jp->buckets[b];
+      grand += jp->wall();
+    }
+    out += "\nclass " + cls + "  (n=" + std::to_string(js.size()) + ")\n";
+    out += "  wall-clock seconds: p50=" + fmt_secs(wall.percentile(50)) +
+           "  p95=" + fmt_secs(wall.percentile(95)) +
+           "  p99=" + fmt_secs(wall.percentile(99)) +
+           "  max=" + fmt_secs(wall.max()) + "\n";
+    out += "  bucket                 seconds    share\n";
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      char line[128];
+      const double secs = sim::to_seconds(total[b]);
+      const double share =
+          grand > 0
+              ? static_cast<double>(total[b]) / static_cast<double>(grand)
+              : 0.0;
+      std::snprintf(line, sizeof(line), "  %-20s %10.3f   %s\n",
+                    to_string(static_cast<Bucket>(b)), secs,
+                    fmt_pct(share).c_str());
+      out += line;
+    }
+  }
+
+  // Top-k critical-path spans by exclusive time, aggregated over all jobs.
+  std::map<std::string, std::pair<sim::Tick, std::uint64_t>> agg;
+  for (const JobProfile& jp : jobs_) {
+    for (const PathSegment& s : jp.path.segments) {
+      const TraceRecorder::SpanView v = trace_.view(s.span);
+      auto& slot = agg[std::string(to_string(v.comp)) + "/" + *v.name];
+      slot.first += s.end - s.begin;
+      ++slot.second;
+    }
+  }
+  std::vector<std::pair<std::string, std::pair<sim::Tick, std::uint64_t>>>
+      ranked(agg.begin(), agg.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.first != b.second.first)
+      return a.second.first > b.second.first;
+    return a.first < b.first;
+  });
+  out += "\ntop critical-path spans (exclusive seconds, all jobs)\n";
+  for (std::size_t i = 0; i < ranked.size() && i < top_k; ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %2zu. %-24s %10.3f  (segments=%llu)\n",
+                  i + 1, ranked[i].first.c_str(),
+                  sim::to_seconds(ranked[i].second.first),
+                  static_cast<unsigned long long>(ranked[i].second.second));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cpa::obs

@@ -21,14 +21,20 @@ class ReadDirProc {
 
   void assign(std::string dir) {
     auto* sim = job_.env_.sim;
-    sim->after(job_.cfg_.msg_latency, [this, dir = std::move(dir)] {
+    obs::TraceRecorder& tr = job_.env_.obs->trace();
+    const obs::SpanId sp = tr.begin_lane(obs::Component::Pftool, "readdir",
+                                         "readdir", sim->now());
+    tr.link(job_.span_, sp);
+    sim->after(job_.cfg_.msg_latency, [this, sp, dir = std::move(dir)] {
       auto entries = job_.env_.src_fs->readdir(dir);
       std::vector<pfs::DirEntry> list =
           entries.ok() ? std::move(entries.value()) : std::vector<pfs::DirEntry>{};
       const Tick cost =
           job_.cfg_.readdir_per_entry * std::max<std::size_t>(1, list.size());
       job_.env_.sim->after(cost + job_.cfg_.msg_latency,
-                           [this, dir, list = std::move(list)]() mutable {
+                           [this, sp, dir, list = std::move(list)]() mutable {
+                             job_.env_.obs->trace().end(sp,
+                                                        job_.env_.sim->now());
                              job_.on_dir_listed(this, dir, std::move(list));
                            });
     });
@@ -50,9 +56,13 @@ class WorkerProc {
 
   void assign_stat(std::vector<std::string> paths) {
     auto* sim = job_.env_.sim;
+    obs::TraceRecorder& tr = job_.env_.obs->trace();
+    const obs::SpanId sp =
+        tr.begin_lane(obs::Component::Pftool, "stat", "stat", sim->now());
+    tr.link(job_.span_, sp);
     const Tick cost = job_.cfg_.msg_latency +
                       job_.cfg_.stat_cost * std::max<std::size_t>(1, paths.size());
-    sim->after(cost, [this, paths = std::move(paths)] {
+    sim->after(cost, [this, sp, paths = std::move(paths)] {
       std::vector<PftoolJob::FileMeta> metas;
       metas.reserve(paths.size());
       for (const std::string& p : paths) {
@@ -66,7 +76,9 @@ class WorkerProc {
         metas.push_back(std::move(m));
       }
       job_.env_.sim->after(job_.cfg_.msg_latency,
-                           [this, metas = std::move(metas)]() mutable {
+                           [this, sp, metas = std::move(metas)]() mutable {
+                             job_.env_.obs->trace().end(sp,
+                                                        job_.env_.sim->now());
                              job_.on_stated(this, std::move(metas));
                            });
     });
@@ -74,6 +86,12 @@ class WorkerProc {
 
   void assign_work(PftoolJob::WorkItem item) {
     auto* sim = job_.env_.sim;
+    obs::TraceRecorder& tr = job_.env_.obs->trace();
+    item.span = tr.begin_lane(
+        obs::Component::Pftool, "chunk",
+        item.kind == PftoolJob::WorkItem::Kind::Compare ? "compare" : "chunk",
+        sim->now());
+    tr.link(job_.span_, item.span);
     sim->after(job_.cfg_.msg_latency, [this, item = std::move(item)] {
       if (item.kind == PftoolJob::WorkItem::Kind::Compare) {
         run_compare(item);
@@ -126,6 +144,10 @@ class WorkerProc {
                            ? job_.cfg_.per_stream_max_bps
                            : cpa::sim::FlowNetwork::kUnlimited;
     inflight_ = item;
+    // The flow probe records the transfer span; parent context links it
+    // under this chunk so the profiler sees job -> chunk -> flow.
+    obs::TraceRecorder& tr = job_.env_.obs->trace();
+    tr.push_parent(item.span);
     flow_ = job_.env_.net->start_flow(
         std::move(path), static_cast<double>(item.chunk.bytes),
         [this, item](const cpa::sim::FlowStats&) {
@@ -143,6 +165,7 @@ class WorkerProc {
           });
         },
         cap);
+    tr.pop_parent();
     has_flow_ = true;
   }
 
@@ -216,6 +239,7 @@ class TapeRestoreProc {
       opts.assignment = hsm::RecallOptions::Assignment::TapeAffinity;
       opts.nodes = {node_};
       opts.max_parallel_tapes = 1;
+      opts.parent_span = job_.span_;
       job_.env_.hsm->recall(
           std::move(paths), opts,
           [this, metas = std::move(metas)](const hsm::RecallReport& r) mutable {
@@ -633,6 +657,7 @@ void PftoolJob::plan_copy(const FileMeta& meta) {
 
 void PftoolJob::on_chunk_done(WorkerProc* w, const WorkItem& item, bool ok) {
   if (finished_) return;
+  env_.obs->trace().end(item.span, env_.sim->now());
   idle_workers_.push_back(w);
   auto it = pending_files_.find(item.dst);
   if (it == pending_files_.end()) {
@@ -651,7 +676,14 @@ void PftoolJob::on_chunk_done(WorkerProc* w, const WorkItem& item, bool ok) {
       ++pending_retries_;
       WorkItem again = item;
       ++again.attempt;
-      env_.sim->after(cfg_.retry.delay(again.attempt),
+      const Tick delay = cfg_.retry.delay(again.attempt);
+      // The backoff window itself is a cause of job latency: record it so
+      // the profiler can attribute it (RetryBackoff bucket).
+      obs::TraceRecorder& tr = env_.obs->trace();
+      tr.link(span_, tr.complete(obs::Component::Pftool, "retry",
+                                 "retry_backoff", env_.sim->now(),
+                                 env_.sim->now() + delay));
+      env_.sim->after(delay,
                       [this, again = std::move(again)]() mutable {
                         --pending_retries_;
                         if (finished_) return;
@@ -723,9 +755,10 @@ void PftoolJob::finalize_file(const std::string& dst) {
   }
 }
 
-void PftoolJob::on_compared(WorkerProc* w, const WorkItem&, bool comparable,
-                            bool match) {
+void PftoolJob::on_compared(WorkerProc* w, const WorkItem& item,
+                            bool comparable, bool match) {
   if (finished_) return;
+  env_.obs->trace().end(item.span, env_.sim->now());
   idle_workers_.push_back(w);
   if (!comparable) {
     ++report_.files_failed;

@@ -112,6 +112,9 @@ class PftoolJob {
     cpa::sim::PoolId shared_dst_pool{};
     /// Failed attempts so far (chunk retry bookkeeping).
     unsigned attempt = 0;
+    /// Trace span covering assignment through completion, causally linked
+    /// under the job's root span.  Invalid when tracing is off.
+    obs::SpanId span{};
   };
 
   void on_dir_listed(ReadDirProc* rd, const std::string& dir,

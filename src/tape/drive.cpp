@@ -135,19 +135,34 @@ void TapeDrive::unmount(std::function<void()> done) {
 
 void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
                              std::uint64_t bytes, std::vector<sim::PathLeg> path,
-                             std::function<void(const Segment*)> done) {
-  enqueue([this, node, object_id, bytes, path = std::move(path),
+                             std::function<void(const Segment*)> done,
+                             obs::SpanId parent) {
+  const sim::Tick enq = sim_.now();
+  enqueue([this, node, object_id, bytes, enq, parent, path = std::move(path),
            done = std::move(done)](std::function<void()> next) mutable {
     if (failed_ || cartridge_ == nullptr || !cartridge_->fits(bytes)) {
       if (done) done(nullptr);
       next();
       return;
     }
+    obs::TraceRecorder& tr = obs_->trace();
+    if (sim_.now() > enq) {
+      // The op sat behind earlier ops in the drive's FIFO.
+      tr.link(parent, tr.complete(obs::Component::Tape, name_, "drive_wait",
+                                  enq, sim_.now()));
+    }
     const obs::SpanId sp =
-        obs_->trace().begin(obs::Component::Tape, name_, "write", sim_.now());
-    obs_->trace().arg_num(sp, "bytes", bytes);
-    with_ownership(node, [this, object_id, bytes, path = std::move(path), done,
-                          next, sp]() mutable {
+        tr.begin(obs::Component::Tape, name_, "write", sim_.now());
+    tr.link(parent, sp);
+    tr.arg_num(sp, "bytes", bytes);
+    const sim::Tick own0 = sim_.now();
+    with_ownership(node, [this, object_id, bytes, own0, path = std::move(path),
+                          done, next, sp]() mutable {
+      obs::TraceRecorder& tr = obs_->trace();
+      if (sim_.now() > own0) {
+        tr.link(sp, tr.complete(obs::Component::Tape, name_, "handoff_wait",
+                                own0, sim_.now()));
+      }
       // Position to end-of-data for the append.
       const std::uint64_t end = cartridge_->bytes_used();
       const sim::Tick seek = timings_.seek_time(position_, end);
@@ -156,6 +171,8 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
         stats_.seek_time += seek;
         c_seeks_->inc();
         g_seek_seconds_->add(sim::to_seconds(seek));
+        tr.link(sp, tr.complete(obs::Component::Tape, name_, "position",
+                                sim_.now(), sim_.now() + seek));
       }
       position_ = end;
       sim_.after(seek, [this, object_id, bytes, path = std::move(path), done,
@@ -169,6 +186,10 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
         }
         path.push_back(rate_pool_);
         const sim::Tick t0 = sim_.now();
+        // Parent context links the transfer flow's probe span under the
+        // write span (the profiler buckets it as tape transfer).
+        obs::TraceRecorder& tr = obs_->trace();
+        tr.push_parent(sp);
         const sim::FlowId fid = net_.start_flow(
             std::move(path), static_cast<double>(bytes),
             [this, object_id, bytes, t0, done, next, sp](const sim::FlowStats&) {
@@ -188,12 +209,17 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
               stats_.backhitch_time += timings_.backhitch;
               c_backhitches_->inc();
               g_backhitch_seconds_->add(sim::to_seconds(timings_.backhitch));
+              obs::TraceRecorder& tr = obs_->trace();
+              tr.link(sp, tr.complete(obs::Component::Tape, name_, "position",
+                                      sim_.now(),
+                                      sim_.now() + timings_.backhitch));
               sim_.after(timings_.backhitch, [this, done, seg, next, sp] {
                 obs_->trace().end(sp, sim_.now());
                 if (done) done(&seg);
                 next();
               });
             });
+        tr.pop_parent();
         interrupt_ = [this, fid, done, next, sp] {
           // abort_flow() fails when the flow's completion is already
           // queued (degenerate 0-byte flows); let it run normally then.
@@ -209,8 +235,10 @@ void TapeDrive::write_object(NodeId node, std::uint64_t object_id,
 
 void TapeDrive::read_object(NodeId node, std::uint64_t seq,
                             std::vector<sim::PathLeg> path,
-                            std::function<void(const Segment*)> done) {
-  enqueue([this, node, seq, path = std::move(path),
+                            std::function<void(const Segment*)> done,
+                            obs::SpanId parent) {
+  const sim::Tick enq = sim_.now();
+  enqueue([this, node, seq, enq, parent, path = std::move(path),
            done = std::move(done)](std::function<void()> next) mutable {
     const Segment* seg = !failed_ && cartridge_ != nullptr &&
                                  !cartridge_->damaged()
@@ -221,11 +249,24 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
       next();
       return;
     }
+    obs::TraceRecorder& tr = obs_->trace();
+    if (sim_.now() > enq) {
+      // The op sat behind earlier ops in the drive's FIFO.
+      tr.link(parent, tr.complete(obs::Component::Tape, name_, "drive_wait",
+                                  enq, sim_.now()));
+    }
     const obs::SpanId sp =
-        obs_->trace().begin(obs::Component::Tape, name_, "read", sim_.now());
-    obs_->trace().arg_num(sp, "bytes", seg->bytes);
-    with_ownership(node, [this, seg, path = std::move(path), done, next,
+        tr.begin(obs::Component::Tape, name_, "read", sim_.now());
+    tr.link(parent, sp);
+    tr.arg_num(sp, "bytes", seg->bytes);
+    const sim::Tick own0 = sim_.now();
+    with_ownership(node, [this, seg, own0, path = std::move(path), done, next,
                           sp]() mutable {
+      obs::TraceRecorder& tr = obs_->trace();
+      if (sim_.now() > own0) {
+        tr.link(sp, tr.complete(obs::Component::Tape, name_, "handoff_wait",
+                                own0, sim_.now()));
+      }
       sim::Tick pre = 0;
       if (position_ != seg->offset) {
         // Non-sequential access: locate plus a repositioning stop.
@@ -240,6 +281,8 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
         g_backhitch_seconds_->add(sim::to_seconds(timings_.backhitch));
         pre = seek + timings_.backhitch;
         position_ = seg->offset;
+        tr.link(sp, tr.complete(obs::Component::Tape, name_, "position",
+                                sim_.now(), sim_.now() + pre));
       }
       const Segment segv = *seg;  // copy against vector reallocation
       sim_.after(pre, [this, segv, path = std::move(path), done, next,
@@ -253,6 +296,8 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
         }
         path.push_back(rate_pool_);
         const sim::Tick t0 = sim_.now();
+        obs::TraceRecorder& tr = obs_->trace();
+        tr.push_parent(sp);
         const sim::FlowId fid = net_.start_flow(
             std::move(path), static_cast<double>(segv.bytes),
             [this, segv, t0, done, next, sp](const sim::FlowStats&) {
@@ -267,6 +312,7 @@ void TapeDrive::read_object(NodeId node, std::uint64_t seq,
               if (done) done(&segv);
               next();
             });
+        tr.pop_parent();
         interrupt_ = [this, fid, done, next, sp] {
           if (!net_.abort_flow(fid)) return;
           obs_->trace().end(sp, sim_.now());

@@ -79,17 +79,21 @@ class TapeDrive {
   /// Appends an object to the mounted cartridge from `node`, streaming the
   /// bytes through `path` (SAN / HBA pools).  The per-transaction stop
   /// (backhitch) is charged afterwards.  Fails (done(nullptr)) if no
-  /// cartridge is mounted or it cannot fit the object.
+  /// cartridge is mounted or it cannot fit the object.  `parent` causally
+  /// links the op (and its queue-wait/position sub-spans) under the
+  /// caller's span for the critical-path profiler.
   void write_object(NodeId node, std::uint64_t object_id, std::uint64_t bytes,
                     std::vector<sim::PathLeg> path,
-                    std::function<void(const Segment*)> done);
+                    std::function<void(const Segment*)> done,
+                    obs::SpanId parent = {});
 
   /// Reads the segment with sequence number `seq` from `node`.  Reading
   /// the physically next segment streams without a seek or backhitch;
   /// anything else pays a locate.  done(nullptr) when seq is absent.
   void read_object(NodeId node, std::uint64_t seq,
                    std::vector<sim::PathLeg> path,
-                   std::function<void(const Segment*)> done);
+                   std::function<void(const Segment*)> done,
+                   obs::SpanId parent = {});
 
  private:
   void enqueue(std::function<void(std::function<void()>)> op);

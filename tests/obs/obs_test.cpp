@@ -115,6 +115,138 @@ TEST(TraceRecorder, JsonEscapesControlAndQuoteCharacters) {
   EXPECT_NE(json.find("/a\\nb\\tc"), std::string::npos);
 }
 
+TEST(Component, ToStringCoversEveryEnumerator) {
+  // One name per enumerator, in declaration order; a new component must
+  // extend both the enum and this table (and kComponentCount).
+  static const char* const kNames[] = {"sim",  "net",    "pfs",
+                                       "hsm",  "tape",   "pftool",
+                                       "fuse", "fault",  "integrity"};
+  static_assert(std::size(kNames) == kComponentCount);
+  for (unsigned i = 0; i < kComponentCount; ++i) {
+    EXPECT_STREQ(to_string(static_cast<Component>(i)), kNames[i]);
+  }
+  EXPECT_STREQ(to_string(Component::Integrity), "integrity");
+}
+
+TEST(TraceRecorder, ClearResetsLaneAllocatorsAndTracks) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin_lane(Component::Net, "flow", "a", sim::secs(0));
+  tr.begin_lane(Component::Net, "flow", "b", sim::secs(0));
+  ASSERT_EQ(tr.track_count(), 2u);
+  ASSERT_EQ(tr.lane_group_count(), 1u);
+  const std::uint32_t epoch0 = tr.epoch();
+
+  tr.clear();
+  EXPECT_EQ(tr.event_count(), 0u);
+  EXPECT_EQ(tr.track_count(), 0u);
+  EXPECT_EQ(tr.lane_group_count(), 0u);
+  EXPECT_GT(tr.epoch(), epoch0);
+  tr.end(a, sim::secs(9));  // stale handle from before clear(): inert
+  EXPECT_EQ(tr.event_count(), 0u);
+
+  // A fresh lane span must start over at lane 0, not resume old state.
+  const SpanId c = tr.begin_lane(Component::Net, "flow", "c", sim::secs(1));
+  tr.end(c, sim::secs(2));
+  EXPECT_EQ(tr.track_count(), 1u);
+  EXPECT_NE(tr.csv().find("net,flow#0,X,c"), std::string::npos);
+}
+
+TEST(TraceRecorder, DoubleEndDoesNotFreeAnotherSpansLane) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin_lane(Component::Net, "flow", "a", sim::secs(0));
+  tr.end(a, sim::secs(1));
+  // b takes the freed lane 0.  If the second end(a) freed the lane again,
+  // c would alias b's lane and the two open spans would overlap on one
+  // exported thread.
+  const SpanId b = tr.begin_lane(Component::Net, "flow", "b", sim::secs(2));
+  tr.end(a, sim::secs(3));
+  const SpanId c = tr.begin_lane(Component::Net, "flow", "c", sim::secs(3));
+  tr.end(b, sim::secs(4));
+  tr.end(c, sim::secs(4));
+  EXPECT_EQ(tr.track_count(), 2u);  // flow#0 (a, b) and flow#1 (c)
+  EXPECT_NE(tr.csv().find("net,flow#1,X,c"), std::string::npos);
+}
+
+TEST(TraceRecorder, LinkRecordsOnlyForwardCurrentEpochEdges) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin(Component::Pftool, "job#0", "pfcp", sim::secs(0));
+  const SpanId b = tr.begin(Component::Hsm, "recall", "recall", sim::secs(1));
+  tr.link(b, a);         // backwards: rejected (graph must stay acyclic)
+  tr.link(a, SpanId{});  // invalid child: no-op
+  tr.link(SpanId{}, b);  // invalid parent: no-op
+  EXPECT_EQ(tr.edge_count(), 0u);
+  tr.link(a, b);
+  ASSERT_EQ(tr.edge_count(), 1u);
+  EXPECT_EQ(tr.edges()[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+
+  tr.clear();
+  tr.link(a, b);  // both handles are stale now
+  EXPECT_EQ(tr.edge_count(), 0u);
+}
+
+TEST(TraceRecorder, ParentContextAutoLinksNewSpans) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId job = tr.begin(Component::Pftool, "job#0", "pfcp", sim::secs(0));
+  tr.push_parent(job);
+  const SpanId flow =
+      tr.begin_lane(Component::Net, "flow", "transfer", sim::secs(1));
+  tr.pop_parent();
+  const SpanId after =
+      tr.begin_lane(Component::Net, "flow", "other", sim::secs(1));
+  tr.end(flow, sim::secs(2));
+  tr.end(after, sim::secs(2));
+  tr.end(job, sim::secs(3));
+  ASSERT_EQ(tr.edge_count(), 1u);  // only the span inside the window linked
+  EXPECT_EQ(tr.edges()[0].first, 0u);
+  EXPECT_EQ(tr.edges()[0].second, 1u);
+}
+
+TEST(TraceRecorder, ChromeJsonRendersEdgesAsFlowArrows) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin(Component::Pftool, "job#0", "pfcp", sim::usecs(1));
+  const SpanId b = tr.complete(Component::Tape, "d0", "read", sim::usecs(2),
+                               sim::usecs(5));
+  tr.link(a, b);
+  tr.end(a, sim::usecs(6));
+  const std::string json = tr.chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"causal\""), std::string::npos);
+}
+
+TEST(TraceRecorder, SaveLoadRoundTripsEventsArgsAndEdges) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const SpanId a = tr.begin(Component::Pftool, "job#0", "pfcp", sim::secs(0));
+  tr.arg(a, "src", "/scratch a\nweird");
+  tr.arg_num(a, "files", std::uint64_t{7});
+  const SpanId b =
+      tr.begin_lane(Component::Tape, "drive", "read", sim::secs(1));
+  tr.link(a, b);
+  tr.instant(Component::Sim, "clock", "tick", sim::secs(2));
+  tr.end(b, sim::secs(3));
+  tr.end(a, sim::secs(4));
+
+  TraceRecorder back;
+  ASSERT_TRUE(back.deserialize(tr.serialize()));
+  EXPECT_EQ(back.event_count(), tr.event_count());
+  EXPECT_EQ(back.track_count(), tr.track_count());
+  EXPECT_EQ(back.edge_count(), tr.edge_count());
+  EXPECT_EQ(back.edges(), tr.edges());
+  EXPECT_EQ(back.csv(), tr.csv());
+  EXPECT_EQ(back.chrome_json(), tr.chrome_json());
+
+  TraceRecorder bad;
+  EXPECT_FALSE(bad.deserialize("not a trace"));
+  EXPECT_EQ(bad.event_count(), 0u);
+}
+
 TEST(MetricsRegistry, RegistrationIsIdempotent) {
   MetricsRegistry m;
   Counter& c1 = m.counter("tape.mounts");
@@ -159,6 +291,27 @@ TEST(MetricsRegistry, SummaryIsSortedAndComplete) {
   EXPECT_EQ(s.substr(a, s.find('\n', a) - a).back(), '1');
   EXPECT_EQ(s.substr(b, s.find('\n', b) - b).back(), '7');
   EXPECT_NE(s.find("2.500"), std::string::npos);
+}
+
+TEST(MetricsRegistry, StatsAgreeWithRetainedSamples) {
+  // The online mean/min/max/count must match the exact retained-sample
+  // path for the same stream — pfprof's percentile tables and the metrics
+  // summary must never tell different stories about the same series.
+  MetricsRegistry m;
+  sim::Samples exact;
+  sim::OnlineStats& online = m.stats("job.seconds");
+  sim::Samples& retained = m.series("job.seconds");
+  for (const double x : {4.0, 1.0, 9.0, 9.0, 2.5, 7.75}) {
+    online.add(x);
+    retained.add(x);
+    exact.add(x);
+  }
+  EXPECT_EQ(online.count(), exact.count());
+  EXPECT_DOUBLE_EQ(online.mean(), exact.mean());
+  EXPECT_DOUBLE_EQ(online.min(), exact.min());
+  EXPECT_DOUBLE_EQ(online.max(), exact.max());
+  EXPECT_DOUBLE_EQ(retained.percentile(100), online.max());
+  EXPECT_DOUBLE_EQ(retained.percentile(0), online.min());
 }
 
 TEST(Observer, NilSinkAbsorbsEverything) {

@@ -36,6 +36,50 @@ TEST(Samples, PercentilesInterpolate) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(Samples, SingleSampleIsEveryPercentile) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Samples, EmptyPercentileIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Samples, DuplicatesInterpolateOnRankNotValue) {
+  Samples s;
+  for (const double x : {3.0, 2.0, 2.0, 1.0}) s.add(x);  // sorted: 1 2 2 3
+  // rank = p/100 * (n-1); linear interpolation between neighbors.
+  EXPECT_NEAR(s.percentile(50), 2.0, 1e-12);    // rank 1.5: between the 2s
+  EXPECT_NEAR(s.percentile(95), 2.85, 1e-12);   // rank 2.85: 2 + 0.85
+  EXPECT_NEAR(s.percentile(99), 2.97, 1e-12);   // rank 2.97
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.0);
+}
+
+TEST(Samples, AllEqualSamplesAreFlat) {
+  Samples s;
+  for (int i = 0; i < 5; ++i) s.add(7.0);
+  for (const double p : {0.0, 13.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(p), 7.0);
+  }
+}
+
+TEST(Samples, ExactTailPercentilesOnKnownSet) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);  // ranks 0..99 hold 1..100
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);  // rank 94.05
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);  // rank 98.01
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
 TEST(Samples, AddAfterPercentileResorts) {
   Samples s;
   s.add(10);
