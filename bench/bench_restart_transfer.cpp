@@ -117,8 +117,8 @@ int run_fault_matrix(const std::string& spec) {
   // so recovery must hand back bit-correct data, not just "a" file.
   archive::JobHandle job = sys.submit(
       archive::JobSpec::pfcp("/scratch/data", "/proj/data")
-          .restartable()
-          .verified()
+          .with_restartable()
+          .with_verified()
           .with_retry(rp));
   sys.sim().run();
 

@@ -174,7 +174,7 @@ CampaignResult run_campaign(const CampaignOptions& opts) {
           archive::JobSpec::pfcp(src, dst).with_config(job_cfg);
       if (faulty) {
         // Ride faults out: journal the transfer and relaunch failed jobs.
-        js.restartable().with_retry(fault::RetryPolicy::standard());
+        js.with_restartable().with_retry(fault::RetryPolicy::standard());
       }
       handles[i] = sys.submit(std::move(js));
       handles[i].on_done([&result, i](const pftool::JobReport& r) {

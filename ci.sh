@@ -62,6 +62,14 @@ done
 echo "== Scrub smoke (ASan) =="
 ./build-asan/bench/bench_scrub --smoke --json=build-asan/BENCH_scrub.json
 
+# Fair-share smoke (under the sanitizer build): a bulk recall storm vs
+# staggered interactive restores, FIFO vs the admission scheduler.  The
+# bench exits non-zero if interactive p99 isolation drops below 5x, a job
+# starves past the aging bound, or the profiler's conservation invariant
+# breaks with the admission-wait bucket in play.
+echo "== Fair-share smoke (ASan) =="
+./build-asan/bench/bench_fairshare --smoke --json=build-asan/BENCH_fairshare.json
+
 # Attribution-conservation gate (under the sanitizer build): run the
 # causal critical-path profiler over the fig10 campaign and require that
 # every job's bucket decomposition sums exactly, in virtual ticks, to its
@@ -80,6 +88,7 @@ if [[ "${CPA_UPDATE_BASELINE:-0}" == "1" ]]; then
   mkdir -p "$BASELINES"
   cp build-release/BENCH_flow_churn.json "$BASELINES/BENCH_flow_churn.json"
   cp build-asan/BENCH_scrub.json "$BASELINES/BENCH_scrub.json"
+  cp build-asan/BENCH_fairshare.json "$BASELINES/BENCH_fairshare.json"
   echo "baselines regenerated in $BASELINES"
 else
   # Churn speedup is wall-clock derived, so only a collapse (for example
@@ -88,6 +97,12 @@ else
   "$REGRESS" --baseline="$BASELINES/BENCH_flow_churn.json" \
     --fresh=build-release/BENCH_flow_churn.json --key=flows \
     --metric=pools --metric=speedup:75:higher
+  # Fair-share latencies are virtual-time deterministic, but the ratio is
+  # the headline: only an isolation collapse should trip the gate.
+  "$REGRESS" --baseline="$BASELINES/BENCH_fairshare.json" \
+    --fresh=build-asan/BENCH_fairshare.json --key=mode \
+    --metric=bulk_jobs --metric=interactive_jobs \
+    --metric=p99_ratio:40:higher
   # Scrub verdict counts are virtual-time deterministic: exact equality.
   "$REGRESS" --baseline="$BASELINES/BENCH_scrub.json" \
     --fresh=build-asan/BENCH_scrub.json --key=scenario \

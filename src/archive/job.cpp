@@ -6,6 +6,8 @@ const char* to_string(JobState s) {
   switch (s) {
     case JobState::Pending:
       return "pending";
+    case JobState::Queued:
+      return "queued";
     case JobState::Running:
       return "running";
     case JobState::Retrying:
@@ -14,6 +16,10 @@ const char* to_string(JobState s) {
       return "succeeded";
     case JobState::Failed:
       return "failed";
+    case JobState::Cancelled:
+      return "cancelled";
+    case JobState::Rejected:
+      return "rejected";
   }
   return "?";
 }
@@ -47,12 +53,12 @@ JobSpec JobSpec::pfcm(std::string src, std::string dst) {
   return s;
 }
 
-JobSpec& JobSpec::restartable(bool on) {
+JobSpec& JobSpec::with_restartable(bool on) {
   restart_override = on;
   return *this;
 }
 
-JobSpec& JobSpec::verified(bool on) {
+JobSpec& JobSpec::with_verified(bool on) {
   verify_override = on;
   return *this;
 }
@@ -68,6 +74,14 @@ const pftool::JobReport& JobHandle::await() {
     }
   }
   return report();
+}
+
+bool JobHandle::cancel() {
+  if (rec_ == nullptr || rec_->state != JobState::Queued || !rec_->cancel_hook) {
+    return false;
+  }
+  rec_->cancel_hook();
+  return rec_->state == JobState::Cancelled;
 }
 
 JobHandle& JobHandle::on_done(std::function<void(const pftool::JobReport&)> fn) {

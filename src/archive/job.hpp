@@ -21,6 +21,7 @@
 #include "pftool/core/options.hpp"
 #include "pftool/core/report.hpp"
 #include "pftool/sim/job.hpp"
+#include "sched/qos.hpp"
 
 namespace cpa::archive {
 
@@ -28,22 +29,29 @@ class CotsParallelArchive;
 
 enum class JobState : std::uint8_t {
   Pending,    // submitted, first attempt not yet launched
+  Queued,     // waiting in the admission scheduler's queue
   Running,    // an attempt is executing
   Retrying,   // an attempt failed; the next one is waiting out its backoff
   Succeeded,  // final attempt finished with no failed files
   Failed,     // attempts exhausted (or policy allowed none)
+  Cancelled,  // cancelled while still Queued (never launched)
+  Rejected,   // admission queue full at submit (never launched)
 };
 
 [[nodiscard]] const char* to_string(JobState s);
 
-/// What to run.  Build with the static constructors, refine with the
-/// fluent `with_*` methods, hand to CotsParallelArchive::submit().
+/// What to run, and for whom.  Build with the static constructors, refine
+/// with the fluent `with_*` methods, hand to CotsParallelArchive::submit().
 struct JobSpec {
   pftool::sim::Command command = pftool::sim::Command::Pfcp;
   std::string src;
   std::string dst;
   /// archive -> scratch (engages TapeProcs for migrated files).
   bool restore_direction = false;
+  /// Tenant and QoS class the admission scheduler charges this job to
+  /// (ignored when SystemConfig::sched is disabled).
+  std::string tenant = "default";
+  sched::QosClass qos = sched::QosClass::Interactive;
   /// Overrides the system-wide PftoolConfig when set.
   std::optional<pftool::PftoolConfig> config;
   /// Overrides the resolved config's `restartable` flag when set (keeps
@@ -68,12 +76,20 @@ struct JobSpec {
     retry = policy;
     return *this;
   }
+  JobSpec& with_tenant(std::string name) {
+    tenant = std::move(name);
+    return *this;
+  }
+  JobSpec& with_qos(sched::QosClass q) {
+    qos = q;
+    return *this;
+  }
   /// Journal the transfer so interrupted attempts (and relaunches) skip
   /// chunks already copied.
-  JobSpec& restartable(bool on = true);
+  JobSpec& with_restartable(bool on = true);
   /// End-to-end fixity verification: recompute-and-compare after every
   /// copy; restores carry the archive's recall fixity verdict.
-  JobSpec& verified(bool on = true);
+  JobSpec& with_verified(bool on = true);
 };
 
 namespace detail {
@@ -89,13 +105,20 @@ struct JobRecord {
   pftool::JobReport last_report;
   std::vector<std::function<void(const pftool::JobReport&)>> callbacks;
   std::unique_ptr<pftool::sim::PftoolJob> active;
-  /// Legacy start_pfcp() caller holds a PftoolJob&: keep `active` alive
-  /// after completion and never reap this record.
-  bool pinned = false;
   sim::Simulation* sim = nullptr;
+  /// When the job was submitted; a queued launch opens the root span here
+  /// so the admission wait shows up in the profile.
+  sim::Tick submitted_at = 0;
+  /// Went through the admission queue (first attempt records the
+  /// admission_wait span).
+  bool was_queued = false;
+  /// Installed by the system while the job is Queued; cancels it at the
+  /// scheduler and flips the state to Cancelled.  Cleared at launch.
+  std::function<void()> cancel_hook;
 
   [[nodiscard]] bool done() const {
-    return state == JobState::Succeeded || state == JobState::Failed;
+    return state == JobState::Succeeded || state == JobState::Failed ||
+           state == JobState::Cancelled || state == JobState::Rejected;
   }
 };
 
@@ -127,6 +150,11 @@ class JobHandle {
   /// Steps the simulation until this job is done; other submitted jobs
   /// progress alongside.  Returns the final report.
   const pftool::JobReport& await();
+
+  /// Cancels the job if it is still waiting in the admission queue; a job
+  /// that already launched keeps running (no mid-flight abort).  Returns
+  /// true when the job ends up Cancelled.
+  bool cancel();
 
   /// Registers a completion hook; fires once, with the final report, when
   /// the job reaches Succeeded/Failed.  Registering on an already-done

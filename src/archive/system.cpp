@@ -64,6 +64,17 @@ CotsParallelArchive::CotsParallelArchive(SystemConfig cfg)
   hsm_->set_observer(*obs_);
   fuse_->set_observer(*obs_);
   policy_.set_observer(*obs_);
+  if (cfg_.sched.enabled) {
+    // Per-tenant PFS bandwidth fractions are carved out of the trunk
+    // aggregate: the scheduler adds one shaper pool per capped tenant.
+    const double total_pfs_bps = static_cast<double>(cfg_.cluster.trunk_count) *
+                                 cfg_.cluster.trunk_bps;
+    sched_ = std::make_unique<sched::AdmissionScheduler>(
+        sim_, net_, *obs_, cfg_.sched, total_pfs_bps);
+    sched_->set_launcher([this](std::uint64_t id) { launch_admitted(id); });
+    library_->set_arbiter(sched_.get());
+    hsm_->set_scheduler(sched_.get());
+  }
   wire_fault_targets();
   injector_.arm(cfg_.fault_plan);
 }
@@ -170,16 +181,58 @@ JobHandle CotsParallelArchive::submit(JobSpec spec) {
     rec->cfg.verify_fixity = *spec.verify_override;
   }
   rec->spec = std::move(spec);
+  rec->submitted_at = sim_.now();
   jobs_.push_back(rec);
-  launch_attempt(rec);
+  if (sched_ == nullptr) {
+    launch_attempt(rec);
+    return JobHandle(rec);
+  }
+  const sched::AdmissionScheduler::Offer offer =
+      sched_->offer(rec->id, rec->spec.tenant, rec->spec.qos);
+  switch (offer) {
+    case sched::AdmissionScheduler::Offer::Rejected:
+      // Backpressure: the bounded queue is full.  Terminal immediately;
+      // on_done hooks registered on the handle fire right away.
+      rec->state = JobState::Rejected;
+      break;
+    case sched::AdmissionScheduler::Offer::Queued:
+    case sched::AdmissionScheduler::Offer::Admitted: {
+      // Even an immediately-admitted job goes through Queued: the launch
+      // itself is deferred one event so admission never reenters submit().
+      rec->state = JobState::Queued;
+      std::weak_ptr<detail::JobRecord> weak = rec;
+      rec->cancel_hook = [this, weak] {
+        auto sp = weak.lock();
+        if (!sp || sp->state != JobState::Queued) return;
+        if (!sched_->cancel(sp->id)) return;  // already leaving the queue
+        sp->state = JobState::Cancelled;
+        sp->cancel_hook = nullptr;
+        auto callbacks = std::move(sp->callbacks);
+        sp->callbacks.clear();
+        for (auto& cb : callbacks) cb(sp->last_report);
+      };
+      break;
+    }
+  }
   return JobHandle(rec);
+}
+
+void CotsParallelArchive::launch_admitted(std::uint64_t job_id) {
+  for (const std::shared_ptr<detail::JobRecord>& rec : jobs_) {
+    if (rec->id != job_id) continue;
+    if (rec->state != JobState::Queued) return;  // cancelled in the meantime
+    rec->was_queued = true;
+    rec->cancel_hook = nullptr;
+    launch_attempt(rec);
+    return;
+  }
 }
 
 std::size_t CotsParallelArchive::reap_finished() {
   const std::size_t before = jobs_.size();
   jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
                              [](const std::shared_ptr<detail::JobRecord>& r) {
-                               return r->done() && !r->pinned;
+                               return r->done();
                              }),
               jobs_.end());
   return before - jobs_.size();
@@ -200,6 +253,17 @@ void CotsParallelArchive::launch_attempt(
                                                  : archive_.get();
     env.dst_fs = env.src_fs;
   }
+  env.tenant = rec->spec.tenant;
+  env.qos = rec->spec.qos;
+  if (sched_ != nullptr) {
+    env.shaper_legs = sched_->shaper_legs(rec->spec.tenant);
+  }
+  if (rec->attempts == 1) {
+    // Only the first attempt accounts the admission wait; relaunches open
+    // their span at the relaunch instant as before.
+    env.was_queued = rec->was_queued;
+    env.queued_since = rec->submitted_at;
+  }
   // The job's completion callback holds only a weak reference: the record
   // is kept alive by jobs_ (and any handles), never by its own job.
   std::weak_ptr<detail::JobRecord> weak = rec;
@@ -216,20 +280,18 @@ void CotsParallelArchive::on_attempt_done(
     const pftool::JobReport& report) {
   rec->last_report = report;
   const bool failed = report.files_failed > 0 || report.aborted_by_watchdog;
-  if (!rec->pinned) {
-    if (report.aborted_by_watchdog) {
-      // A stall abort finishes the job with work still in flight; pending
-      // events (flow completions, retry backoffs) reference the job's
-      // procs and would dangle if it were freed now.  Every entry point
-      // no-ops once finished, so park it until system teardown instead.
-      graveyard_.push_back(std::move(rec->active));
-    } else {
-      // This callback runs from inside the PftoolJob; defer its
-      // destruction until the current event unwinds.
-      auto doomed = std::make_shared<std::unique_ptr<pftool::sim::PftoolJob>>(
-          std::move(rec->active));
-      sim_.after(0, [doomed] { doomed->reset(); });
-    }
+  if (report.aborted_by_watchdog) {
+    // A stall abort finishes the job with work still in flight; pending
+    // events (flow completions, retry backoffs) reference the job's
+    // procs and would dangle if it were freed now.  Every entry point
+    // no-ops once finished, so park it until system teardown instead.
+    graveyard_.push_back(std::move(rec->active));
+  } else {
+    // This callback runs from inside the PftoolJob; defer its
+    // destruction until the current event unwinds.
+    auto doomed = std::make_shared<std::unique_ptr<pftool::sim::PftoolJob>>(
+        std::move(rec->active));
+    sim_.after(0, [doomed] { doomed->reset(); });
   }
   if (failed && rec->spec.retry.allows(rec->attempts)) {
     rec->state = JobState::Retrying;
@@ -246,6 +308,8 @@ void CotsParallelArchive::on_attempt_done(
     return;
   }
   rec->state = failed ? JobState::Failed : JobState::Succeeded;
+  // Retries kept the admission slot; release it only at a terminal state.
+  if (sched_ != nullptr) sched_->job_finished(rec->id);
   auto callbacks = std::move(rec->callbacks);
   rec->callbacks.clear();
   for (auto& cb : callbacks) cb(rec->last_report);
@@ -276,23 +340,6 @@ pftool::JobReport CotsParallelArchive::pfcm(const std::string& src,
   JobHandle h = submit(JobSpec::pfcm(src, dst));
   sim_.run();
   return h.report();
-}
-
-pftool::sim::PftoolJob& CotsParallelArchive::start_pfcp(
-    const std::string& src, const std::string& dst,
-    std::function<void(const pftool::JobReport&)> done,
-    pftool::PftoolConfig cfg_override) {
-  JobSpec spec = JobSpec::pfcp(src, dst).with_config(std::move(cfg_override));
-  JobHandle h = submit(std::move(spec));
-  h.rec_->pinned = true;  // caller holds the PftoolJob& until destruction
-  if (done) h.on_done(std::move(done));
-  return *h.rec_->active;
-}
-
-pftool::sim::PftoolJob& CotsParallelArchive::start_pfcp(
-    const std::string& src, const std::string& dst,
-    std::function<void(const pftool::JobReport&)> done) {
-  return start_pfcp(src, dst, std::move(done), cfg_.pftool);
 }
 
 void CotsParallelArchive::run_migration_cycle(

@@ -30,6 +30,7 @@
 #include "pfs/policy.hpp"
 #include "pftool/core/restart_journal.hpp"
 #include "pftool/sim/job.hpp"
+#include "sched/scheduler.hpp"
 #include "simcore/flow_network.hpp"
 #include "simcore/simulation.hpp"
 #include "tape/library.hpp"
@@ -48,6 +49,10 @@ struct SystemConfig {
   /// Scripted faults armed against the system at construction; empty by
   /// default (no faults).
   fault::FaultPlan fault_plan;
+  /// Multi-tenant fair-share admission control (off by default: submit()
+  /// launches immediately, drive grants stay strict FIFO, and the golden
+  /// baselines are bit-identical to the unscheduled system).
+  sched::SchedConfig sched;
 
   /// The paper's plant (Sec 4.3.1 / Fig. 7): 10 mover nodes, 5 disk nodes
   /// with 100 TB fast FC4 disk + slow pool, 24 LTO-4 drives, one TSM
@@ -99,6 +104,19 @@ struct SystemConfig {
     fault_plan = std::move(plan);
     return *this;
   }
+  /// Enables (and configures) the fair-share admission scheduler.
+  SystemConfig& with_sched(sched::SchedConfig cfg) {
+    sched = std::move(cfg);
+    sched.enabled = true;
+    return *this;
+  }
+  /// Shorthand: enable the scheduler and set one tenant's quota.
+  SystemConfig& with_tenant_quota(const std::string& tenant,
+                                  sched::TenantQuota quota) {
+    sched.enabled = true;
+    sched.tenants[tenant] = quota;
+    return *this;
+  }
   /// Parses the fault-spec grammar (see fault/plan.hpp); invalid specs
   /// leave the plan empty.
   SystemConfig& with_fault_plan(const std::string& spec) {
@@ -129,6 +147,9 @@ class CotsParallelArchive {
   /// The system-wide observability sink: every substrate's metrics land in
   /// observer().metrics(); spans record when cfg.obs.tracing is set.
   [[nodiscard]] obs::Observer& observer() { return *obs_; }
+  /// The admission scheduler, or nullptr when SystemConfig::sched is
+  /// disabled.
+  [[nodiscard]] sched::AdmissionScheduler* scheduler() { return sched_.get(); }
 
   /// Copies the flow network's per-pool busy-seconds into net.* gauges
   /// (including the headline net.trunk_busy_seconds).  Call before dumping
@@ -140,9 +161,13 @@ class CotsParallelArchive {
   [[nodiscard]] pftool::sim::JobEnv job_env(bool restore_direction = false);
 
   // --- job submission ------------------------------------------------------
-  /// Launches a PFTool job without running the simulation.  The returned
-  /// handle tracks it across retry attempts; finished jobs are reaped on
-  /// the next submit() (or explicitly via reap_finished()).
+  /// Submits a PFTool job without running the simulation.  With the
+  /// admission scheduler disabled the first attempt launches immediately;
+  /// with it enabled the job may sit Queued behind fair-share admission
+  /// (or come back Rejected when the bounded queue is full — that is the
+  /// backpressure signal).  The returned handle tracks the job across
+  /// queueing and retry attempts; finished jobs are reaped on the next
+  /// submit() (or explicitly via reap_finished()).
   JobHandle submit(JobSpec spec);
   /// Drops bookkeeping for jobs that have reached a terminal state.
   /// Returns how many were reaped.  Outstanding JobHandles stay valid.
@@ -160,16 +185,6 @@ class CotsParallelArchive {
   /// compare scratch tree against archive tree
   pftool::JobReport pfcm(const std::string& src, const std::string& dst);
 
-  /// Deprecated: use submit(JobSpec::pfcp(src, dst)) instead.  Kept for
-  /// one release; the returned job stays alive until system destruction.
-  [[deprecated("use submit(JobSpec)")]] pftool::sim::PftoolJob& start_pfcp(
-      const std::string& src, const std::string& dst,
-      std::function<void(const pftool::JobReport&)> done,
-      pftool::PftoolConfig cfg_override);
-  [[deprecated("use submit(JobSpec)")]] pftool::sim::PftoolJob& start_pfcp(
-      const std::string& src, const std::string& dst,
-      std::function<void(const pftool::JobReport&)> done);
-
   // --- backend driving ---------------------------------------------------------
   /// One ILM cycle (Sec 4.2.4): run the policy engine's list rules, then
   /// hand each named list to the parallel data migrator, size-balanced
@@ -185,6 +200,8 @@ class CotsParallelArchive {
 
  private:
   void launch_attempt(const std::shared_ptr<detail::JobRecord>& rec);
+  /// Scheduler launch hook: fires when a Queued job wins admission.
+  void launch_admitted(std::uint64_t job_id);
   void on_attempt_done(const std::shared_ptr<detail::JobRecord>& rec,
                        const pftool::JobReport& report);
   void wire_fault_targets();
@@ -200,6 +217,9 @@ class CotsParallelArchive {
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<tape::TapeLibrary> library_;
   std::unique_ptr<hsm::HsmSystem> hsm_;
+  /// Constructed only when cfg_.sched.enabled; declared after the library
+  /// and HSM it arbitrates so it is torn down first.
+  std::unique_ptr<sched::AdmissionScheduler> sched_;
   std::unique_ptr<fusefs::ArchiveFuse> fuse_;
   std::unique_ptr<Trashcan> trashcan_;
   pftool::RestartJournal journal_;

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "hsm/balance.hpp"
+#include "sched/scheduler.hpp"
 
 namespace cpa::hsm {
 namespace {
@@ -52,6 +53,10 @@ struct HsmSystem::MigrateJob {
   tape::TapeDrive* drive = nullptr;
   tape::Cartridge* cart = nullptr;
   std::function<void(const MigrateReport&)> done;
+  /// Tenant/QoS the batch's drive holds are charged to (empty: unmanaged).
+  sched::WorkClass wc;
+  /// Per-tenant bandwidth-shaper legs appended to every data flow.
+  std::vector<sim::PathLeg> shaper;
 
   [[nodiscard]] std::string phase_group() const {
     return copy_phase == 0 ? group
@@ -80,6 +85,8 @@ struct HsmSystem::RecallJob {
   RecallReport report;
   obs::SpanId span;
   std::function<void(const RecallReport&)> done;
+  /// Per-tenant bandwidth-shaper legs appended to every data flow.
+  std::vector<sim::PathLeg> shaper;
 };
 
 struct HsmSystem::UnitRecorder {
@@ -164,11 +171,16 @@ void HsmSystem::trace_backoff(obs::SpanId parent, sim::Tick delay) {
 
 void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
                               std::string group,
-                              std::function<void(const MigrateReport&)> done) {
+                              std::function<void(const MigrateReport&)> done,
+                              sched::WorkClass wc) {
   auto job = std::make_shared<MigrateJob>();
   job->node = node;
   job->group = std::move(group);
   job->done = std::move(done);
+  job->wc = std::move(wc);
+  if (sched_ != nullptr && !job->wc.tenant.empty()) {
+    job->shaper = sched_->shaper_legs(job->wc.tenant);
+  }
   job->report.started = sim_.now();
   job->span = obs_->trace().begin_lane(obs::Component::Hsm, "migrate",
                                        "migrate_batch", sim_.now());
@@ -227,11 +239,13 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
   }
 
   const sim::Tick t_req = sim_.now();
-  lib_.acquire_drive([this, job, t_req](tape::TapeDrive& drive) {
-    trace_wait(obs::Component::Tape, "drive_wait", job->span, t_req);
-    job->drive = &drive;
-    run_migrate_unit(job);
-  });
+  lib_.acquire_drive(tape::DriveRequest{job->wc.tenant, job->wc.qos},
+                     [this, job, t_req](tape::TapeDrive& drive) {
+                       trace_wait(obs::Component::Tape, "drive_wait", job->span,
+                                  t_req);
+                       job->drive = &drive;
+                       run_migrate_unit(job);
+                     });
 }
 
 void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
@@ -315,6 +329,7 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
        net_legs(job->node, job->items[unit.items.front()].path)) {
     pools.push_back(leg);
   }
+  pools.insert(pools.end(), job->shaper.begin(), job->shaper.end());
 
   ArchiveServer& server = server_for(job->items[unit.items.front()].path);
   std::uint64_t unit_oid = 0;
@@ -352,17 +367,19 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
             trace_backoff(job->span, delay);
             sim_.after(delay, [this, job] {
               const sim::Tick t_req = sim_.now();
-              lib_.acquire_drive([this, job, t_req](tape::TapeDrive& drive) {
-                trace_wait(obs::Component::Tape, "drive_wait", job->span,
-                           t_req);
-                job->drive = &drive;
-                const sim::Tick t_m = sim_.now();
-                lib_.ensure_mounted(drive, *job->cart, [this, job, t_m] {
-                  trace_wait(obs::Component::Tape, "mount_wait", job->span,
-                             t_m);
-                  run_migrate_unit(job);
-                });
-              });
+              lib_.acquire_drive(
+                  tape::DriveRequest{job->wc.tenant, job->wc.qos},
+                  [this, job, t_req](tape::TapeDrive& drive) {
+                    trace_wait(obs::Component::Tape, "drive_wait", job->span,
+                               t_req);
+                    job->drive = &drive;
+                    const sim::Tick t_m = sim_.now();
+                    lib_.ensure_mounted(drive, *job->cart, [this, job, t_m] {
+                      trace_wait(obs::Component::Tape, "mount_wait", job->span,
+                                 t_m);
+                      run_migrate_unit(job);
+                    });
+                  });
             });
             return;
           }
@@ -564,7 +581,8 @@ void HsmSystem::account_migrate(const MigrateJob& job) {
 void HsmSystem::parallel_migrate(std::vector<std::string> paths,
                                  std::vector<tape::NodeId> nodes,
                                  DistributionStrategy strategy, std::string group,
-                                 std::function<void(const MigrateReport&)> done) {
+                                 std::function<void(const MigrateReport&)> done,
+                                 sched::WorkClass wc) {
   assert(!nodes.empty());
   std::vector<std::uint64_t> weights;
   weights.reserve(paths.size());
@@ -617,7 +635,8 @@ void HsmSystem::parallel_migrate(std::vector<std::string> paths,
                       combined->report.finished = sim_.now();
                       if (combined->done) combined->done(combined->report);
                     }
-                  });
+                  },
+                  wc);
   }
 }
 
@@ -631,6 +650,9 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
   auto job = std::make_shared<RecallJob>();
   job->options = options;
   job->done = std::move(done);
+  if (sched_ != nullptr && !options.tenant.empty()) {
+    job->shaper = sched_->shaper_legs(options.tenant);
+  }
   job->report.started = sim_.now();
   job->span = obs_->trace().begin_lane(obs::Component::Hsm, "recall", "recall",
                                        sim_.now());
@@ -745,15 +767,19 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
 void HsmSystem::run_recall_cart(std::shared_ptr<RecallJob> job,
                                 std::size_t work_idx) {
   const sim::Tick t_req = sim_.now();
-  lib_.acquire_drive([this, job, work_idx, t_req](tape::TapeDrive& drive) {
-    trace_wait(obs::Component::Tape, "drive_wait", job->span, t_req);
-    auto& work = job->work[work_idx];
-    const sim::Tick t_m = sim_.now();
-    lib_.ensure_mounted(drive, *work.cart, [this, job, work_idx, &drive, t_m] {
-      trace_wait(obs::Component::Tape, "mount_wait", job->span, t_m);
-      run_recall_entry(job, work_idx, 0, drive);
-    });
-  });
+  lib_.acquire_drive(
+      tape::DriveRequest{job->options.tenant, job->options.qos},
+      [this, job, work_idx, t_req](tape::TapeDrive& drive) {
+        trace_wait(obs::Component::Tape, "drive_wait", job->span, t_req);
+        auto& work = job->work[work_idx];
+        const sim::Tick t_m = sim_.now();
+        lib_.ensure_mounted(drive, *work.cart,
+                            [this, job, work_idx, &drive, t_m] {
+                              trace_wait(obs::Component::Tape, "mount_wait",
+                                         job->span, t_m);
+                              run_recall_entry(job, work_idx, 0, drive);
+                            });
+      });
 }
 
 void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
@@ -776,6 +802,7 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
   }
   const auto& entry = work.entries[entry_idx];
   std::vector<sim::PathLeg> pools = data_path(entry.node, entry.path, entry.size);
+  pools.insert(pools.end(), job->shaper.begin(), job->shaper.end());
   drive.read_object(
       entry.node, entry.seq, std::move(pools),
       [this, job, work_idx, entry_idx, &drive](const tape::Segment* seg) {
@@ -796,20 +823,22 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
               lib_.release_drive(drive);
               sim_.after(delay, [this, job, work_idx, entry_idx] {
                 const sim::Tick t_req = sim_.now();
-                lib_.acquire_drive([this, job, work_idx, entry_idx,
-                                    t_req](tape::TapeDrive& nd) {
-                  trace_wait(obs::Component::Tape, "drive_wait", job->span,
-                             t_req);
-                  tape::TapeDrive* ndp = &nd;
-                  const sim::Tick t_m = sim_.now();
-                  lib_.ensure_mounted(
-                      nd, *job->work[work_idx].cart,
-                      [this, job, work_idx, entry_idx, ndp, t_m] {
-                        trace_wait(obs::Component::Tape, "mount_wait",
-                                   job->span, t_m);
-                        run_recall_entry(job, work_idx, entry_idx, *ndp);
-                      });
-                });
+                lib_.acquire_drive(
+                    tape::DriveRequest{job->options.tenant, job->options.qos},
+                    [this, job, work_idx, entry_idx,
+                     t_req](tape::TapeDrive& nd) {
+                      trace_wait(obs::Component::Tape, "drive_wait", job->span,
+                                 t_req);
+                      tape::TapeDrive* ndp = &nd;
+                      const sim::Tick t_m = sim_.now();
+                      lib_.ensure_mounted(
+                          nd, *job->work[work_idx].cart,
+                          [this, job, work_idx, entry_idx, ndp, t_m] {
+                            trace_wait(obs::Component::Tape, "mount_wait",
+                                       job->span, t_m);
+                            run_recall_entry(job, work_idx, entry_idx, *ndp);
+                          });
+                    });
               });
             } else {
               tape::TapeDrive* dp = &drive;
@@ -906,6 +935,7 @@ void HsmSystem::recall_fallback(
     auto& entry = job->work[work_idx].entries[entry_idx];
     std::vector<sim::PathLeg> pools =
         data_path(entry.node, entry.path, entry.size);
+    pools.insert(pools.end(), job->shaper.begin(), job->shaper.end());
     drive.read_object(
         entry.node, alt_seq, std::move(pools),
         [this, job, work_idx, entry_idx, &drive, alts, alt_idx,
@@ -1259,10 +1289,13 @@ void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
   }
   job->dst = &lib_.checkout_cartridge(job->src->colocation_group(), live_bytes,
                                       job->src->id());
-  // Two drives: source and destination, mounted once per victim.
-  lib_.acquire_drive([this, job](tape::TapeDrive& src_drive) {
+  // Two drives: source and destination, mounted once per victim.  Reclaim
+  // is background plant maintenance — Maintenance QoS lets any tenant's
+  // foreground work jump its drive requests.
+  const tape::DriveRequest maint{"", sched::QosClass::Maintenance};
+  lib_.acquire_drive(maint, [this, job, maint](tape::TapeDrive& src_drive) {
     job->src_drive = &src_drive;
-    lib_.acquire_drive([this, job](tape::TapeDrive& dst_drive) {
+    lib_.acquire_drive(maint, [this, job](tape::TapeDrive& dst_drive) {
       job->dst_drive = &dst_drive;
       lib_.ensure_mounted(*job->src_drive, *job->src, [this, job] {
         lib_.ensure_mounted(*job->dst_drive, *job->dst, [this, job] {
@@ -1365,10 +1398,12 @@ void HsmSystem::scrub(integrity::ScrubConfig scfg,
     return;
   }
   // One drive for the whole pass: foreground recalls keep the others.
-  lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
-    job->drive = &drive;
-    run_scrub_row(job);
-  });
+  lib_.acquire_drive(
+      tape::DriveRequest{job->cfg.tenant, sched::QosClass::Maintenance},
+      [this, job](tape::TapeDrive& drive) {
+        job->drive = &drive;
+        run_scrub_row(job);
+      });
 }
 
 void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
@@ -1380,10 +1415,12 @@ void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
     // Loud drive failure mid-scrub: fail over and carry on.
     lib_.release_drive(*job->drive);
     job->drive = nullptr;
-    lib_.acquire_drive([this, job](tape::TapeDrive& drive) {
-      job->drive = &drive;
-      run_scrub_row(job);
-    });
+    lib_.acquire_drive(
+        tape::DriveRequest{job->cfg.tenant, sched::QosClass::Maintenance},
+        [this, job](tape::TapeDrive& drive) {
+          job->drive = &drive;
+          run_scrub_row(job);
+        });
     return;
   }
   const integrity::FixityRow row = job->rows[job->next];

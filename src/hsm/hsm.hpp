@@ -32,8 +32,13 @@
 #include "hsm/server.hpp"
 #include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
+#include "sched/qos.hpp"
 #include "simcore/units.hpp"
 #include "tape/library.hpp"
+
+namespace cpa::sched {
+class AdmissionScheduler;
+}
 
 namespace cpa::hsm {
 
@@ -86,6 +91,13 @@ struct MigrateReport {
   }
 };
 
+/// Recall tuning.  The defaults — documented here, in one place, and
+/// asserted by tests — are the paper's recommended configuration: recalls
+/// tape-ordered (Sec 4.2.5), tape-affinity node assignment (the Sec 6.2
+/// fix), all work on node 0, no cap on concurrent cartridges, no caller
+/// span (the recall is its own trace root), and unmanaged tenant/QoS
+/// (no admission-scheduler accounting).  Refine with the fluent `with_*`
+/// builders, mirroring SystemConfig/JobSpec.
 struct RecallOptions {
   /// Sort each cartridge's recalls by tape sequence (PFTool's optimization).
   bool tape_ordered = true;
@@ -101,6 +113,39 @@ struct RecallOptions {
   /// causally linked under it so per-job attribution crosses the HSM
   /// boundary.  Invalid (default) leaves the recall a DAG root.
   obs::SpanId parent_span{};
+  /// Tenant/QoS this recall's drive requests are charged to; empty tenant
+  /// bypasses quota accounting entirely.
+  std::string tenant;
+  sched::QosClass qos = sched::QosClass::Interactive;
+
+  RecallOptions& with_tape_ordered(bool on = true) {
+    tape_ordered = on;
+    return *this;
+  }
+  RecallOptions& with_assignment(Assignment a) {
+    assignment = a;
+    return *this;
+  }
+  RecallOptions& with_nodes(std::vector<tape::NodeId> ns) {
+    nodes = std::move(ns);
+    return *this;
+  }
+  RecallOptions& with_max_parallel_tapes(unsigned n) {
+    max_parallel_tapes = n;
+    return *this;
+  }
+  RecallOptions& with_parent_span(obs::SpanId s) {
+    parent_span = s;
+    return *this;
+  }
+  RecallOptions& with_tenant(std::string name) {
+    tenant = std::move(name);
+    return *this;
+  }
+  RecallOptions& with_qos(sched::QosClass q) {
+    qos = q;
+    return *this;
+  }
 };
 
 struct RecallReport {
@@ -170,17 +215,21 @@ class HsmSystem : public pfs::DmapiListener {
   [[nodiscard]] ArchiveServer& server(unsigned i) { return *servers_[i]; }
 
   /// Migrates `paths` from node `node` on a single drive: mounts one
-  /// volume of `group` and streams objects back to back.
+  /// volume of `group` and streams objects back to back.  `wc` charges the
+  /// batch's drive holds and data flows to a tenant/QoS class (default:
+  /// unmanaged).
   void migrate_batch(tape::NodeId node, std::vector<std::string> paths,
                      std::string group,
-                     std::function<void(const MigrateReport&)> done);
+                     std::function<void(const MigrateReport&)> done,
+                     sched::WorkClass wc = {});
 
   /// The Parallel Data Migrator: distributes `paths` across `nodes`
   /// (each node = one concurrent migrate_batch) per `strategy`.
   void parallel_migrate(std::vector<std::string> paths,
                         std::vector<tape::NodeId> nodes,
                         DistributionStrategy strategy, std::string group,
-                        std::function<void(const MigrateReport&)> done);
+                        std::function<void(const MigrateReport&)> done,
+                        sched::WorkClass wc = {});
 
   /// Recalls `paths` from tape into the archive file system.
   void recall(std::vector<std::string> paths, RecallOptions options,
@@ -239,6 +288,11 @@ class HsmSystem : public pfs::DmapiListener {
 
   /// Routes hsm.* metrics and migrate/recall/reclaim spans to `obs`.
   void set_observer(obs::Observer& obs) { obs_ = &obs; }
+
+  /// Hooks up the admission scheduler: migrate/recall data flows of a
+  /// capped tenant pick up its bandwidth-shaper legs.  Drive-grant
+  /// arbitration is wired separately (TapeLibrary::set_arbiter).
+  void set_scheduler(sched::AdmissionScheduler* sched) { sched_ = sched; }
 
  private:
   struct MigrateJob;
@@ -332,6 +386,7 @@ class HsmSystem : public pfs::DmapiListener {
   std::vector<std::unique_ptr<ArchiveServer>> servers_;
   integrity::FixityDb fixity_;
   obs::Observer* obs_ = &obs::Observer::nil();
+  sched::AdmissionScheduler* sched_ = nullptr;
   std::uint64_t offline_reads_ = 0;
   std::uint64_t destroys_ = 0;
 };

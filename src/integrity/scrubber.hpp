@@ -31,6 +31,27 @@ struct ScrubConfig {
   /// yields the tape subsystem to foreground recalls (the paper's
   /// shared-FTA lesson).
   double rate_limit_bps = 0.0;
+  /// Tenant the scrub's drive holds are charged to (always Maintenance
+  /// QoS); empty = unmanaged plant maintenance.
+  std::string tenant;
+
+  // Fluent refinement, mirroring SystemConfig/JobSpec/RecallOptions.
+  ScrubConfig& with_node(tape::NodeId n) {
+    node = n;
+    return *this;
+  }
+  ScrubConfig& with_tape_ordered(bool on = true) {
+    tape_ordered = on;
+    return *this;
+  }
+  ScrubConfig& with_rate_limit_bps(double bps) {
+    rate_limit_bps = bps;
+    return *this;
+  }
+  ScrubConfig& with_tenant(std::string name) {
+    tenant = std::move(name);
+    return *this;
+  }
 };
 
 /// One repair decision, renderable so determinism tests can compare whole

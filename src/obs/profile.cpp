@@ -38,6 +38,7 @@ const char* to_string(Bucket b) {
     case Bucket::Metadata: return "metadata";
     case Bucket::RetryBackoff: return "retry backoff";
     case Bucket::SchedulerIdle: return "scheduler idle";
+    case Bucket::AdmissionWait: return "admission wait";
   }
   return "?";
 }
@@ -141,6 +142,7 @@ Bucket Profiler::classify_self(const TraceRecorder::SpanView& v, bool is_root,
       return Bucket::TapePosition;
     default:
       if (n == "retry_backoff") return Bucket::RetryBackoff;
+      if (n == "admission_wait") return Bucket::AdmissionWait;
       return Bucket::Metadata;
   }
 }

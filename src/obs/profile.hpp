@@ -43,8 +43,9 @@ enum class Bucket : std::uint8_t {
   Metadata,        // readdir/stat, HSM db transactions, chunk bookkeeping
   RetryBackoff,    // fault-retry delay windows
   SchedulerIdle,   // job-root self time: queueing/dispatch gaps
+  AdmissionWait,   // queued behind the fair-share admission scheduler
 };
-inline constexpr unsigned kBucketCount = 8;
+inline constexpr unsigned kBucketCount = 9;
 
 [[nodiscard]] const char* to_string(Bucket b);
 

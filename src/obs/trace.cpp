@@ -90,6 +90,7 @@ const char* to_string(Component c) {
     case Component::Fuse: return "fuse";
     case Component::Fault: return "fault";
     case Component::Integrity: return "integrity";
+    case Component::Sched: return "sched";
   }
   return "?";
 }

@@ -140,6 +140,10 @@ class WorkerProc {
         node_, *job_.env_.src_fs, item.src, *job_.env_.dst_fs, item.dst,
         item.chunk.offset, item.chunk.bytes);
     if (item.shared_dst_pool.valid()) path.emplace_back(item.shared_dst_pool);
+    // Per-tenant bandwidth cap: every data flow of a capped tenant shares
+    // its shaper pool, so the tenant's aggregate PFS rate is bounded.
+    path.insert(path.end(), job_.env_.shaper_legs.begin(),
+                job_.env_.shaper_legs.end());
     const double cap = job_.cfg_.per_stream_max_bps > 0
                            ? job_.cfg_.per_stream_max_bps
                            : cpa::sim::FlowNetwork::kUnlimited;
@@ -234,12 +238,15 @@ class TapeRestoreProc {
       std::vector<std::string> paths;
       paths.reserve(metas.size());
       for (const auto& m : metas) paths.push_back(m.path);
-      hsm::RecallOptions opts;
-      opts.tape_ordered = job_.cfg_.tape_optimization;
-      opts.assignment = hsm::RecallOptions::Assignment::TapeAffinity;
-      opts.nodes = {node_};
-      opts.max_parallel_tapes = 1;
-      opts.parent_span = job_.span_;
+      hsm::RecallOptions opts =
+          hsm::RecallOptions{}
+              .with_tape_ordered(job_.cfg_.tape_optimization)
+              .with_assignment(hsm::RecallOptions::Assignment::TapeAffinity)
+              .with_nodes({node_})
+              .with_max_parallel_tapes(1)
+              .with_parent_span(job_.span_)
+              .with_tenant(job_.env_.tenant)
+              .with_qos(job_.env_.qos);
       job_.env_.hsm->recall(
           std::move(paths), opts,
           [this, metas = std::move(metas)](const hsm::RecallReport& r) mutable {
@@ -396,9 +403,25 @@ void PftoolJob::start() {
   assert(!started_);
   started_ = true;
   report_.started = env_.sim->now();
-  span_ = env_.obs->trace().begin_lane(obs::Component::Pftool, "job",
-                                       report_.command, report_.started);
-  env_.obs->trace().arg(span_, "src", src_root_);
+  // A job that waited behind admission opens its root span back at submit
+  // time, with an explicit admission_wait child covering the queued
+  // stretch — pfprof then attributes the wait without breaking the
+  // sum(buckets) == wall-clock invariant.
+  const Tick span_begin = env_.was_queued && env_.queued_since < report_.started
+                              ? env_.queued_since
+                              : report_.started;
+  obs::TraceRecorder& tr = env_.obs->trace();
+  span_ = tr.begin_lane(obs::Component::Pftool, "job", report_.command,
+                        span_begin);
+  tr.arg(span_, "src", src_root_);
+  if (!env_.tenant.empty()) {
+    tr.arg(span_, "tenant", env_.tenant);
+    tr.arg(span_, "qos", cpa::sched::to_string(env_.qos));
+  }
+  if (span_begin < report_.started) {
+    tr.link(span_, tr.complete(obs::Component::Sched, "admission",
+                               "admission_wait", span_begin, report_.started));
+  }
 
   // Spawn the process set, pinning workers/tapeprocs to FTA nodes from the
   // LoadManager's current least-loaded machine list (Sec 4.1.2 item 1).

@@ -37,7 +37,9 @@
 #include "pftool/core/queues.hpp"
 #include "pftool/core/report.hpp"
 #include "pftool/core/restart_journal.hpp"
+#include "sched/qos.hpp"
 #include "simcore/actor.hpp"
+#include "simcore/flow_network.hpp"
 #include "simcore/stats.hpp"
 
 namespace cpa::pftool::sim {
@@ -64,6 +66,18 @@ struct JobEnv {
   /// e.g. small-file paths to the "slow" pool).  Returns a pool name or
   /// "" for the file-system default.  Overridden by cfg.dest_pool_hint.
   std::function<std::string(const std::string& dst_path)> placement;
+  /// Tenant/QoS the job's backend work (recalls, drive requests) is
+  /// charged to.  Empty tenant = unmanaged (no quota accounting).
+  std::string tenant;
+  sched::QosClass qos = sched::QosClass::Interactive;
+  /// Extra per-tenant bandwidth-shaper legs appended to every data flow
+  /// this job starts (empty when the tenant is uncapped).
+  std::vector<cpa::sim::PathLeg> shaper_legs;
+  /// Set when the job waited in the admission queue: the root span opens
+  /// at `queued_since` with an explicit admission_wait child covering the
+  /// queued stretch, so pfprof's conservation invariant still holds.
+  bool was_queued = false;
+  cpa::sim::Tick queued_since = 0;
 };
 
 class ReadDirProc;

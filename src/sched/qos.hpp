@@ -1,0 +1,52 @@
+// Tenant / quality-of-service vocabulary shared across layers.
+//
+// The paper's operational lessons (Sec 6.2 tape thrashing, Sec 6.4 single
+// server saturation) all reduce to *unarbitrated* contention: every user's
+// job hits the drive FIFO and the trunks directly.  The admission layer
+// (sched/scheduler.hpp) arbitrates in terms of the types below; they live
+// in their own leaf header so the tape library and the HSM can tag work
+// with a tenant and a class without depending on the scheduler itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cpa::sched {
+
+/// Service class of one piece of work.  Classes are strict priorities at
+/// every arbitration point (admission, drive grants), softened by aging so
+/// lower classes cannot starve (see SchedConfig::aging_step).
+enum class QosClass : std::uint8_t {
+  Interactive,  // a user is waiting: small recalls, pfls — lowest latency
+  Bulk,         // throughput work: campaign archives, batch restores
+  Maintenance,  // background upkeep: scrub, reclamation, reconcile
+};
+
+[[nodiscard]] constexpr const char* to_string(QosClass q) {
+  switch (q) {
+    case QosClass::Interactive: return "interactive";
+    case QosClass::Bulk: return "bulk";
+    case QosClass::Maintenance: return "maintenance";
+  }
+  return "?";
+}
+
+/// Base priority of a class before aging (higher runs first).
+[[nodiscard]] constexpr unsigned base_priority(QosClass q) {
+  switch (q) {
+    case QosClass::Interactive: return 2;
+    case QosClass::Bulk: return 1;
+    case QosClass::Maintenance: return 0;
+  }
+  return 0;
+}
+
+/// Who a piece of backend work (a migrate batch, a recall) runs for.  The
+/// empty tenant means "unmanaged": internal plumbing that predates the
+/// scheduler, exempt from quotas but still ordered by its class.
+struct WorkClass {
+  std::string tenant = "default";
+  QosClass qos = QosClass::Bulk;
+};
+
+}  // namespace cpa::sched

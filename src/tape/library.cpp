@@ -13,6 +13,7 @@ TapeLibrary::TapeLibrary(sim::Simulation& sim, sim::FlowNetwork& net,
         sim, net, "drive" + std::to_string(i), cfg_.timings));
     drive_busy_.push_back(false);
     drive_claim_.push_back(0);
+    drive_holder_.push_back(DriveRequest{});
   }
 }
 
@@ -24,26 +25,54 @@ void TapeLibrary::fail_drive(unsigned i) {
 void TapeLibrary::repair_drive(unsigned i) {
   assert(i < drives_.size());
   drives_[i]->set_failed(false);
-  // The drive is usable again: hand it to the longest waiter if idle.
-  if (!drive_busy_[i] && !drive_waiters_.empty()) {
-    drive_busy_[i] = true;
-    auto waiter = std::move(drive_waiters_.front());
-    drive_waiters_.pop_front();
-    TapeDrive* d = drives_[i].get();
-    sim_.after(0, [waiter = std::move(waiter), d] { waiter(*d); });
+  // The drive is usable again: hand it to a waiter if idle.
+  pump_idle_drives();
+}
+
+void TapeLibrary::grant(std::size_t i, Waiter w) {
+  drive_busy_[i] = true;
+  drive_holder_[i] = w.req;
+  if (arbiter_ != nullptr) arbiter_->drive_granted(w.req);
+  TapeDrive* d = drives_[i].get();
+  sim_.after(0, [fn = std::move(w.fn), d] { fn(*d); });
+}
+
+void TapeLibrary::pump_idle_drives() {
+  for (std::size_t i = 0; i < drives_.size() && !drive_waiters_.empty(); ++i) {
+    if (drive_busy_[i] || drives_[i]->failed()) continue;
+    std::size_t pick = 0;
+    if (arbiter_ != nullptr) {
+      std::vector<DriveRequest> reqs;
+      reqs.reserve(drive_waiters_.size());
+      for (const Waiter& w : drive_waiters_) reqs.push_back(w.req);
+      pick = arbiter_->pick_waiter(reqs);
+      // Every waiter is over quota: drives stay idle until a release
+      // frees headroom (quotas only shrink holdings on release).
+      if (pick == DriveArbiter::kNone) return;
+      assert(pick < drive_waiters_.size());
+    }
+    Waiter w = std::move(drive_waiters_[pick]);
+    drive_waiters_.erase(drive_waiters_.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+    grant(i, std::move(w));
   }
 }
 
 void TapeLibrary::acquire_drive(std::function<void(TapeDrive&)> on_grant) {
+  acquire_drive(DriveRequest{}, std::move(on_grant));
+}
+
+void TapeLibrary::acquire_drive(DriveRequest req,
+                                std::function<void(TapeDrive&)> on_grant) {
+  req.enqueued = sim_.now();
+  req.seq = next_request_seq_++;
   for (std::size_t i = 0; i < drives_.size(); ++i) {
-    if (!drive_busy_[i] && !drives_[i]->failed()) {
-      drive_busy_[i] = true;
-      TapeDrive* d = drives_[i].get();
-      sim_.after(0, [on_grant = std::move(on_grant), d] { on_grant(*d); });
-      return;
-    }
+    if (drive_busy_[i] || drives_[i]->failed()) continue;
+    if (arbiter_ != nullptr && !arbiter_->may_hold(req)) break;  // over quota
+    grant(i, Waiter{std::move(req), std::move(on_grant)});
+    return;
   }
-  drive_waiters_.push_back(std::move(on_grant));
+  drive_waiters_.push_back(Waiter{std::move(req), std::move(on_grant)});
 }
 
 void TapeLibrary::release_drive(TapeDrive& drive) {
@@ -51,16 +80,12 @@ void TapeLibrary::release_drive(TapeDrive& drive) {
     if (drives_[i].get() == &drive) {
       assert(drive_busy_[i]);
       drive_claim_[i] = 0;  // the departing batch no longer needs a volume
+      drive_busy_[i] = false;
+      if (arbiter_ != nullptr) arbiter_->drive_released(drive_holder_[i]);
+      drive_holder_[i] = DriveRequest{};
       // A failed drive must not be handed to a waiter; it re-enters the
-      // rotation via repair_drive().
-      if (!drive_waiters_.empty() && !drive.failed()) {
-        auto waiter = std::move(drive_waiters_.front());
-        drive_waiters_.pop_front();
-        TapeDrive* d = drives_[i].get();
-        sim_.after(0, [waiter = std::move(waiter), d] { waiter(*d); });
-      } else {
-        drive_busy_[i] = false;
-      }
+      // rotation via repair_drive().  pump skips it.
+      pump_idle_drives();
       return;
     }
   }

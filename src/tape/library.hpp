@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/qos.hpp"
 #include "simcore/resource.hpp"
 #include "tape/drive.hpp"
 
@@ -28,6 +29,33 @@ struct LibraryConfig {
   TapeTimings timings;
 };
 
+/// Who is asking for a drive, and how urgently.  The library stamps
+/// `enqueued`/`seq` at acquire time; callers fill tenant and class.  The
+/// default (empty tenant, Interactive) marks unmanaged internal work.
+struct DriveRequest {
+  std::string tenant;
+  sched::QosClass qos = sched::QosClass::Interactive;
+  sim::Tick enqueued = 0;   // stamped by the library at acquire time
+  std::uint64_t seq = 0;    // library-wide arrival order (stamped)
+};
+
+/// Pluggable drive-grant policy.  Without one the library is plain FIFO
+/// (the pre-scheduler behaviour, bit-for-bit).  The admission scheduler
+/// implements this to enforce per-tenant drive quotas and to let
+/// Interactive recalls overtake queued Bulk batches at batch boundaries.
+class DriveArbiter {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  virtual ~DriveArbiter() = default;
+  /// May this request take an idle drive right now (quota check)?
+  virtual bool may_hold(const DriveRequest& req) = 0;
+  /// Which waiter gets the next free drive; kNone leaves it idle (every
+  /// waiter is over its quota).  `waiters` is in FIFO order.
+  virtual std::size_t pick_waiter(const std::vector<DriveRequest>& waiters) = 0;
+  virtual void drive_granted(const DriveRequest& req) = 0;
+  virtual void drive_released(const DriveRequest& req) = 0;
+};
+
 class TapeLibrary {
  public:
   TapeLibrary(sim::Simulation& sim, sim::FlowNetwork& net, LibraryConfig cfg);
@@ -37,10 +65,17 @@ class TapeLibrary {
   [[nodiscard]] TapeDrive& drive(unsigned i) { return *drives_[i]; }
 
   // --- drive allocation ----------------------------------------------------
-  /// Grants an idle drive FIFO; the callback receives the drive.
+  /// Grants an idle drive (FIFO, or per the arbiter); the callback
+  /// receives the drive.  The unclassified overload is equivalent to an
+  /// unmanaged DriveRequest.
   void acquire_drive(std::function<void(TapeDrive&)> on_grant);
+  void acquire_drive(DriveRequest req, std::function<void(TapeDrive&)> on_grant);
   void release_drive(TapeDrive& drive);
   [[nodiscard]] unsigned idle_drives() const;
+  [[nodiscard]] std::size_t drive_waiters() const { return drive_waiters_.size(); }
+  /// Installs (or clears, with nullptr) the drive-grant policy.  The
+  /// arbiter must outlive the library or be cleared before destruction.
+  void set_arbiter(DriveArbiter* arbiter) { arbiter_ = arbiter; }
 
   // --- fault injection -------------------------------------------------------
   /// Fails drive `i`: aborts its in-flight transfer (see
@@ -111,10 +146,23 @@ class TapeLibrary {
                                     const TapeDrive& into) const;
   void set_claim(const TapeDrive& drive, CartridgeId cart);
 
+  struct Waiter {
+    DriveRequest req;
+    std::function<void(TapeDrive&)> fn;
+  };
+  /// Marks drive `i` busy for `w` and delivers it through the event queue.
+  void grant(std::size_t i, Waiter w);
+  /// Hands idle drives to waiters until either runs out (or the arbiter
+  /// declines every waiter).  Called after any release/repair.
+  void pump_idle_drives();
+
   std::vector<std::unique_ptr<TapeDrive>> drives_;
   std::vector<bool> drive_busy_;
   std::vector<CartridgeId> drive_claim_;  // 0: none; parallel to drives_
-  std::deque<std::function<void(TapeDrive&)>> drive_waiters_;
+  std::vector<DriveRequest> drive_holder_;  // who holds it; parallel to drives_
+  std::deque<Waiter> drive_waiters_;
+  DriveArbiter* arbiter_ = nullptr;
+  std::uint64_t next_request_seq_ = 0;
   sim::Resource robot_;
   std::map<CartridgeId, std::unique_ptr<Cartridge>> cartridges_;
   std::map<std::string, CartridgeId> open_by_group_;

@@ -30,7 +30,7 @@ TEST(FaultRecovery, NodeCrashResumesFromJournalAndTreeMatches) {
   make_tree(sys, 8);
 
   JobHandle job = sys.submit(JobSpec::pfcp("/scratch/tree", "/proj/tree")
-                                 .restartable()
+                                 .with_restartable()
                                  .with_retry(fault::RetryPolicy::standard()));
   sys.sim().run();
 
@@ -62,7 +62,7 @@ TEST(FaultRecovery, RelaunchBackoffIsExactInVirtualTime) {
   rp.max_attempts = 3;
   rp.backoff = sim::secs(30);
   JobHandle job = sys.submit(JobSpec::pfcp("/scratch/tree", "/proj/tree")
-                                 .restartable()
+                                 .with_restartable()
                                  .with_retry(rp));
 
   // Step to the attempt-1 failure, then to the relaunch: the gap must be
@@ -163,7 +163,7 @@ std::string faulty_run_digest(std::uint64_t seed) {
   CotsParallelArchive sys(cfg);
   make_tree(sys, 8);
   JobHandle job = sys.submit(JobSpec::pfcp("/scratch/tree", "/proj/tree")
-                                 .restartable()
+                                 .with_restartable()
                                  .with_retry(fault::RetryPolicy::standard()));
   sys.sim().run();
 

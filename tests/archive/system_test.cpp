@@ -125,8 +125,9 @@ TEST_F(EndToEndTest, ConcurrentJobsShareTheTrunks) {
   // Three jobs concurrently.
   std::vector<pftool::JobReport> reports;
   for (int j = 1; j < 4; ++j) {
-    sys_.start_pfcp("/j" + std::to_string(j), "/archive/c" + std::to_string(j),
-                    [&](const pftool::JobReport& r) { reports.push_back(r); });
+    sys_.submit(JobSpec::pfcp("/j" + std::to_string(j),
+                              "/archive/c" + std::to_string(j)))
+        .on_done([&](const pftool::JobReport& r) { reports.push_back(r); });
   }
   sys_.sim().run();
   ASSERT_EQ(reports.size(), 3u);

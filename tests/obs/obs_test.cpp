@@ -120,7 +120,8 @@ TEST(Component, ToStringCoversEveryEnumerator) {
   // extend both the enum and this table (and kComponentCount).
   static const char* const kNames[] = {"sim",  "net",    "pfs",
                                        "hsm",  "tape",   "pftool",
-                                       "fuse", "fault",  "integrity"};
+                                       "fuse", "fault",  "integrity",
+                                       "sched"};
   static_assert(std::size(kNames) == kComponentCount);
   for (unsigned i = 0; i < kComponentCount; ++i) {
     EXPECT_STREQ(to_string(static_cast<Component>(i)), kNames[i]);

@@ -19,7 +19,8 @@ sim::Tick bucket_of(const JobProfile& jp, Bucket b) {
 TEST(Bucket, ToStringCoversEveryEnumerator) {
   static const char* const kNames[] = {
       "pfs transfer",  "tape mount wait", "tape position", "tape transfer",
-      "drive queue wait", "metadata",     "retry backoff", "scheduler idle"};
+      "drive queue wait", "metadata",     "retry backoff", "scheduler idle",
+      "admission wait"};
   static_assert(std::size(kNames) == kBucketCount);
   for (unsigned i = 0; i < kBucketCount; ++i) {
     EXPECT_STREQ(to_string(static_cast<Bucket>(i)), kNames[i]);
