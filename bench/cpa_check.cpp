@@ -1,0 +1,304 @@
+// cpa_check: the deterministic chaos-simulation harness CLI.
+//
+//   cpa_check --seed=7 --ops=300            one campaign, full oracles
+//   cpa_check --seed=1 --seeds=20           a sweep of 20 seeds
+//   cpa_check --corpus=tests/check/seed_corpus.txt   replay known seeds
+//   cpa_check --seed=7 --shrink             minimize a failing campaign
+//   cpa_check --doctor=scrub                self-test: plant a bug, demand
+//                                           the oracles catch + shrink it
+//
+// Each seed runs the full battery: the chaos campaign itself (zero
+// invariant violations expected), a same-seed replay (bit-identical
+// campaign digest expected), and a metamorphic pair (a faulted run that
+// recovered fully must leave the same final archive state as its
+// fault-free twin).  Any failure prints a copy-pasteable repro line.
+// CPA_CHECK_OPS scales the per-seed op budget when --ops is absent.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/campaign.hpp"
+#include "src/check/runner.hpp"
+#include "src/check/shrink.hpp"
+
+namespace {
+
+using cpa::check::ChaosCampaign;
+using cpa::check::ChaosConfig;
+using cpa::check::ChaosResult;
+using cpa::check::Doctor;
+using cpa::check::RunOptions;
+
+struct Cli {
+  std::uint64_t seed = 1;
+  unsigned seeds = 1;
+  unsigned ops = 0;  // 0 = CPA_CHECK_OPS or 300
+  bool do_shrink = false;
+  bool no_faults = false;
+  bool no_corruptions = false;
+  bool no_cancels = false;
+  bool no_meta = false;
+  bool dump_log = false;
+  Doctor doctor = Doctor::None;
+  std::string save_trace;
+  std::string corpus;
+};
+
+void usage() {
+  std::printf(
+      "usage: cpa_check [--seed=N] [--seeds=COUNT] [--ops=K] [--shrink]\n"
+      "                 [--corpus=FILE] [--doctor=scrub|fixity]\n"
+      "                 [--save-trace=PATH] [--no-faults] "
+      "[--no-corruptions]\n"
+      "                 [--no-cancels] [--no-meta]\n"
+      "env: CPA_CHECK_OPS sets the default op budget (default 300)\n");
+}
+
+bool parse(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return a.compare(0, n, key) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--seed=")) {
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--seeds=")) {
+      cli.seeds = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = val("--ops=")) {
+      cli.ops = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--shrink") {
+      cli.do_shrink = true;
+    } else if (a == "--no-faults") {
+      cli.no_faults = true;
+    } else if (a == "--no-corruptions") {
+      cli.no_corruptions = true;
+    } else if (a == "--no-cancels") {
+      cli.no_cancels = true;
+    } else if (a == "--no-meta") {
+      cli.no_meta = true;
+    } else if (a == "--dump-log") {
+      cli.dump_log = true;
+    } else if (const char* v = val("--doctor=")) {
+      if (std::strcmp(v, "scrub") == 0) {
+        cli.doctor = Doctor::BreakScrubRepair;
+      } else if (std::strcmp(v, "fixity") == 0) {
+        cli.doctor = Doctor::DropFixityRow;
+      } else {
+        std::fprintf(stderr, "unknown --doctor=%s\n", v);
+        return false;
+      }
+    } else if (const char* v = val("--save-trace=")) {
+      cli.save_trace = v;
+    } else if (const char* v = val("--corpus=")) {
+      cli.corpus = v;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", a.c_str());
+      usage();
+      return false;
+    }
+  }
+  if (cli.ops == 0) {
+    const char* env = std::getenv("CPA_CHECK_OPS");
+    cli.ops = env != nullptr
+                  ? static_cast<unsigned>(std::strtoul(env, nullptr, 10))
+                  : 0;
+    if (cli.ops == 0) cli.ops = 300;
+  }
+  return true;
+}
+
+ChaosConfig config_for(const Cli& cli, std::uint64_t seed, unsigned ops) {
+  ChaosConfig cfg;
+  cfg.with_seed(seed).with_ops(ops).with_doctor(cli.doctor);
+  if (cli.no_faults) cfg.with_faults(false);
+  if (cli.no_corruptions) cfg.with_corruptions(false);
+  if (cli.no_cancels) cfg.with_cancels(false);
+  return cfg;
+}
+
+void print_failure(const ChaosConfig& cfg, const ChaosResult& r,
+                   const char* what) {
+  std::printf("FAIL seed=%llu: %s\n",
+              static_cast<unsigned long long>(cfg.seed), what);
+  std::fputs(r.render_violations().c_str(), stdout);
+  std::printf("repro: %s\n", cpa::check::repro_line(cfg).c_str());
+}
+
+void shrink_and_report(const ChaosConfig& cfg, const RunOptions& opt) {
+  const ChaosCampaign full = ChaosCampaign::generate(cfg);
+  const auto res = cpa::check::shrink(full, opt);
+  if (!res) {
+    std::printf("shrink: campaign no longer fails (flaky?)\n");
+    return;
+  }
+  std::printf("shrink: %zu -> %zu ops, %zu -> %zu fault events "
+              "(%u probe runs)\n",
+              full.ops.size(), res->minimal.ops.size(),
+              full.fault_plan.events.size(),
+              res->minimal.fault_plan.events.size(), res->runs);
+  std::printf("--- minimal campaign ---\n%s--- first violation ---\n%s\n",
+              res->minimal.render().c_str(),
+              res->failure.violations.empty()
+                  ? "(none)"
+                  : res->failure.violations.front().render().c_str());
+}
+
+/// The full battery for one seed.  Returns true when every check passed.
+bool run_seed(const Cli& cli, std::uint64_t seed, unsigned ops) {
+  const ChaosConfig cfg = config_for(cli, seed, ops);
+  RunOptions opt;
+  opt.save_trace = cli.save_trace;
+
+  const ChaosResult r1 = cpa::check::run_chaos(cfg, opt);
+  if (cli.dump_log) std::fputs(r1.log.c_str(), stdout);
+  if (!r1.ok()) {
+    print_failure(cfg, r1, "invariant violation(s)");
+    if (cli.do_shrink) shrink_and_report(cfg, opt);
+    return false;
+  }
+
+  // Same seed, fresh plant: the campaign digest must be bit-identical.
+  RunOptions replay_opt;  // no trace overwrite on the replay
+  const ChaosResult r2 = cpa::check::run_chaos(cfg, replay_opt);
+  if (r2.digest != r1.digest) {
+    std::printf("FAIL seed=%llu: replay digest %016llx != %016llx "
+                "(nondeterminism)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(r2.digest),
+                static_cast<unsigned long long>(r1.digest));
+    std::printf("repro: %s\n", cpa::check::repro_line(cfg).c_str());
+    return false;
+  }
+
+  // Metamorphic pair: faults (minus corruption, minus timing-dependent
+  // cancels) with full recovery must converge to the fault-free state.
+  if (!cli.no_meta) {
+    ChaosConfig faulted = cfg;
+    faulted.with_cancels(false).with_corruptions(false);
+    const ChaosResult m1 = cpa::check::run_chaos(faulted, replay_opt);
+    const ChaosResult m2 =
+        cpa::check::run_chaos(faulted.fault_free_twin(), replay_opt);
+    if (!m1.ok()) {
+      print_failure(faulted, m1, "violation(s) in metamorphic faulted run");
+      if (cli.do_shrink) shrink_and_report(faulted, replay_opt);
+      return false;
+    }
+    if (!m2.ok()) {
+      const ChaosConfig twin = faulted.fault_free_twin();
+      print_failure(twin, m2, "violation(s) in fault-free twin");
+      if (cli.do_shrink) shrink_and_report(twin, replay_opt);
+      return false;
+    }
+    if (m1.fully_recovered && m1.state_digest != m2.state_digest) {
+      std::printf("FAIL seed=%llu: recovered faulted state %016llx != "
+                  "fault-free twin %016llx\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(m1.state_digest),
+                  static_cast<unsigned long long>(m2.state_digest));
+      std::printf("repro: %s\n", cpa::check::repro_line(faulted).c_str());
+      return false;
+    }
+    if (!m1.fully_recovered) {
+      std::printf("seed %llu: metamorphic compare skipped "
+                  "(faulted run did not fully recover)\n",
+                  static_cast<unsigned long long>(seed));
+    }
+  }
+
+  std::printf("seed %llu: ok digest=%016llx ops=%u/%u jobs=%u cancels=%u "
+              "drained=%.0fs\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(r1.digest), r1.ops_executed,
+              r1.ops_executed + r1.ops_skipped, r1.jobs_submitted,
+              r1.cancels_landed, cpa::sim::to_seconds(r1.drained_at));
+  return true;
+}
+
+/// Doctor self-test: plant a bug, demand detection *and* a useful shrink.
+bool run_doctor(const Cli& cli) {
+  const ChaosConfig cfg = config_for(cli, cli.seed, cli.ops);
+  RunOptions opt;
+  opt.save_trace = cli.save_trace;
+  const ChaosResult r = cpa::check::run_chaos(cfg, opt);
+  if (r.ok()) {
+    std::printf("FAIL: doctored bug (%s) produced no violation\n",
+                to_string(cfg.doctor));
+    return false;
+  }
+  std::printf("doctored bug (%s) caught:\n%s", to_string(cfg.doctor),
+              r.render_violations().c_str());
+  const ChaosCampaign full = ChaosCampaign::generate(cfg);
+  const auto res = cpa::check::shrink(full, opt);
+  if (!res) {
+    std::printf("FAIL: doctored failure did not survive shrinking\n");
+    return false;
+  }
+  if (res->minimal.ops.size() >= full.ops.size()) {
+    std::printf("FAIL: shrinker removed nothing (%zu ops)\n",
+                full.ops.size());
+    return false;
+  }
+  std::printf("shrunk to %zu op(s), %zu fault event(s) in %u runs:\n%s",
+              res->minimal.ops.size(), res->minimal.fault_plan.events.size(),
+              res->runs, res->minimal.render().c_str());
+  std::printf("self-test ok\n");
+  return true;
+}
+
+std::vector<std::pair<std::uint64_t, unsigned>> load_corpus(
+    const std::string& path, unsigned default_ops) {
+  std::vector<std::pair<std::uint64_t, unsigned>> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t seed = 0;
+    if (!(ls >> seed)) continue;
+    unsigned ops = 0;
+    if (!(ls >> ops)) ops = default_ops;
+    out.emplace_back(seed, ops);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse(argc, argv, cli)) return 2;
+
+  if (cli.doctor != Doctor::None) {
+    return run_doctor(cli) ? 0 : 1;
+  }
+
+  std::vector<std::pair<std::uint64_t, unsigned>> seeds;
+  if (!cli.corpus.empty()) {
+    seeds = load_corpus(cli.corpus, cli.ops);
+    if (seeds.empty()) {
+      std::fprintf(stderr, "corpus %s is empty or unreadable\n",
+                   cli.corpus.c_str());
+      return 2;
+    }
+  } else {
+    for (unsigned i = 0; i < cli.seeds; ++i) {
+      seeds.emplace_back(cli.seed + i, cli.ops);
+    }
+  }
+
+  unsigned failed = 0;
+  for (const auto& [seed, ops] : seeds) {
+    if (!run_seed(cli, seed, ops)) ++failed;
+  }
+  std::printf("%zu seed(s), %u failed\n", seeds.size(), failed);
+  return failed == 0 ? 0 : 1;
+}

@@ -6,12 +6,17 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# Tests carry ctest labels (tier1 / slow / chaos — see tests/CMakeLists.txt).
+# The tier-1 pass is the fast merge gate; the labelled tiers run after it so
+# a chaos or slow failure never hides a unit-test failure.
 run_preset() {
   local dir=$1
   shift
   cmake -B "$dir" -S . "$@" >/dev/null
   cmake --build "$dir" -j "$JOBS"
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L tier1 \
+    ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L "chaos|slow" \
     ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
 }
 
@@ -69,6 +74,22 @@ echo "== Scrub smoke (ASan) =="
 # breaks with the admission-wait bucket in play.
 echo "== Fair-share smoke (ASan) =="
 ./build-asan/bench/bench_fairshare --smoke --json=build-asan/BENCH_fairshare.json
+
+# Chaos smoke (under the sanitizer build): the deterministic simulation
+# harness replays the checked-in seed corpus (one seed per past bug class,
+# ops pinned in the file), then sweeps a handful of fresh seeds at a
+# bounded op count — CPA_CHECK_OPS scales the sweep depth for bigger
+# machines.  On any invariant violation cpa_check prints the violation and
+# a copy-pasteable `cpa_check --seed=... --shrink` repro line and exits
+# non-zero.  The two --doctor self-tests prove the oracles and the
+# shrinker still catch a planted bug (a silently rotted segment, a dropped
+# fixity row) — a gate that cannot fail is not a gate.
+echo "== Chaos smoke (ASan) =="
+CHAOS_OPS="${CPA_CHECK_OPS:-150}"
+./build-asan/bench/cpa_check --corpus=tests/check/seed_corpus.txt
+CPA_CHECK_OPS="$CHAOS_OPS" ./build-asan/bench/cpa_check --seed=1 --seeds=4
+./build-asan/bench/cpa_check --seed=11 --ops=120 --doctor=scrub
+./build-asan/bench/cpa_check --seed=11 --ops=120 --doctor=fixity
 
 # Attribution-conservation gate (under the sanitizer build): run the
 # causal critical-path profiler over the fig10 campaign and require that

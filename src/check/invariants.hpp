@@ -1,0 +1,133 @@
+// Cross-subsystem invariant oracles, checked continuously and at drain.
+//
+// Each subsystem's own tests pin its local contract; what nothing pinned
+// before this harness is the *seams* — fixity rows vs tape segments vs
+// server objects, scheduler waits vs the aging bound, incremental flow
+// rates vs the water-filling reference, profiler buckets vs wall-clock.
+// An InvariantRegistry holds named checks over a live system; continuous
+// checks run on a budget from inside the event loop (threaded through the
+// existing SimProbe hook, see CheckProbe), final checks run once after the
+// campaign drains.  A check returns std::nullopt when the invariant holds
+// or a one-line diagnostic when it does not; every diagnostic becomes a
+// Violation with the virtual time it was observed at.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simcore/probe.hpp"
+#include "simcore/time.hpp"
+
+namespace cpa::archive {
+class CotsParallelArchive;
+}
+
+namespace cpa::check {
+
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  sim::Tick at = 0;
+
+  [[nodiscard]] std::string render() const;
+};
+
+class InvariantRegistry {
+ public:
+  /// nullopt = invariant holds; a string = one-line diagnostic.
+  using Check = std::function<std::optional<std::string>()>;
+
+  /// Continuous checks run every `every_events` fired events (and once at
+  /// drain); keep them side-effect free and cheap-ish.
+  void add_continuous(std::string name, Check fn);
+  /// Final checks run once, after the campaign drains.
+  void add_final(std::string name, Check fn);
+
+  /// Runs every continuous check; records violations.  `now` stamps them.
+  void run_continuous(sim::Tick now);
+  /// Runs every final check (continuous ones too, one last time).
+  void run_final(sim::Tick now);
+
+  /// Records an externally observed violation (the runner's end-to-end
+  /// oracles — restore verification, metamorphic comparisons — live in
+  /// the runner but report through the registry).
+  void report(std::string invariant, std::string detail, sim::Tick at);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] std::string render_violations() const;
+
+ private:
+  struct Named {
+    std::string name;
+    Check fn;
+  };
+  void run_list(const std::vector<Named>& list, sim::Tick now);
+
+  std::vector<Named> continuous_;
+  std::vector<Named> final_;
+  std::vector<Violation> violations_;
+};
+
+/// Event-loop hook: forwards every probe callback to the observer already
+/// installed (so metrics and traces keep working) and triggers the
+/// registry's continuous checks every `every_events` fired events.  This
+/// is how the oracles watch the run from the inside without the runner
+/// hand-stepping the simulation.
+class CheckProbe final : public sim::SimProbe {
+ public:
+  CheckProbe(sim::SimProbe* inner, InvariantRegistry& reg,
+             std::uint64_t every_events)
+      : inner_(inner), reg_(reg), every_(every_events ? every_events : 1) {}
+
+  void on_event_fired(sim::Tick at) override {
+    if (inner_ != nullptr) inner_->on_event_fired(at);
+    if (++fired_ % every_ == 0) reg_.run_continuous(at);
+  }
+  void on_event_cancelled(sim::Tick at) override {
+    if (inner_ != nullptr) inner_->on_event_cancelled(at);
+  }
+
+ private:
+  sim::SimProbe* inner_;
+  InvariantRegistry& reg_;
+  std::uint64_t every_;
+  std::uint64_t fired_ = 0;
+};
+
+/// Registers the standard cross-subsystem oracles against a live system:
+///
+///   flow-conservation   incremental rates == water-filling reference,
+///                       exactly, and no pool over capacity (continuous)
+///   fs-capacity         no file-system pool charged past capacity
+///                       (continuous)
+///   fixity-consistency  fixity rows <-> server objects <-> tape segments
+///                       agree; on-tape fingerprints match recorded
+///                       checksums except where the fault plan injected
+///                       corruption that is still awaiting detection, and
+///                       rows marked Unrepairable were reported (final)
+///   profiler-conservation  every job's bucket decomposition sums to its
+///                       wall-clock (final; tracing runs only)
+///   sched-starvation    max queue wait <= aging bound + one service time
+///                       per submitted job (final; sched runs only)
+///
+/// `corrupt_cartridges` names the cartridges the fault plan rots (their
+/// segments may legitimately mismatch until a scrub or recall heals or
+/// condemns them); `max_service` and `jobs_submitted` feed the starvation
+/// bound and are read at final-check time through the references.
+struct OracleInputs {
+  std::vector<std::uint64_t> corrupt_cartridges;
+  const sim::Tick* max_service = nullptr;
+  const unsigned* jobs_submitted = nullptr;
+};
+
+void register_standard_oracles(InvariantRegistry& reg,
+                               archive::CotsParallelArchive& sys,
+                               const OracleInputs& inputs);
+
+}  // namespace cpa::check

@@ -1,0 +1,86 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cpa::check {
+
+namespace {
+
+/// One probe execution; records the failing result when it fails.
+bool fails(const ChaosCampaign& c, const RunOptions& opt, unsigned& runs,
+           ChaosResult& out) {
+  ++runs;
+  ChaosResult r = run_campaign(c, opt);
+  if (r.ok()) return false;
+  out = std::move(r);
+  return true;
+}
+
+/// ddmin-lite over one sequence: repeatedly tries dropping contiguous
+/// chunks (size n/2, then n/4, ... then 1), keeping any drop that still
+/// fails.  `erase(campaign, start, len)` must remove the range from the
+/// candidate's sequence; `size(campaign)` reports its current length.
+template <typename SizeFn, typename EraseFn>
+void reduce(ChaosCampaign& cur, ChaosResult& fail, unsigned& runs,
+            unsigned max_runs, const RunOptions& opt, SizeFn size,
+            EraseFn erase) {
+  std::size_t chunk = size(cur) / 2;
+  while (chunk >= 1 && runs < max_runs) {
+    std::size_t start = 0;
+    while (start < size(cur) && runs < max_runs) {
+      ChaosCampaign cand = cur;
+      const std::size_t len = std::min(chunk, size(cand) - start);
+      erase(cand, start, len);
+      if (fails(cand, opt, runs, fail)) {
+        cur = std::move(cand);  // keep the drop; retry the same offset
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+}
+
+}  // namespace
+
+std::optional<ShrinkResult> shrink(const ChaosCampaign& campaign,
+                                   const RunOptions& opt,
+                                   unsigned max_runs) {
+  RunOptions probe = opt;
+  probe.save_trace.clear();  // probes are throwaway runs
+
+  ShrinkResult res;
+  res.minimal = campaign;
+  if (!fails(res.minimal, probe, res.runs, res.failure)) {
+    return std::nullopt;
+  }
+
+  reduce(
+      res.minimal, res.failure, res.runs, max_runs, probe,
+      [](const ChaosCampaign& c) { return c.ops.size(); },
+      [](ChaosCampaign& c, std::size_t start, std::size_t len) {
+        c.ops.erase(c.ops.begin() + static_cast<std::ptrdiff_t>(start),
+                    c.ops.begin() + static_cast<std::ptrdiff_t>(start + len));
+      });
+  reduce(
+      res.minimal, res.failure, res.runs, max_runs, probe,
+      [](const ChaosCampaign& c) { return c.fault_plan.events.size(); },
+      [](ChaosCampaign& c, std::size_t start, std::size_t len) {
+        auto& ev = c.fault_plan.events;
+        ev.erase(ev.begin() + static_cast<std::ptrdiff_t>(start),
+                 ev.begin() + static_cast<std::ptrdiff_t>(start + len));
+      });
+
+  // The kept `failure` is always the result of the final `minimal` run
+  // (every accepted drop updates both together).  Re-run once with the
+  // caller's options so a requested trace capture reflects the minimum.
+  if (!opt.save_trace.empty()) {
+    res.failure = run_campaign(res.minimal, opt);
+    ++res.runs;
+  }
+  return res;
+}
+
+}  // namespace cpa::check

@@ -1,0 +1,36 @@
+// Failure minimization: from a violating campaign to a minimal repro.
+//
+// A 300-op chaos campaign that trips an oracle is a terrible bug report;
+// the three ops that actually matter are a good one.  Because every op
+// re-checks its preconditions at execution time and skips when they are
+// unmet, *any subset* of a campaign's op list is itself a valid campaign
+// — which makes delta-debugging sound: drop a chunk, re-run, keep the
+// drop if the violation survives.  Ops shrink first (halving chunk
+// sizes, ddmin style), then the fault plan's events get the same
+// treatment.  Every probe run is fully deterministic, so the minimal
+// campaign reproduces the violation forever.
+#pragma once
+
+#include <optional>
+
+#include "check/runner.hpp"
+
+namespace cpa::check {
+
+struct ShrinkResult {
+  /// The minimal failing campaign (subset of the input's ops + events).
+  ChaosCampaign minimal;
+  /// The minimal campaign's failing run (violations, log, digest).
+  ChaosResult failure;
+  /// Campaign executions spent shrinking.
+  unsigned runs = 0;
+};
+
+/// Minimizes `campaign` under "still produces at least one violation".
+/// Returns nullopt when the campaign does not fail in the first place.
+/// `max_runs` bounds the total number of probe executions.
+std::optional<ShrinkResult> shrink(const ChaosCampaign& campaign,
+                                   const RunOptions& opt = {},
+                                   unsigned max_runs = 200);
+
+}  // namespace cpa::check

@@ -1,0 +1,93 @@
+// End-to-end chaos runs (ctest label: chaos).  Bounded op counts keep
+// each case in the low seconds, but every one drives a whole simulated
+// plant through a randomized faulted campaign, so they sit outside the
+// tier-1 gate.
+#include <gtest/gtest.h>
+
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+
+namespace cpa::check {
+namespace {
+
+TEST(Chaos, FaultedCampaignCompletesWithZeroViolations) {
+  const ChaosConfig cfg = ChaosConfig{}.with_seed(1).with_ops(120);
+  const ChaosResult r = run_chaos(cfg);
+  EXPECT_TRUE(r.ok()) << r.render_violations();
+  EXPECT_EQ(r.ops_executed + r.ops_skipped, 120u);
+  EXPECT_GT(r.jobs_submitted, 0u);
+  EXPECT_GT(r.drained_at, 0u);
+}
+
+TEST(Chaos, SameSeedReplaysToIdenticalDigest) {
+  const ChaosConfig cfg = ChaosConfig{}.with_seed(7).with_ops(100);
+  const ChaosResult a = run_chaos(cfg);
+  const ChaosResult b = run_chaos(cfg);
+  ASSERT_TRUE(a.ok()) << a.render_violations();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.state_digest, b.state_digest);
+}
+
+TEST(Chaos, RecoveredFaultedRunMatchesFaultFreeTwinState) {
+  // The metamorphic oracle: faults that were fully ridden out must leave
+  // the plant in the same logical final state as never having happened.
+  // Cancels and corruptions stay off so the op stream is twin-comparable.
+  const ChaosConfig cfg = ChaosConfig{}
+                              .with_seed(5)
+                              .with_ops(90)
+                              .with_cancels(false)
+                              .with_corruptions(false);
+  const ChaosResult faulted = run_chaos(cfg);
+  ASSERT_TRUE(faulted.ok()) << faulted.render_violations();
+  if (!faulted.fully_recovered) {
+    GTEST_SKIP() << "seed 5 no longer fully recovers; pick a new seed";
+  }
+  const ChaosResult twin = run_chaos(cfg.fault_free_twin());
+  ASSERT_TRUE(twin.ok()) << twin.render_violations();
+  EXPECT_EQ(faulted.state_digest, twin.state_digest)
+      << "faulted:\n" << faulted.state << "\ntwin:\n" << twin.state;
+}
+
+TEST(Chaos, DoctoredScrubBugIsCaughtAndShrinks) {
+  // Self-test: sabotage a tape segment after the final sweep and prove
+  // the oracles flag it and the shrinker reduces the repro.
+  const ChaosConfig cfg = ChaosConfig{}.with_seed(11).with_ops(120).with_doctor(
+      Doctor::BreakScrubRepair);
+  const ChaosResult r = run_chaos(cfg);
+  ASSERT_FALSE(r.ok()) << "doctored run failed to trip any oracle";
+  const auto shrunk = shrink(ChaosCampaign::generate(cfg));
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_FALSE(shrunk->failure.ok());
+  EXPECT_LT(shrunk->minimal.ops.size(), 120u / 2);
+  EXPECT_GT(shrunk->runs, 0u);
+}
+
+TEST(Chaos, DoctoredFixityDropIsCaught) {
+  const ChaosConfig cfg =
+      ChaosConfig{}.with_seed(11).with_ops(120).with_doctor(
+          Doctor::DropFixityRow);
+  const ChaosResult r = run_chaos(cfg);
+  ASSERT_FALSE(r.ok());
+  bool fixity = false;
+  for (const Violation& v : r.violations) {
+    if (v.invariant == "fixity-consistency") fixity = true;
+  }
+  EXPECT_TRUE(fixity) << r.render_violations();
+}
+
+TEST(Chaos, ReproLineRoundTripsTheConfig) {
+  const ChaosConfig cfg = ChaosConfig{}
+                              .with_seed(99)
+                              .with_ops(40)
+                              .with_corruptions(false)
+                              .with_doctor(Doctor::DropFixityRow);
+  const std::string line = repro_line(cfg);
+  EXPECT_NE(line.find("--seed=99"), std::string::npos);
+  EXPECT_NE(line.find("--ops=40"), std::string::npos);
+  EXPECT_NE(line.find("--no-corruptions"), std::string::npos);
+  EXPECT_NE(line.find("--doctor=fixity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cpa::check

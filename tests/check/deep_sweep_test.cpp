@@ -1,0 +1,35 @@
+// Deep chaos sweep (ctest labels: chaos;slow).  Wider and longer than
+// chaos_test: a block of consecutive seeds at full campaign length, the
+// acceptance bar the harness was landed against.  CPA_CHECK_OPS scales
+// campaign length the same way it does for the cpa_check CLI.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/runner.hpp"
+
+namespace cpa::check {
+namespace {
+
+unsigned ops_budget() {
+  if (const char* env = std::getenv("CPA_CHECK_OPS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 300;
+}
+
+TEST(DeepSweep, TenConsecutiveSeedsAtFullLengthStayClean) {
+  const unsigned ops = ops_budget();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ChaosConfig cfg = ChaosConfig{}.with_seed(seed).with_ops(ops);
+    const ChaosResult r = run_chaos(cfg);
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ":\n"
+                        << r.render_violations()
+                        << "repro: " << repro_line(cfg);
+    EXPECT_EQ(r.ops_executed + r.ops_skipped, ops) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cpa::check

@@ -1,0 +1,143 @@
+// The invariant registry and the standard cross-subsystem oracles: a
+// healthy plant passes, and each seeded inconsistency class is caught.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "archive/system.hpp"
+#include "check/invariants.hpp"
+
+namespace cpa::check {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest()
+      : sys_(archive::SystemConfig::small()
+                 .with_tracing(true)
+                 .with_servers(1)) {}
+
+  /// Archives and migrates a small tree so fixity rows, tape segments and
+  /// server objects all exist.
+  void populate() {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(sys_.make_file(sys_.scratch(), "/t/f" + std::to_string(i),
+                               8 * kMB, 0x100 + i),
+                pfs::Errc::Ok);
+    }
+    ASSERT_EQ(sys_.pfcp_archive("/t", "/arch/t").files_copied, 3u);
+    pfs::Rule rule;
+    rule.name = "all";
+    rule.action = pfs::Rule::Action::List;
+    rule.where = {pfs::Condition::dmapi_is(pfs::DmapiState::Resident)};
+    sys_.policy().add_rule(rule);
+    bool done = false;
+    sys_.run_migration_cycle("all", "g", [&](const hsm::MigrateReport& r) {
+      done = true;
+      ASSERT_EQ(r.files_failed, 0u);
+    });
+    sys_.sim().run();
+    ASSERT_TRUE(done);
+  }
+
+  InvariantRegistry& registered() {
+    register_standard_oracles(reg_, sys_, OracleInputs{});
+    return reg_;
+  }
+
+  archive::CotsParallelArchive sys_;
+  InvariantRegistry reg_;
+};
+
+TEST_F(OracleTest, HealthyPlantPassesAllOracles) {
+  populate();
+  registered().run_final(sys_.sim().now());
+  EXPECT_TRUE(reg_.ok()) << reg_.render_violations();
+}
+
+TEST_F(OracleTest, UnplannedRotTripsFixityConsistency) {
+  populate();
+  tape::Cartridge* victim = nullptr;
+  sys_.library().for_each_cartridge([&](tape::Cartridge& c) {
+    if (victim == nullptr && c.segment_count() > 0) victim = &c;
+  });
+  ASSERT_NE(victim, nullptr);
+  ASSERT_EQ(victim->corrupt_random_segments(1, 99), 1u);
+  registered().run_final(sys_.sim().now());
+  ASSERT_FALSE(reg_.ok());
+  EXPECT_EQ(reg_.violations().front().invariant, "fixity-consistency");
+  EXPECT_NE(reg_.violations().front().detail.find("undetected corruption"),
+            std::string::npos);
+}
+
+TEST_F(OracleTest, PlannedRotIsExemptUntilDetection) {
+  populate();
+  tape::Cartridge* victim = nullptr;
+  sys_.library().for_each_cartridge([&](tape::Cartridge& c) {
+    if (victim == nullptr && c.segment_count() > 0) victim = &c;
+  });
+  ASSERT_NE(victim, nullptr);
+  ASSERT_EQ(victim->corrupt_random_segments(1, 99), 1u);
+  OracleInputs in;
+  in.corrupt_cartridges.push_back(victim->id());
+  register_standard_oracles(reg_, sys_, in);
+  reg_.run_final(sys_.sim().now());
+  EXPECT_TRUE(reg_.ok()) << reg_.render_violations();
+}
+
+TEST_F(OracleTest, DroppedFixityRowTripsTheReverseWalk) {
+  populate();
+  std::uint64_t obj = 0;
+  sys_.hsm().server(0).for_each_object([&](const hsm::ArchiveObject& o) {
+    if (obj == 0 && !o.is_member() && o.cartridge_id != 0) obj = o.object_id;
+  });
+  ASSERT_NE(obj, 0u);
+  ASSERT_TRUE(sys_.hsm().fixity_db().erase_object(obj));
+  registered().run_final(sys_.sim().now());
+  ASSERT_FALSE(reg_.ok());
+  EXPECT_EQ(reg_.violations().front().invariant, "fixity-consistency");
+  EXPECT_NE(reg_.violations().front().detail.find("no fixity row"),
+            std::string::npos);
+}
+
+TEST_F(OracleTest, ContinuousChecksRunOnTheProbeCadence) {
+  int calls = 0;
+  reg_.add_continuous("counter", [&]() -> std::optional<std::string> {
+    ++calls;
+    return std::nullopt;
+  });
+  CheckProbe probe(nullptr, reg_, /*every_events=*/4);
+  for (int i = 0; i < 12; ++i) probe.on_event_fired(i);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(OracleTest, ReportedViolationsRenderWithTimestamps) {
+  reg_.report("custom", "something broke", sim::secs(5));
+  ASSERT_EQ(reg_.violations().size(), 1u);
+  const std::string r = reg_.violations().front().render();
+  EXPECT_NE(r.find("VIOLATION custom"), std::string::npos);
+  EXPECT_NE(r.find("something broke"), std::string::npos);
+  EXPECT_FALSE(reg_.ok());
+}
+
+TEST_F(OracleTest, FinalRunsIncludeContinuousChecks) {
+  int continuous = 0;
+  int final_only = 0;
+  reg_.add_continuous("c", [&]() -> std::optional<std::string> {
+    ++continuous;
+    return std::nullopt;
+  });
+  reg_.add_final("f", [&]() -> std::optional<std::string> {
+    ++final_only;
+    return std::nullopt;
+  });
+  reg_.run_continuous(0);
+  EXPECT_EQ(continuous, 1);
+  EXPECT_EQ(final_only, 0);
+  reg_.run_final(0);
+  EXPECT_EQ(continuous, 2);
+  EXPECT_EQ(final_only, 1);
+}
+
+}  // namespace
+}  // namespace cpa::check

@@ -1,0 +1,156 @@
+// Two race classes past bugs came from, pinned as fixed regression tests:
+//   * JobHandle::cancel racing admission -> launch (the deferred-launch
+//     window: an admitted job whose launch event is already queued must
+//     not be cancellable, and must run exactly once either way), and
+//   * a fixity scrub holding a drive while a tenant-quota-throttled
+//     recall storm contends for the rest (no deadlock, no starvation
+//     past the aging bound, every restore verified).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "archive/system.hpp"
+#include "check/invariants.hpp"
+#include "integrity/scrubber.hpp"
+
+namespace cpa::check {
+namespace {
+
+using archive::CotsParallelArchive;
+using archive::JobHandle;
+using archive::JobSpec;
+using archive::JobState;
+using archive::SystemConfig;
+
+void make_tree(CotsParallelArchive& sys, const std::string& root, int files,
+               std::uint64_t bytes = 20 * kMB) {
+  for (int i = 0; i < files; ++i) {
+    ASSERT_EQ(sys.make_file(sys.scratch(), root + "/f" + std::to_string(i),
+                            bytes, 0xF00 + static_cast<std::uint64_t>(i)),
+              pfs::Errc::Ok);
+  }
+}
+
+TEST(CancelRace, CancelInDeferredLaunchWindowLosesAndJobRunsOnce) {
+  CotsParallelArchive sys(SystemConfig::small().with_sched(
+      sched::SchedConfig{}.with_max_running_jobs(1)));
+  make_tree(sys, "/a", 2);
+  JobHandle j = sys.submit(JobSpec::pfcp("/a", "/proj/a"));
+  // Admitted, launch deferred one event: the handle still reads Queued.
+  ASSERT_EQ(j.state(), JobState::Queued);
+  bool cancel_result = true;
+  // Race the cancel through the event loop, exactly like a chaos
+  // campaign does: it fires after the deferred launch, so it must lose.
+  sys.sim().after(0, [&] { cancel_result = j.cancel(); });
+  sys.sim().run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(j.state(), JobState::Succeeded);
+  EXPECT_EQ(j.attempts(), 1u);  // ran exactly once, never double-launched
+  EXPECT_EQ(j.report().files_copied, 2u);
+  EXPECT_EQ(sys.observer().metrics().counter_value("sched.cancelled"), 0u);
+}
+
+TEST(CancelRace, CancelLandsOnQueuedJobAndResubmitCompletes) {
+  CotsParallelArchive sys(SystemConfig::small().with_sched(
+      sched::SchedConfig{}.with_max_running_jobs(1)));
+  make_tree(sys, "/a", 2);
+  make_tree(sys, "/b", 2);
+  JobHandle j1 = sys.submit(JobSpec::pfcp("/a", "/proj/a"));
+  JobHandle j2 = sys.submit(JobSpec::pfcp("/b", "/proj/b"));
+  bool landed = false;
+  JobHandle j3;
+  // Cancel j2 while it is genuinely queued behind j1's slot, then
+  // resubmit — the chaos runner's cancel-once-then-go idiom.  One tick:
+  // past j1's deferred launch, before j1 frees the slot.
+  sys.sim().after(1, [&] {
+    landed = j2.cancel();
+    j3 = sys.submit(JobSpec::pfcp("/b", "/proj/b"));
+  });
+  sys.sim().run();
+  EXPECT_TRUE(landed);
+  EXPECT_EQ(j2.state(), JobState::Cancelled);
+  EXPECT_EQ(j2.attempts(), 0u);  // the cancelled incarnation never ran
+  EXPECT_EQ(j1.state(), JobState::Succeeded);
+  EXPECT_EQ(j3.state(), JobState::Succeeded);
+  EXPECT_EQ(j3.report().files_copied, 2u);
+}
+
+TEST(ScrubStorm, QuotaThrottledRecallStormSurvivesConcurrentScrub) {
+  SystemConfig cfg = SystemConfig::small()
+                         .with_tracing(true)
+                         .with_sched(sched::SchedConfig{})
+                         .with_tenant_quota(
+                             "t0", sched::TenantQuota{}.with_max_drives(2));
+  cfg.hsm.tape_copies = 2;
+  CotsParallelArchive sys(cfg);
+
+  // Archive + migrate four trees so recalls genuinely mount tape.
+  for (int t = 0; t < 4; ++t) {
+    const std::string root = "/storm/t" + std::to_string(t);
+    make_tree(sys, root, 3);
+    ASSERT_EQ(sys.pfcp_archive(root, "/arch/t" + std::to_string(t))
+                  .files_failed,
+              0u);
+  }
+  pfs::Rule rule;
+  rule.name = "all";
+  rule.action = pfs::Rule::Action::List;
+  rule.where = {pfs::Condition::dmapi_is(pfs::DmapiState::Resident)};
+  sys.policy().add_rule(rule);
+  bool migrated = false;
+  sys.run_migration_cycle("all", "g", [&](const hsm::MigrateReport& r) {
+    migrated = true;
+    ASSERT_EQ(r.files_failed, 0u);
+  });
+  sys.sim().run();
+  ASSERT_TRUE(migrated);
+
+  // Scrub (holds one drive for the whole pass, Maintenance QoS) ...
+  bool scrubbed = false;
+  sys.hsm().scrub(integrity::ScrubConfig().with_tenant("maint"),
+                  [&](const integrity::ScrubReport& r) {
+                    scrubbed = true;
+                    EXPECT_EQ(r.mismatches, 0u);
+                    EXPECT_GT(r.segments_scanned, 0u);
+                  });
+  // ... while tenant t0, capped at two drives, storms the recall path.
+  std::vector<JobHandle> storm;
+  for (int t = 0; t < 4; ++t) {
+    storm.push_back(
+        sys.submit(JobSpec::pfcp_restore("/arch/t" + std::to_string(t),
+                                         "/restage/t" + std::to_string(t))
+                       .with_tenant("t0")
+                       .with_qos(sched::QosClass::Bulk)
+                       .with_verified(true)));
+  }
+  sys.sim().run();
+
+  EXPECT_TRUE(scrubbed);  // the scrub was not starved out by the storm
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(storm[static_cast<std::size_t>(t)].state(),
+              JobState::Succeeded)
+        << "storm job " << t;
+    EXPECT_TRUE(storm[static_cast<std::size_t>(t)].fixity_clean());
+    for (int i = 0; i < 3; ++i) {
+      const auto tag = sys.scratch().read_tag(
+          "/restage/t" + std::to_string(t) + "/f" + std::to_string(i));
+      ASSERT_TRUE(tag.ok());
+      EXPECT_EQ(tag.value(), 0xF00 + static_cast<std::uint64_t>(i));
+    }
+  }
+  // The cross-subsystem oracles hold over the aftermath, starvation
+  // bound included (4 storm jobs + the archives that staged the data).
+  InvariantRegistry reg;
+  const sim::Tick max_service = sys.sim().now();  // generous upper bound
+  const unsigned jobs = 8;
+  OracleInputs in;
+  in.max_service = &max_service;
+  in.jobs_submitted = &jobs;
+  register_standard_oracles(reg, sys, in);
+  reg.run_final(sys.sim().now());
+  EXPECT_TRUE(reg.ok()) << reg.render_violations();
+}
+
+}  // namespace
+}  // namespace cpa::check

@@ -109,6 +109,46 @@ TEST(FaultPlan, CorruptParseRejectsBadShapes) {
   }
 }
 
+TEST(FaultPlan, CompositePlanRoundTripsThroughTheGrammar) {
+  // The chaos generator emits plans mixing every kind in one spec; the
+  // whole composite must survive parse -> render -> parse unchanged.
+  const std::string spec =
+      "tape.media[7]:corrupt@t=3600s,segments=3,seed=42;"
+      "cluster.node[2]:fail@t=120s,repair=300s;"
+      "tape.drive[3]:fail@t=120s,repair=300s";
+  std::string err;
+  const auto plan = FaultPlan::parse(spec, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  ASSERT_EQ(plan->size(), 3u);
+  EXPECT_EQ(plan->events[0].kind, FaultKind::Corrupt);
+  EXPECT_EQ(plan->events[1].target, FaultTarget::ClusterNode);
+  EXPECT_EQ(plan->events[2].target, FaultTarget::TapeDrive);
+  EXPECT_EQ(plan->render(), spec);
+  const auto again = FaultPlan::parse(plan->render(), &err);
+  ASSERT_TRUE(again.has_value()) << err;
+  EXPECT_EQ(again->render(), spec);
+}
+
+TEST(FaultPlan, RandomMatchesPinnedGolden) {
+  // FaultPlan::random(cfg, seed) is a replay contract: chaos campaigns
+  // embed only (cfg, seed), so the expansion must never drift.  If this
+  // golden moves, every archived repro line silently changes meaning.
+  RandomFaultConfig cfg;
+  cfg.drive_failures = 1;
+  cfg.node_crashes = 1;
+  cfg.media_corruptions = 1;
+  cfg.drives = 4;
+  cfg.nodes = 4;
+  cfg.cartridges = 4;
+  cfg.horizon = sim::hours(1);
+  cfg.min_repair = sim::minutes(2);
+  cfg.max_repair = sim::minutes(10);
+  EXPECT_EQ(FaultPlan::random(cfg, 7).render(),
+            "cluster.node[0]:fail@t=2776433019402ns,repair=162201366393ns;"
+            "tape.drive[2]:fail@t=3390333354327ns,repair=226460372153ns;"
+            "tape.media[0]:corrupt@t=3476297480058ns,segments=1,seed=26083683");
+}
+
 TEST(FaultPlan, RandomCoversCorruptionsDeterministically) {
   RandomFaultConfig cfg;
   cfg.drive_failures = 0;
