@@ -75,6 +75,13 @@ echo "== Scrub smoke (ASan) =="
 echo "== Fair-share smoke (ASan) =="
 ./build-asan/bench/bench_fairshare --smoke --json=build-asan/BENCH_fairshare.json
 
+# Recovery smoke (under the sanitizer build): drive a redo-logged metadata
+# plant through a mutation history, power-fail it, and replay.  The bench
+# exits non-zero if any durably-acked object is missing after recovery or
+# checkpointed recovery is not faster than full replay at max history.
+echo "== Recovery smoke (ASan) =="
+./build-asan/bench/bench_recovery --smoke --json=build-asan/BENCH_recovery.json
+
 # Chaos smoke (under the sanitizer build): the deterministic simulation
 # harness replays the checked-in seed corpus (one seed per past bug class,
 # ops pinned in the file), then sweeps a handful of fresh seeds at a
@@ -90,6 +97,16 @@ CHAOS_OPS="${CPA_CHECK_OPS:-150}"
 CPA_CHECK_OPS="$CHAOS_OPS" ./build-asan/bench/cpa_check --seed=1 --seeds=4
 ./build-asan/bench/cpa_check --seed=11 --ops=120 --doctor=scrub
 ./build-asan/bench/cpa_check --seed=11 --ops=120 --doctor=fixity
+
+# Crash matrix (under the sanitizer build): the same chaos campaigns with
+# whole-archive power failures mixed into the op stream — every metadata
+# mutation rides the WAL, each crash-restart op tears the un-fsynced tail
+# at an op-derived seed and replays recovery, and each seed additionally
+# runs the quiescent metamorphic gate (drained plant + crash + recover
+# must equal the never-crashed state digest).  Zero invariant violations
+# required; durably-acked files must restore byte-exact after recovery.
+echo "== Crash matrix (ASan) =="
+./build-asan/bench/cpa_check --seed=1 --seeds=20 --ops="$CHAOS_OPS" --crashes
 
 # Attribution-conservation gate (under the sanitizer build): run the
 # causal critical-path profiler over the fig10 campaign and require that
@@ -110,6 +127,7 @@ if [[ "${CPA_UPDATE_BASELINE:-0}" == "1" ]]; then
   cp build-release/BENCH_flow_churn.json "$BASELINES/BENCH_flow_churn.json"
   cp build-asan/BENCH_scrub.json "$BASELINES/BENCH_scrub.json"
   cp build-asan/BENCH_fairshare.json "$BASELINES/BENCH_fairshare.json"
+  cp build-asan/BENCH_recovery.json "$BASELINES/BENCH_recovery.json"
   echo "baselines regenerated in $BASELINES"
 else
   # Churn speedup is wall-clock derived, so only a collapse (for example
@@ -130,6 +148,13 @@ else
     --metric=injected --metric=detected --metric=repaired_from_copy \
     --metric=remigrated --metric=unrepairable --metric=rescrub_mismatches \
     --metric=segments --metric=tape_ordered_mounts --metric=naive_mounts
+  # Recovery counts and virtual-time durations are deterministic; the
+  # replay counts are exact, and recovery time may only collapse (a
+  # checkpoint silently not installing would triple it) within 50%.
+  "$REGRESS" --baseline="$BASELINES/BENCH_recovery.json" \
+    --fresh=build-asan/BENCH_recovery.json --key=scenario \
+    --metric=mutations --metric=replayed \
+    --metric=recovery_ms:50:lower
   # Self-test: a doctored baseline must trip the gate (exit non-zero).
   doctored=$(mktemp)
   sed -E 's/"speedup": [0-9.]+/"speedup": 99999.0/' \

@@ -115,6 +115,10 @@ struct JobRecord {
   /// Installed by the system while the job is Queued; cancels it at the
   /// scheduler and flips the state to Cancelled.  Cleared at launch.
   std::function<void()> cancel_hook;
+  /// The running attempt died in a power failure; recover() relaunches it
+  /// (without charging the spec's retry budget — a crash restart is the
+  /// plant's fault, not the job's).
+  bool crash_parked = false;
 
   [[nodiscard]] bool done() const {
     return state == JobState::Succeeded || state == JobState::Failed ||

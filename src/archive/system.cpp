@@ -75,8 +75,72 @@ CotsParallelArchive::CotsParallelArchive(SystemConfig cfg)
     library_->set_arbiter(sched_.get());
     hsm_->set_scheduler(sched_.get());
   }
+  if (cfg_.wal.enabled) {
+    durable_ = std::make_unique<wal::Durable>(sim_, cfg_.wal, *obs_);
+    for (unsigned i = 0; i < hsm_->server_count(); ++i) {
+      durable_->attach_server(i, hsm_->server(i));
+    }
+    durable_->attach_fixity(hsm_->fixity_db());
+    durable_->attach_journal(journal_);
+    hsm_->set_durability_barrier(
+        [this](std::function<void()> k) { durable_->sync(std::move(k)); });
+  }
   wire_fault_targets();
   injector_.arm(cfg_.fault_plan);
+}
+
+void CotsParallelArchive::power_fail(std::uint64_t seed) {
+  obs_->metrics().counter("archive.power_fails").inc();
+  obs_->trace().instant(obs::Component::Fault, "power", "power_fail",
+                        sim_.now());
+  // Frontend first: a finished pftool job no-ops on every entry point, so
+  // the HSM abort closures firing next (which can call back into tape
+  // procs) land harmlessly.  Jobs whose attempt already finished but
+  // whose durability ack was still in flight are parked too — the sync
+  // waiter died with the WAL.
+  for (const std::shared_ptr<detail::JobRecord>& rec : jobs_) {
+    if (rec->state != JobState::Running) continue;
+    rec->crash_parked = true;
+    if (rec->active != nullptr) rec->active->abort_crashed();
+  }
+  // Backend: abort in-flight HSM operations, then wipe volatile metadata.
+  hsm_->power_fail();
+  // Tape plant: drives drop transfers; waiters/claims/checkouts die with
+  // their owners.
+  library_->power_fail();
+  // Tear the un-fsynced log tail at a seed-derived offset.
+  if (durable_ != nullptr) durable_->crash(seed);
+  // The in-memory restart journal dies with the host; recovery replays it
+  // from the WAL.
+  journal_.clear();
+}
+
+void CotsParallelArchive::recover(
+    std::function<void(const RecoveryReport&)> done) {
+  RecoveryReport rep;
+  if (durable_ != nullptr) rep.wal = durable_->recover();
+  rep.reconcile = hsm_->reconcile_crash();
+  library_->power_restore();
+  obs_->metrics().counter("archive.recoveries").inc();
+  const obs::SpanId span = obs_->trace().complete(
+      obs::Component::Fault, "power", "recover", sim_.now(),
+      sim_.now() + rep.wal.duration);
+  obs_->trace().arg_num(span, "replayed", rep.wal.replayed_records);
+  for (const std::shared_ptr<detail::JobRecord>& rec : jobs_) {
+    if (rec->crash_parked) ++rep.jobs_relaunched;
+  }
+  // Service resumes only after the recovery scan's virtual time.
+  sim_.after(rep.wal.duration, [this, rep, done = std::move(done)] {
+    for (const std::shared_ptr<detail::JobRecord>& rec : jobs_) {
+      if (!rec->crash_parked) continue;
+      rec->crash_parked = false;
+      // A crash relaunch is the plant's fault: give the attempt back so
+      // the spec's retry budget is not charged.
+      --rec->attempts;
+      launch_attempt(rec);
+    }
+    if (done) done(rep);
+  });
 }
 
 void CotsParallelArchive::wire_fault_targets() {
@@ -110,6 +174,15 @@ void CotsParallelArchive::wire_fault_targets() {
   t.hsm_server = [this](std::uint64_t server, sim::Tick outage) {
     if (server >= hsm_->server_count()) return;
     hsm_->server(static_cast<unsigned>(server)).restart(outage);
+  };
+  t.server_power = [this](std::uint64_t, std::uint64_t seed, bool down) {
+    // Whole-plant power loss: the index is accepted for grammar symmetry
+    // but there is one host.  repair= schedules recover().
+    if (down) {
+      power_fail(seed);
+    } else {
+      recover();
+    }
   };
   t.net_pool = [this](const std::string& pool, double factor, bool down) {
     for (std::size_t i = 0; i < net_.pool_count(); ++i) {
@@ -279,6 +352,14 @@ void CotsParallelArchive::on_attempt_done(
     const std::shared_ptr<detail::JobRecord>& rec,
     const pftool::JobReport& report) {
   rec->last_report = report;
+  if (rec->crash_parked) {
+    // The attempt died with the host.  Park the carcass (events still in
+    // flight reference it; every entry point no-ops once finished) and
+    // wait for recover() to relaunch from the restart journal.
+    graveyard_.push_back(std::move(rec->active));
+    rec->state = JobState::Retrying;
+    return;
+  }
   const bool failed = report.files_failed > 0 || report.aborted_by_watchdog;
   if (report.aborted_by_watchdog) {
     // A stall abort finishes the job with work still in flight; pending
@@ -307,12 +388,24 @@ void CotsParallelArchive::on_attempt_done(
     });
     return;
   }
-  rec->state = failed ? JobState::Failed : JobState::Succeeded;
-  // Retries kept the admission slot; release it only at a terminal state.
-  if (sched_ != nullptr) sched_->job_finished(rec->id);
-  auto callbacks = std::move(rec->callbacks);
-  rec->callbacks.clear();
-  for (auto& cb : callbacks) cb(rec->last_report);
+  const JobState final_state = failed ? JobState::Failed : JobState::Succeeded;
+  auto settle = [this, rec, final_state] {
+    rec->state = final_state;
+    // Retries kept the admission slot; release it only at a terminal state.
+    if (sched_ != nullptr) sched_->job_finished(rec->id);
+    auto callbacks = std::move(rec->callbacks);
+    rec->callbacks.clear();
+    for (auto& cb : callbacks) cb(rec->last_report);
+  };
+  if (durable_ != nullptr) {
+    // Acknowledgement barrier: the job turns terminal only once every
+    // metadata record it produced is on the durable log.  A crash in
+    // this window drops the sync waiter; the still-Running job is parked
+    // and relaunched (the journal makes the rerun skip finished chunks).
+    durable_->sync(std::move(settle));
+  } else {
+    settle();
+  }
 }
 
 pftool::JobReport CotsParallelArchive::pfls(const std::string& root) {

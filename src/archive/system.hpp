@@ -34,6 +34,7 @@
 #include "simcore/flow_network.hpp"
 #include "simcore/simulation.hpp"
 #include "tape/library.hpp"
+#include "wal/durable.hpp"
 
 namespace cpa::archive {
 
@@ -53,6 +54,11 @@ struct SystemConfig {
   /// launches immediately, drive grants stay strict FIFO, and the golden
   /// baselines are bit-identical to the unscheduled system).
   sched::SchedConfig sched;
+  /// Crash-consistent metadata (off by default: no WAL, no durability
+  /// barriers, bit-identical timing).  Enabled, every catalog/fixity/
+  /// journal mutation is redo-logged through a virtual-time WAL and the
+  /// system survives power_fail() + recover().
+  wal::WalConfig wal;
 
   /// The paper's plant (Sec 4.3.1 / Fig. 7): 10 mover nodes, 5 disk nodes
   /// with 100 TB fast FC4 disk + slow pool, 24 LTO-4 drives, one TSM
@@ -104,6 +110,13 @@ struct SystemConfig {
     fault_plan = std::move(plan);
     return *this;
   }
+  /// Enables write-ahead logging of all archive metadata (and with it
+  /// power_fail()/recover() support).
+  SystemConfig& with_wal(wal::WalConfig w = {}) {
+    wal = w;
+    wal.enabled = true;
+    return *this;
+  }
   /// Enables (and configures) the fair-share admission scheduler.
   SystemConfig& with_sched(sched::SchedConfig cfg) {
     sched = std::move(cfg);
@@ -150,6 +163,32 @@ class CotsParallelArchive {
   /// The admission scheduler, or nullptr when SystemConfig::sched is
   /// disabled.
   [[nodiscard]] sched::AdmissionScheduler* scheduler() { return sched_.get(); }
+  /// The WAL durability layer, or nullptr when SystemConfig::wal is
+  /// disabled.
+  [[nodiscard]] wal::Durable* durable() { return durable_.get(); }
+
+  // --- power failure & recovery --------------------------------------------
+  /// Whole-archive power loss at the current instant: every running
+  /// pftool attempt and HSM operation aborts where it stands, drives drop
+  /// their transfers, volatile metadata (catalogs, fixity, restart
+  /// journal) vanishes, and the un-fsynced WAL tail is torn at a
+  /// seed-derived byte offset.  Data already on tape or disk survives —
+  /// it is physical.  Also reachable as a scripted fault:
+  /// `server.power:fail@t=...,seed=N,repair=D`.
+  void power_fail(std::uint64_t seed = 0);
+
+  struct RecoveryReport {
+    wal::Durable::RecoveryStats wal;
+    hsm::HsmSystem::CrashReconcileReport reconcile;
+    std::uint64_t jobs_relaunched = 0;
+  };
+
+  /// Restart after power_fail(): replays checkpoint + surviving WAL into
+  /// the wiped stores, reconciles the catalog against tape/disk reality,
+  /// restores power to the drives, and — after the recovery scan's
+  /// virtual time has elapsed — relaunches every crash-parked job from
+  /// its restart journal.  `done` (optional) fires once jobs relaunch.
+  void recover(std::function<void(const RecoveryReport&)> done = nullptr);
 
   /// Copies the flow network's per-pool busy-seconds into net.* gauges
   /// (including the headline net.trunk_busy_seconds).  Call before dumping
@@ -223,6 +262,9 @@ class CotsParallelArchive {
   std::unique_ptr<fusefs::ArchiveFuse> fuse_;
   std::unique_ptr<Trashcan> trashcan_;
   pftool::RestartJournal journal_;
+  /// Constructed only when cfg_.wal.enabled; hooks into the HSM servers,
+  /// the fixity table, and the restart journal above.
+  std::unique_ptr<wal::Durable> durable_;
   pfs::PolicyEngine policy_;
   fault::FaultInjector injector_{sim_, *obs_};
   /// Saved capacities of pools currently degraded by a fault window.

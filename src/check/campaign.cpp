@@ -26,6 +26,7 @@ const char* to_string(OpKind k) {
     case OpKind::DeleteOne: return "delete";
     case OpKind::Scrub: return "scrub";
     case OpKind::Reconcile: return "reconcile";
+    case OpKind::CrashRestart: return "crash-restart";
   }
   return "?";
 }
@@ -119,7 +120,14 @@ ChaosCampaign ChaosCampaign::generate(const ChaosConfig& cfg) {
     // One op in eight is plant maintenance; the rest advance a job lane.
     if (rng.chance(0.125)) {
       op.lane = kMaint;
-      op.kind = rng.chance(0.75) ? OpKind::Scrub : OpKind::Reconcile;
+      // The && short-circuit keeps the rng stream (and hence every
+      // existing golden digest) untouched when crashes are off.
+      if (cfg.crashes && rng.chance(0.25)) {
+        op.kind = OpKind::CrashRestart;
+        op.a = rng.uniform_u64(1, 1ULL << 32);  // torn-tail seed
+      } else {
+        op.kind = rng.chance(0.75) ? OpKind::Scrub : OpKind::Reconcile;
+      }
       c.ops.push_back(op);
       ++emitted;
       continue;
@@ -208,6 +216,14 @@ archive::SystemConfig plant_for(const ChaosCampaign& campaign) {
   retry.max_attempts = 6;
   retry.backoff = sim::secs(5);
   retry.max_backoff = sim::minutes(2);
+  if (cfg.crashes || cfg.quiescent_crash) {
+    // Crash campaigns run durably: every metadata mutation rides the WAL
+    // so power_fail/recover round-trips.  Jitter desynchronizes the herd
+    // of relaunches a whole-archive crash creates.
+    sys.with_wal();
+    retry.jitter = 0.5;
+    retry.jitter_seed = cfg.seed ^ 0x1A77ULL;
+  }
   sys.with_retry(retry);
   if (cfg.use_sched) {
     sched::SchedConfig sc;

@@ -62,6 +62,16 @@ struct ChaosConfig {
   /// metamorphic state-compare runs: whether a cancel lands depends on
   /// timing, which faults shift.
   bool cancels = true;
+  /// Emit crash-restart ops (whole-archive power failure + WAL recovery)
+  /// and run the plant with the write-ahead log enabled.  The fault-free
+  /// twin keeps them: crash ops are part of the op sequence, so state
+  /// equality between the runs exercises recovery itself.
+  bool crashes = false;
+  /// After the campaign drains (all lanes quiescent, before the final
+  /// sweep), power-fail and recover the whole archive once.  The
+  /// metamorphic gate: the final state digest must equal the same
+  /// campaign's digest without the quiescent crash.
+  bool quiescent_crash = false;
   /// Enable the multi-tenant admission scheduler.
   bool use_sched = true;
   /// Record spans so the profiler-conservation oracle can run.
@@ -76,6 +86,11 @@ struct ChaosConfig {
   ChaosConfig& with_faults(bool on) { faults = on; return *this; }
   ChaosConfig& with_corruptions(bool on) { corruptions = on; return *this; }
   ChaosConfig& with_cancels(bool on) { cancels = on; return *this; }
+  ChaosConfig& with_crashes(bool on) { crashes = on; return *this; }
+  ChaosConfig& with_quiescent_crash(bool on) {
+    quiescent_crash = on;
+    return *this;
+  }
   ChaosConfig& with_sched(bool on) { use_sched = on; return *this; }
   ChaosConfig& with_tracing(bool on) { tracing = on; return *this; }
   ChaosConfig& with_doctor(Doctor d) { doctor = d; return *this; }
@@ -99,6 +114,9 @@ enum class OpKind : std::uint8_t {
   DeleteOne,  // synchronous_delete of one archived file
   Scrub,      // full-archive fixity scrub (maintenance lane)
   Reconcile,  // orphan tree-walk (maintenance lane)
+  /// Whole-archive power failure mid-campaign followed by WAL recovery
+  /// (maintenance lane).  `a` carries the seed-derived torn-tail seed.
+  CrashRestart,
 };
 
 [[nodiscard]] const char* to_string(OpKind k);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <set>
 
@@ -26,6 +27,8 @@ std::string repro_line(const ChaosConfig& cfg) {
   if (!cfg.faults) line += " --no-faults";
   if (!cfg.corruptions) line += " --no-corruptions";
   if (!cfg.cancels) line += " --no-cancels";
+  if (cfg.crashes) line += " --crashes";
+  if (cfg.quiescent_crash) line += " --quiescent-crash";
   // The CLI vocabulary (--doctor=scrub|fixity), not the long enum names:
   // the whole point of this line is that it pastes back into a shell.
   if (cfg.doctor == Doctor::BreakScrubRepair) line += " --doctor=scrub";
@@ -95,6 +98,9 @@ class Runner {
   void op_delete(unsigned l, const ChaosOp& op);
   void op_scrub();
   void op_reconcile();
+  void op_crash(const ChaosOp& op);
+  /// power_fail + recover; `tail` runs once recovery completes.
+  void crash_and_recover(std::uint64_t tear_seed, std::function<void()> tail);
 
   // --- end-of-run oracles -------------------------------------------------
   void verify_restore(unsigned l, const std::string& stage,
@@ -192,6 +198,7 @@ void Runner::exec(unsigned l, const ChaosOp& op, std::size_t idx) {
     case OpKind::DeleteOne: op_delete(l, op); return;
     case OpKind::Scrub: op_scrub(); return;
     case OpKind::Reconcile: op_reconcile(); return;
+    case OpKind::CrashRestart: op_crash(op); return;
   }
 }
 
@@ -402,6 +409,13 @@ void Runner::op_delete(unsigned l, const ChaosOp& op) {
       logf("lane%u deleted %s", l, path.c_str());
     } else {
       logf("lane%u delete %s failed: %s", l, path.c_str(), pfs::to_string(e));
+      // A power failure mid-delete answers Stale with the outcome unknown
+      // (the unlink may have landed just before the crash).  Resolve the
+      // ambiguity the way a real operator would: probe the namespace.
+      if (e == pfs::Errc::Stale && !sys_.archive_fs().exists(path)) {
+        lanes_[l].files[idx].deleted = true;
+        logf("lane%u delete %s had landed before the crash", l, path.c_str());
+      }
     }
     advance(l);
   });
@@ -447,6 +461,49 @@ void Runner::op_reconcile() {
          static_cast<unsigned long long>(r.inodes_walked),
          static_cast<unsigned long long>(r.orphans_found));
     advance(m);
+  });
+}
+
+void Runner::op_crash(const ChaosOp& op) {
+  const unsigned m = c_.lane_count();
+  if (sys_.durable() == nullptr) {
+    // Shrunk/edited configs can carry crash ops into a WAL-less plant;
+    // treat them like any other precondition miss.
+    logf("crash-restart skipped (WAL disabled)");
+    ++skipped_;
+    advance(m);
+    return;
+  }
+  ++executed_;
+  crash_and_recover(op.a, [this, m] { advance(m); });
+}
+
+void Runner::crash_and_recover(std::uint64_t tear_seed,
+                               std::function<void()> tail) {
+  logf("power-fail tear_seed=%016llx",
+       static_cast<unsigned long long>(tear_seed));
+  sys_.power_fail(tear_seed);
+  sys_.recover([this, tail = std::move(tail)](
+                   const archive::CotsParallelArchive::RecoveryReport& r) {
+    logf("recovered replayed=%llu orphan_segs=%llu adopted=%llu "
+         "orphan_fixity=%llu remarked=%llu relaunched=%llu",
+         static_cast<unsigned long long>(r.wal.replayed_records),
+         static_cast<unsigned long long>(r.reconcile.orphan_segments),
+         static_cast<unsigned long long>(r.reconcile.adopted_segments),
+         static_cast<unsigned long long>(r.reconcile.orphan_fixity_rows),
+         static_cast<unsigned long long>(r.reconcile.premigrated_remarked),
+         static_cast<unsigned long long>(r.jobs_relaunched));
+    // A migrated stub whose catalog object vanished is an unrestorable
+    // file the plant acked as durable — exactly what the WAL barrier
+    // (fsync before punch) exists to make impossible.
+    if (r.reconcile.stub_violations > 0) {
+      reg_.report("no-lost-files",
+                  std::to_string(r.reconcile.stub_violations) +
+                      " migrated stub(s) lost their catalog object across "
+                      "the crash (durability barrier breached)",
+                  now());
+    }
+    tail();
   });
 }
 
@@ -652,8 +709,16 @@ ChaosResult Runner::run() {
   for (unsigned l = 0; l <= c_.lane_count(); ++l) advance(l);
   sys_.sim().run();
   const sim::Tick drained = now();
-  logf("campaign drained; final sweep");
-  final_sweep();
+  if (c_.cfg.quiescent_crash && sys_.durable() != nullptr) {
+    // Metamorphic gate: a power failure at quiescence followed by WAL
+    // recovery must leave a state digest equal to the same campaign's
+    // digest without the crash.
+    logf("campaign drained; quiescent crash");
+    crash_and_recover(c_.cfg.seed ^ 0x0E5CULL, [this] { final_sweep(); });
+  } else {
+    logf("campaign drained; final sweep");
+    final_sweep();
+  }
   sys_.sim().run();
   apply_doctor();
   reg_.run_final(now());

@@ -12,6 +12,7 @@ const char* kind_counter(FaultTarget t) {
     case FaultTarget::ClusterNode: return "fault.node_crashes";
     case FaultTarget::HsmServer: return "fault.server_restarts";
     case FaultTarget::NetPool: return "fault.pool_degrades";
+    case FaultTarget::ServerPower: return "fault.power_failures";
   }
   return "fault.unknown";
 }
@@ -81,6 +82,10 @@ void FaultInjector::fire(const FaultEvent& ev) {
         if (!targets_.net_pool) return false;
         targets_.net_pool(ev.pool, ev.factor, true);
         return true;
+      case FaultTarget::ServerPower:
+        if (!targets_.server_power) return false;
+        targets_.server_power(ev.index, ev.seed, true);
+        return true;
     }
     return false;
   };
@@ -114,6 +119,9 @@ void FaultInjector::fire(const FaultEvent& ev) {
       case FaultTarget::HsmServer: break;
       case FaultTarget::NetPool:
         targets_.net_pool(ev.pool, ev.factor, false);
+        break;
+      case FaultTarget::ServerPower:
+        targets_.server_power(ev.index, 0, false);
         break;
     }
     c_repaired_.inc();

@@ -35,6 +35,12 @@ struct FaultTargets {
   /// Restart with the given outage; the server models its own recovery.
   std::function<void(std::uint64_t server, sim::Tick outage)> hsm_server;
   std::function<void(const std::string& pool, double factor, bool down)> net_pool;
+  /// Whole-archive power loss.  The strike (`down == true`) kills every
+  /// in-flight flow and tears the un-fsynced WAL tail at a `seed`-derived
+  /// offset; the repair (`down == false`, fired after `repair=`) powers
+  /// the plant back up and runs crash recovery.
+  std::function<void(std::uint64_t server, std::uint64_t seed, bool down)>
+      server_power;
 };
 
 class FaultInjector {

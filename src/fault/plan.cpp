@@ -100,6 +100,8 @@ bool parse_event(const std::string& clause, FaultEvent* ev, std::string* error) 
   } else if (name == "net.pool") {
     ev->target = FaultTarget::NetPool;
     verb = "degrade";
+  } else if (name == "server.power") {
+    ev->target = FaultTarget::ServerPower;
   } else {
     return fail_with(error, "unknown fault target '" + name + "'");
   }
@@ -169,7 +171,8 @@ bool parse_event(const std::string& clause, FaultEvent* ev, std::string* error) 
                                     value + "'");
       }
       have_segments = true;
-    } else if (key == "seed" && ev->kind == FaultKind::Corrupt) {
+    } else if (key == "seed" && (ev->kind == FaultKind::Corrupt ||
+                                 ev->target == FaultTarget::ServerPower)) {
       char* end = nullptr;
       ev->seed = std::strtoull(value.c_str(), &end, 10);
       if (value.empty() || end == nullptr || *end != '\0') {
@@ -202,14 +205,43 @@ bool parse_event(const std::string& clause, FaultEvent* ev, std::string* error) 
 
 }  // namespace
 
-sim::Tick RetryPolicy::delay(unsigned retry_index) const {
-  if (retry_index <= 1) return std::min(backoff, max_backoff);
-  double d = static_cast<double>(backoff);
-  for (unsigned i = 1; i < retry_index; ++i) {
-    d *= multiplier;
-    if (d >= static_cast<double>(max_backoff)) return max_backoff;
+namespace {
+
+// splitmix64 finalizer: a one-shot mix good enough to decorrelate the
+// jitter draw across (seed, salt, retry_index) triples.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+sim::Tick RetryPolicy::delay(unsigned retry_index, std::uint64_t salt) const {
+  sim::Tick base = 0;
+  if (retry_index <= 1) {
+    base = std::min(backoff, max_backoff);
+  } else {
+    double d = static_cast<double>(backoff);
+    bool capped = false;
+    for (unsigned i = 1; i < retry_index; ++i) {
+      d *= multiplier;
+      if (d >= static_cast<double>(max_backoff)) {
+        capped = true;
+        break;
+      }
+    }
+    base = capped ? max_backoff
+                  : std::min(static_cast<sim::Tick>(d + 0.5), max_backoff);
   }
-  return std::min(static_cast<sim::Tick>(d + 0.5), max_backoff);
+  if (jitter <= 0.0) return base;
+  // Seeded full jitter: scale by a deterministic draw from [1-jitter, 1].
+  const std::uint64_t h =
+      mix64(jitter_seed ^ mix64(salt) ^ (0x5B17ULL * retry_index));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double scale = 1.0 - std::min(jitter, 1.0) * u;
+  return static_cast<sim::Tick>(static_cast<double>(base) * scale + 0.5);
 }
 
 const char* to_string(FaultTarget t) {
@@ -219,6 +251,7 @@ const char* to_string(FaultTarget t) {
     case FaultTarget::ClusterNode: return "cluster.node";
     case FaultTarget::HsmServer: return "hsm.server";
     case FaultTarget::NetPool: return "net.pool";
+    case FaultTarget::ServerPower: return "server.power";
   }
   return "?";
 }
@@ -248,6 +281,9 @@ std::string FaultEvent::render() const {
     char buf[32];
     std::snprintf(buf, sizeof(buf), ",factor=%g", factor);
     out += buf;
+  }
+  if (target == FaultTarget::ServerPower && seed != 0) {
+    out += ",seed=" + std::to_string(seed);
   }
   if (repair != 0) {
     out += target == FaultTarget::HsmServer ? ",outage=" : ",repair=";
@@ -297,6 +333,17 @@ FaultPlan& FaultPlan::server_restart(std::uint64_t server, sim::Tick at,
 FaultPlan& FaultPlan::pool_degrade(std::string pool, sim::Tick at, double factor,
                                    sim::Tick repair) {
   return add({FaultTarget::NetPool, 0, std::move(pool), at, repair, factor});
+}
+
+FaultPlan& FaultPlan::power_fail(std::uint64_t server, sim::Tick at,
+                                 std::uint64_t seed, sim::Tick repair) {
+  FaultEvent ev;
+  ev.target = FaultTarget::ServerPower;
+  ev.index = server;
+  ev.at = at;
+  ev.repair = repair;
+  ev.seed = seed;
+  return add(std::move(ev));
 }
 
 std::string FaultPlan::render() const {

@@ -17,6 +17,12 @@
 //   cluster.node[2]:fail@t=10m,repair=20m    FTA node crash + reboot
 //   hsm.server[0]:restart@t=2h,outage=60s    archive server restart
 //   net.pool[trunk0]:degrade@t=5m,factor=0.5,repair=10m
+//   server.power[0]:fail@t=45m,seed=7,repair=120s   whole-archive power loss
+//
+// `server.power` is the whole-system crash: every in-flight flow aborts,
+// volatile metadata is lost, and the un-fsynced WAL tail is torn at a
+// seed-derived byte offset.  `repair=` schedules the restart+recovery;
+// omitting it leaves the plant down until the caller recovers manually.
 //
 // `corrupt@` differs from the hard `fail@` window: reads of a corrupted
 // segment still succeed, but the fixity checksum no longer matches, so
@@ -47,14 +53,25 @@ struct RetryPolicy {
   /// Growth factor per subsequent retry.
   double multiplier = 2.0;
   sim::Tick max_backoff = sim::minutes(10);
+  /// Seeded full-jitter fraction in [0,1]: each delay is scaled by a
+  /// deterministic draw from [1-jitter, 1].  0 (the default) disables
+  /// jitter entirely and keeps every schedule bit-identical to the
+  /// un-jittered policy; 1 is classic AWS-style full jitter.
+  double jitter = 0.0;
+  /// Base seed for the jitter draw; mixed with the caller's salt so
+  /// distinct jobs decorrelate while each (seed, salt, index) replays.
+  std::uint64_t jitter_seed = 0;
 
   /// True when another attempt may run after `attempts_made` failures.
   [[nodiscard]] bool allows(unsigned attempts_made) const {
     return attempts_made < max_attempts;
   }
   /// Backoff before retry number `retry_index` (1-based: the first retry
-  /// waits `backoff`, the second `backoff * multiplier`, ...).
-  [[nodiscard]] sim::Tick delay(unsigned retry_index) const;
+  /// waits `backoff`, the second `backoff * multiplier`, ...).  `salt`
+  /// only matters when `jitter > 0` — pass a per-job identifier so
+  /// colliding retries spread out instead of thundering together.
+  [[nodiscard]] sim::Tick delay(unsigned retry_index,
+                                std::uint64_t salt = 0) const;
 
   static RetryPolicy none() { return RetryPolicy{}; }
   static RetryPolicy standard() {
@@ -70,6 +87,7 @@ enum class FaultTarget : std::uint8_t {
   ClusterNode,  // cluster.node[i]— FTA node crash, in-flight workers die
   HsmServer,    // hsm.server[i]  — server restart, in-flight txns requeue
   NetPool,      // net.pool[name] — capacity degraded by `factor`
+  ServerPower,  // server.power[i]— whole-archive power loss, WAL tail torn
 };
 
 [[nodiscard]] const char* to_string(FaultTarget t);
@@ -97,7 +115,8 @@ struct FaultEvent {
   FaultKind kind = FaultKind::Window;
   /// Corrupt only: how many live segments flip (>= 1).
   std::uint64_t segments = 0;
-  /// Corrupt only: seed for the deterministic segment pick.
+  /// Corrupt: seed for the deterministic segment pick.  ServerPower: seed
+  /// for the torn-tail byte offset of the un-fsynced WAL.
   std::uint64_t seed = 0;
 
   /// Canonical spec form, e.g. "tape.drive[3]:fail@t=120s,repair=300s".
@@ -137,6 +156,8 @@ struct FaultPlan {
   FaultPlan& server_restart(std::uint64_t server, sim::Tick at, sim::Tick outage);
   FaultPlan& pool_degrade(std::string pool, sim::Tick at, double factor,
                           sim::Tick repair = 0);
+  FaultPlan& power_fail(std::uint64_t server, sim::Tick at,
+                        std::uint64_t seed = 0, sim::Tick repair = 0);
 
   /// Canonical spec string (parse(render()) round-trips exactly).
   [[nodiscard]] std::string render() const;

@@ -52,6 +52,10 @@ struct HsmSystem::MigrateJob {
   obs::SpanId span;
   tape::TapeDrive* drive = nullptr;
   tape::Cartridge* cart = nullptr;
+  /// Set by power_fail: every continuation re-entry bails out, leaving
+  /// drive/cartridge bookkeeping to the library's own crash path.
+  bool dead = false;
+  std::uint64_t abort_id = 0;
   std::function<void(const MigrateReport&)> done;
   /// Tenant/QoS the batch's drive holds are charged to (empty: unmanaged).
   sched::WorkClass wc;
@@ -84,6 +88,8 @@ struct HsmSystem::RecallJob {
   unsigned active = 0;
   RecallReport report;
   obs::SpanId span;
+  bool dead = false;
+  std::uint64_t abort_id = 0;
   std::function<void(const RecallReport&)> done;
   /// Per-tenant bandwidth-shaper legs appended to every data flow.
   std::vector<sim::PathLeg> shaper;
@@ -124,6 +130,229 @@ HsmSystem::HsmSystem(sim::Simulation& sim, sim::FlowNetwork& net,
 }
 
 HsmSystem::~HsmSystem() { fs_.set_dmapi_listener(nullptr); }
+
+std::uint64_t HsmSystem::register_abort(std::function<void()> fn) {
+  const std::uint64_t id = next_abort_id_++;
+  live_aborts_.emplace(id, std::move(fn));
+  return id;
+}
+
+void HsmSystem::unregister_abort(std::uint64_t id) { live_aborts_.erase(id); }
+
+void HsmSystem::power_fail() {
+  // Abort first, wipe second: abort closures read their partial reports
+  // and close spans, which must happen against a coherent registry.
+  std::map<std::uint64_t, std::function<void()>> aborts;
+  aborts.swap(live_aborts_);
+  for (auto& [id, abort] : aborts) abort();
+  for (auto& server : servers_) server->power_fail();
+  fixity_.clear();
+  obs_->metrics().counter("hsm.power_fails").inc();
+}
+
+HsmSystem::CrashReconcileReport HsmSystem::reconcile_crash() {
+  CrashReconcileReport rep;
+  // Pass 0: deletes that lost their ack.  synchronous_delete unlinks the
+  // inode and kills the tape segments physically; only the catalog and
+  // fixity erasures ride the WAL.  A tear can therefore resurrect the
+  // object of a file that is provably gone — roll the delete forward.
+  for (auto& server : servers_) {
+    std::vector<std::uint64_t> lost;
+    server->for_each_object([&](const ArchiveObject& o) {
+      if (o.path.empty() || fs_.exists(o.path)) return;
+      lost.push_back(o.object_id);
+    });
+    for (const std::uint64_t id : lost) {
+      delete_object_cascade(*server, id);
+      ++rep.deletes_completed;
+    }
+  }
+  // Pass 1: tape reality vs catalog.  Tape is physical truth for data;
+  // the catalog (checkpoint + replayed WAL prefix) is truth for what was
+  // promised durable.
+  lib_.for_each_cartridge([&](tape::Cartridge& cart) {
+    std::vector<tape::Segment> live;  // snapshot: the loop mutates the cart
+    for (const tape::Segment& s : cart.segments()) {
+      if (s.object_id != 0) live.push_back(s);
+    }
+    for (const tape::Segment& s : live) {
+      ArchiveServer* srv = find_object_server(s.object_id);
+      const ArchiveObject* obj =
+          srv != nullptr ? srv->object(s.object_id) : nullptr;
+      if (obj == nullptr) {
+        // Written after the last fsync: no row survived, nothing can ever
+        // reference it.  Dead bytes feed the next reclamation pass.
+        cart.mark_deleted(s.object_id);
+        ++rep.orphan_segments;
+        continue;
+      }
+      const bool recorded_here =
+          (obj->cartridge_id == cart.id() && obj->tape_seq == s.seq) ||
+          std::any_of(obj->copies.begin(), obj->copies.end(),
+                      [&](const ArchiveObject::Replica& r) {
+                        return r.cartridge_id == cart.id() &&
+                               r.tape_seq == s.seq;
+                      });
+      if (recorded_here) continue;
+      // The catalog knows the object but records it elsewhere.  If the
+      // recorded primary is gone — a crash mid-relocation after the
+      // source segment was already invalidated — roll the catalog
+      // forward to the surviving copy; otherwise this is a dead
+      // duplicate from an un-fsynced relocation.
+      tape::Cartridge* rec_cart = lib_.cartridge(obj->cartridge_id);
+      const tape::Segment* rec_seg =
+          rec_cart != nullptr ? rec_cart->segment_by_seq(obj->tape_seq)
+                              : nullptr;
+      if (rec_seg == nullptr || rec_seg->object_id != obj->object_id) {
+        relocate_object(obj->object_id, obj->cartridge_id, cart.id(), s.seq);
+        fixity_.relocate(obj->object_id, obj->cartridge_id, cart.id(), s.seq);
+        ++rep.adopted_segments;
+      } else {
+        cart.mark_deleted(s.object_id);
+        ++rep.orphan_segments;
+      }
+    }
+  });
+  // Pass 2: fixity rows whose object vanished with the torn tail.
+  std::set<std::uint64_t> dead_objects;
+  fixity_.for_each([&](const integrity::FixityRow& r) {
+    if (find_object_server(r.object_id) == nullptr) {
+      dead_objects.insert(r.object_id);
+    }
+  });
+  for (const std::uint64_t id : dead_objects) {
+    fixity_.erase_object(id);
+    ++rep.orphan_fixity_rows;
+  }
+  // Pass 2b: per-object location + fixity reconciliation.  A relocation
+  // (reclaim, scrub repair) is several WAL records — object image, fixity
+  // update — and the tear can land between any two of them.  For every
+  // live object: drop recorded locations whose segment is dead (promote a
+  // surviving copy to primary if the primary died), then demand the
+  // fixity rows cover the live locations *exactly*, rebuilding them from
+  // the checksums the tape segment headers carry when they don't — the
+  // same media audit a real archive runs after a dirty stop.
+  for (auto& server : servers_) {
+    const auto seg_of = [this](std::uint64_t cart_id, std::uint64_t seq,
+                               std::uint64_t object_id)
+        -> const tape::Segment* {
+      tape::Cartridge* cart = lib_.cartridge(cart_id);
+      const tape::Segment* seg =
+          cart != nullptr ? cart->segment_by_seq(seq) : nullptr;
+      return seg != nullptr && seg->object_id == object_id ? seg : nullptr;
+    };
+    // Location fix-ups first (collected: the walk must not mutate the
+    // table under itself).
+    std::vector<ArchiveObject> fixups;
+    server->for_each_object([&](const ArchiveObject& o) {
+      if (o.is_member() || o.cartridge_id == 0) return;
+      ArchiveObject upd = o;
+      const std::size_t before = upd.copies.size();
+      upd.copies.erase(
+          std::remove_if(upd.copies.begin(), upd.copies.end(),
+                         [&](const ArchiveObject::Replica& r) {
+                           return seg_of(r.cartridge_id, r.tape_seq,
+                                         o.object_id) == nullptr;
+                         }),
+          upd.copies.end());
+      bool changed = upd.copies.size() != before;
+      if (seg_of(upd.cartridge_id, upd.tape_seq, o.object_id) == nullptr &&
+          !upd.copies.empty()) {
+        upd.cartridge_id = upd.copies.front().cartridge_id;
+        upd.tape_seq = upd.copies.front().tape_seq;
+        upd.copies.erase(upd.copies.begin());
+        changed = true;
+      }
+      if (changed) fixups.push_back(std::move(upd));
+    });
+    for (ArchiveObject& upd : fixups) {
+      ++rep.locations_dropped;
+      server->record_object(std::move(upd));
+    }
+    // Now the fixity rows, against the repaired locations.
+    server->for_each_object([&](const ArchiveObject& o) {
+      if (o.is_member() || o.cartridge_id == 0) return;
+      struct Live {
+        std::uint64_t cart, seq, bytes, checksum;
+        unsigned ci;
+      };
+      std::vector<Live> live;
+      auto note = [&](std::uint64_t cart_id, std::uint64_t seq, unsigned ci) {
+        if (const tape::Segment* seg = seg_of(cart_id, seq, o.object_id)) {
+          live.push_back({cart_id, seq, seg->bytes, seg->fingerprint, ci});
+        }
+      };
+      note(o.cartridge_id, o.tape_seq, 0);
+      unsigned ci = 1;
+      for (const auto& cp : o.copies) note(cp.cartridge_id, cp.tape_seq, ci++);
+      const auto rows = fixity_.by_object(o.object_id);
+      bool exact = rows.size() == live.size();
+      for (const integrity::FixityRow* r : rows) {
+        if (!exact) break;
+        exact = std::any_of(live.begin(), live.end(), [&](const Live& L) {
+          return L.cart == r->cartridge_id && L.seq == r->tape_seq &&
+                 L.bytes == r->length && L.checksum == r->checksum;
+        });
+      }
+      if (exact) return;
+      fixity_.erase_object(o.object_id);
+      for (const Live& L : live) {
+        fixity_.add(o.object_id, L.cart, L.seq, L.bytes, L.checksum, L.ci);
+        ++rep.fixity_rebuilt;
+      }
+    });
+  }
+  // Pass 3: disk residency states vs catalog.  A premigrated inode whose
+  // migration never became durable reverts to plain resident (the disk
+  // copy is complete); a migrated stub without an object is data loss —
+  // the pre-punch durability barrier exists to make that impossible.
+  std::set<std::string> cataloged;
+  for (auto& server : servers_) {
+    server->for_each_object([&](const ArchiveObject& o) {
+      if (!o.path.empty()) cataloged.insert(o.path);
+    });
+  }
+  std::vector<std::string> remark;
+  fs_.for_each_inode([&](const std::string& path, const pfs::InodeAttrs& a) {
+    if (a.kind != pfs::FileKind::Regular) return;
+    if (cataloged.count(path) != 0) return;
+    if (a.dmapi == pfs::DmapiState::Premigrated) {
+      remark.push_back(path);
+    } else if (a.dmapi == pfs::DmapiState::Migrated) {
+      ++rep.stub_violations;
+    }
+  });
+  for (const std::string& path : remark) {
+    fs_.make_resident(path);
+    ++rep.premigrated_remarked;
+  }
+  obs::MetricsRegistry& m = obs_->metrics();
+  if (rep.orphan_segments > 0) {
+    m.counter("recovery.orphan_segments").add(rep.orphan_segments);
+  }
+  if (rep.adopted_segments > 0) {
+    m.counter("recovery.adopted_segments").add(rep.adopted_segments);
+  }
+  if (rep.orphan_fixity_rows > 0) {
+    m.counter("recovery.orphan_fixity_rows").add(rep.orphan_fixity_rows);
+  }
+  if (rep.fixity_rebuilt > 0) {
+    m.counter("recovery.fixity_rebuilt").add(rep.fixity_rebuilt);
+  }
+  if (rep.deletes_completed > 0) {
+    m.counter("recovery.deletes_completed").add(rep.deletes_completed);
+  }
+  if (rep.locations_dropped > 0) {
+    m.counter("recovery.locations_dropped").add(rep.locations_dropped);
+  }
+  if (rep.premigrated_remarked > 0) {
+    m.counter("recovery.premigrated_remarked").add(rep.premigrated_remarked);
+  }
+  if (rep.stub_violations > 0) {
+    m.counter("recovery.stub_violations").add(rep.stub_violations);
+  }
+  return rep;
+}
 
 ArchiveServer& HsmSystem::server_for(const std::string& path) {
   if (servers_.size() == 1) return *servers_[0];
@@ -186,6 +415,12 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
                                        "migrate_batch", sim_.now());
   obs_->trace().arg_num(job->span, "paths",
                         static_cast<std::uint64_t>(paths.size()));
+  job->abort_id = register_abort([this, job] {
+    job->dead = true;
+    job->report.finished = sim_.now();
+    account_migrate(*job);
+    if (job->done) job->done(job->report);
+  });
 
   for (const std::string& path : paths) {
     const auto st = fs_.stat(path);
@@ -231,6 +466,8 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
 
   if (job->units.empty()) {
     sim_.after(0, [this, job] {
+      if (job->dead) return;
+      unregister_abort(job->abort_id);
       job->report.finished = job->report.started;
       account_migrate(*job);
       if (job->done) job->done(job->report);
@@ -249,6 +486,7 @@ void HsmSystem::migrate_batch(tape::NodeId node, std::vector<std::string> paths,
 }
 
 void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
+  if (job->dead) return;
   if (job->next_unit >= job->units.size()) {
     // Copy-pool passes re-write every unit to a separate volume family
     // while the data is still on disk; files punch only after the last.
@@ -264,14 +502,20 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
     }
     if (cfg_.tape_copies > 1) {
       // All copies exist; space management may now punch the disk data
-      // (only for files that actually made it to tape).
-      for (const auto& item : job->items) {
-        if (owner_object_id(item.path) == 0) continue;
-        if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
-            cfg_.punch_after_migrate) {
-          fs_.punch(item.path);
+      // (only for files that actually made it to tape).  The punch frees
+      // the disk original, so the catalog rows must be durable first.
+      barrier([this, job] {
+        if (job->dead) return;
+        for (const auto& item : job->items) {
+          if (owner_object_id(item.path) == 0) continue;
+          if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
+              cfg_.punch_after_migrate) {
+            fs_.punch(item.path);
+          }
         }
-      }
+        finish_migrate(job);
+      });
+      return;
     }
     finish_migrate(job);
     return;
@@ -351,6 +595,7 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
   job->drive->write_object(
       job->node, unit_oid, unit.bytes, std::move(pools),
       [this, job, unit_oid, &server, epoch0](const tape::Segment* seg) {
+        if (job->dead) return;
         const auto& unit = job->units[job->next_unit];
         if (seg == nullptr) {
           // A write fails transiently when the drive died (mid-transfer
@@ -366,10 +611,12 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
             const sim::Tick delay = cfg_.retry.delay(job->unit_attempts);
             trace_backoff(job->span, delay);
             sim_.after(delay, [this, job] {
+              if (job->dead) return;
               const sim::Tick t_req = sim_.now();
               lib_.acquire_drive(
                   tape::DriveRequest{job->wc.tenant, job->wc.qos},
                   [this, job, t_req](tape::TapeDrive& drive) {
+                    if (job->dead) return;
                     trace_wait(obs::Component::Tape, "drive_wait", job->span,
                                t_req);
                     job->drive = &drive;
@@ -440,6 +687,7 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
           const sim::Tick t_md = sim_.now();
           owner_server.metadata_txn([this, job, unit_oid, cart_id, seq,
                                      &owner_server, t_md] {
+            if (job->dead) return;
             trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
             if (const ArchiveObject* obj = owner_server.object(unit_oid)) {
               ArchiveObject updated = *obj;
@@ -472,6 +720,7 @@ std::uint64_t HsmSystem::owner_object_id(const std::string& path) {
 
 void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
                                     std::shared_ptr<UnitRecorder> rec) {
+  if (job->dead) return;
   const auto& unit = job->units[job->next_unit];
 
   // One metadata transaction per object, chained on the owning server's
@@ -499,6 +748,7 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
     const sim::Tick t_md = sim_.now();
     owner.metadata_txn(
         [this, job, rec, obj = std::move(obj), &owner, t_md]() mutable {
+          if (job->dead) return;
           trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
           owner.record_object(std::move(obj));
           record_unit_objects(job, rec);
@@ -520,6 +770,7 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
     const sim::Tick t_md = sim_.now();
     server.metadata_txn(
         [this, job, rec, agg = std::move(agg), &server, t_md]() mutable {
+          if (job->dead) return;
           trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
           server.record_object(std::move(agg));
           record_unit_objects(job, rec);
@@ -529,22 +780,37 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
 
   // Transition file states and continue.  With copy pools configured the
   // punch waits until the last copy pass — the disk data is its source.
-  for (const std::size_t idx : unit.items) {
-    const auto& item = job->items[idx];
-    if (cfg_.tape_copies == 1) {
-      if (fs_.premigrate(item.path) == pfs::Errc::Ok && cfg_.punch_after_migrate) {
-        fs_.punch(item.path);
+  auto transition = [this, job] {
+    if (job->dead) return;
+    const auto& unit = job->units[job->next_unit];
+    for (const std::size_t idx : unit.items) {
+      const auto& item = job->items[idx];
+      if (cfg_.tape_copies == 1) {
+        if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
+            cfg_.punch_after_migrate) {
+          fs_.punch(item.path);
+        }
       }
+      ++job->report.files_migrated;
+      job->report.bytes += item.size;
     }
-    ++job->report.files_migrated;
-    job->report.bytes += item.size;
+    ++job->next_unit;
+    job->unit_attempts = 0;
+    run_migrate_unit(job);
+  };
+  if (cfg_.tape_copies == 1 && cfg_.punch_after_migrate) {
+    // The punch frees the disk original: its catalog rows must be durable
+    // first.  Premigrate alone never needs the barrier — recovery re-marks
+    // uncovered premigrated files resident.
+    barrier(std::move(transition));
+  } else {
+    transition();
   }
-  ++job->next_unit;
-  job->unit_attempts = 0;
-  run_migrate_unit(job);
 }
 
 void HsmSystem::finish_migrate(std::shared_ptr<MigrateJob> job) {
+  if (job->dead) return;
+  unregister_abort(job->abort_id);
   if (job->cart != nullptr) {
     lib_.checkin_cartridge(*job->cart);
     job->cart = nullptr;
@@ -661,6 +927,12 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
   obs_->trace().link(options.parent_span, job->span);
   obs_->trace().arg_num(job->span, "paths",
                         static_cast<std::uint64_t>(paths.size()));
+  job->abort_id = register_abort([this, job] {
+    job->dead = true;
+    job->report.finished = sim_.now();
+    account_recall(*job);
+    if (job->done) job->done(job->report);
+  });
 
   // Resolve every path through the indexed export (Sec 4.2.5).
   struct Resolved {
@@ -746,6 +1018,8 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
 
   if (job->work.empty()) {
     sim_.after(0, [this, job] {
+      if (job->dead) return;
+      unregister_abort(job->abort_id);
       job->report.finished = job->report.started;
       account_recall(*job);
       if (job->done) job->done(job->report);
@@ -766,10 +1040,12 @@ void HsmSystem::recall(std::vector<std::string> paths, RecallOptions options,
 
 void HsmSystem::run_recall_cart(std::shared_ptr<RecallJob> job,
                                 std::size_t work_idx) {
+  if (job->dead) return;
   const sim::Tick t_req = sim_.now();
   lib_.acquire_drive(
       tape::DriveRequest{job->options.tenant, job->options.qos},
       [this, job, work_idx, t_req](tape::TapeDrive& drive) {
+        if (job->dead) return;
         trace_wait(obs::Component::Tape, "drive_wait", job->span, t_req);
         auto& work = job->work[work_idx];
         const sim::Tick t_m = sim_.now();
@@ -785,6 +1061,7 @@ void HsmSystem::run_recall_cart(std::shared_ptr<RecallJob> job,
 void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
                                  std::size_t work_idx, std::size_t entry_idx,
                                  tape::TapeDrive& drive) {
+  if (job->dead) return;
   auto& work = job->work[work_idx];
   if (entry_idx >= work.entries.size()) {
     lib_.release_drive(drive);
@@ -794,6 +1071,7 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
       return;
     }
     if (--job->active == 0) {
+      unregister_abort(job->abort_id);
       job->report.finished = sim_.now();
       account_recall(*job);
       if (job->done) job->done(job->report);
@@ -806,6 +1084,7 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
   drive.read_object(
       entry.node, entry.seq, std::move(pools),
       [this, job, work_idx, entry_idx, &drive](const tape::Segment* seg) {
+        if (job->dead) return;
         auto& work = job->work[work_idx];
         auto& entry = work.entries[entry_idx];
         if (seg == nullptr) {
@@ -822,11 +1101,13 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
             if (drive_dead) {
               lib_.release_drive(drive);
               sim_.after(delay, [this, job, work_idx, entry_idx] {
+                if (job->dead) return;
                 const sim::Tick t_req = sim_.now();
                 lib_.acquire_drive(
                     tape::DriveRequest{job->options.tenant, job->options.qos},
                     [this, job, work_idx, entry_idx,
                      t_req](tape::TapeDrive& nd) {
+                      if (job->dead) return;
                       trace_wait(obs::Component::Tape, "drive_wait", job->span,
                                  t_req);
                       tape::TapeDrive* ndp = &nd;
@@ -890,6 +1171,7 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
         const sim::Tick t_md = sim_.now();
         server_for(entry.path).metadata_txn([this, job, work_idx, entry_idx,
                                              &drive, t_md] {
+          if (job->dead) return;
           trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
           run_recall_entry(job, work_idx, entry_idx + 1, drive);
         });
@@ -902,6 +1184,7 @@ void HsmSystem::recall_fallback(
     tape::TapeDrive& drive,
     std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>> alts,
     std::size_t alt_idx) {
+  if (job->dead) return;
   auto resume_batch = [this, job, work_idx, entry_idx, &drive] {
     // Put the batch's cartridge back under the heads (extra mounts are
     // the honest price of chasing replicas mid-batch) and move on.
@@ -940,6 +1223,7 @@ void HsmSystem::recall_fallback(
         entry.node, alt_seq, std::move(pools),
         [this, job, work_idx, entry_idx, &drive, alts, alt_idx,
          alt_cart](const tape::Segment* seg) {
+          if (job->dead) return;
           auto& entry = job->work[work_idx].entries[entry_idx];
           if (seg == nullptr) {
             recall_fallback(job, work_idx, entry_idx, drive, alts, alt_idx + 1);
@@ -960,6 +1244,7 @@ void HsmSystem::recall_fallback(
           const sim::Tick t_md = sim_.now();
           server_for(entry.path).metadata_txn(
               [this, job, work_idx, entry_idx, &drive, t_md] {
+                if (job->dead) return;
                 trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
                 const sim::Tick t_m = sim_.now();
                 lib_.ensure_mounted(
@@ -1007,6 +1292,47 @@ void HsmSystem::account_recall(const RecallJob& job) {
 // Synchronous delete & reconcile
 // ---------------------------------------------------------------------------
 
+void HsmSystem::delete_object_cascade(ArchiveServer& server,
+                                      std::uint64_t object_id) {
+  const ArchiveObject* obj = server.object(object_id);
+  if (obj == nullptr) return;
+  // Reclaims the owner's segment on the primary volume and every
+  // copy-pool replica.
+  auto reclaim_media = [this](const ArchiveObject& owner) {
+    if (tape::Cartridge* cart = lib_.cartridge(owner.cartridge_id)) {
+      cart->mark_deleted(owner.object_id);
+    }
+    for (const auto& replica : owner.copies) {
+      if (tape::Cartridge* cart = lib_.cartridge(replica.cartridge_id)) {
+        cart->mark_deleted(owner.object_id);
+      }
+    }
+    fixity_.erase_object(owner.object_id);
+  };
+  if (obj->is_member()) {
+    const std::uint64_t agg_id = obj->aggregate_id;
+    server.delete_object(object_id);
+    // Reclaim the aggregate's tape segment once every member died.
+    const ArchiveObject* agg = server.object(agg_id);
+    if (agg != nullptr) {
+      ArchiveObject updated = *agg;
+      updated.members.erase(
+          std::remove(updated.members.begin(), updated.members.end(),
+                      object_id),
+          updated.members.end());
+      if (updated.members.empty()) {
+        reclaim_media(updated);
+        server.delete_object(agg_id);
+      } else {
+        server.record_object(std::move(updated));
+      }
+    }
+  } else {
+    reclaim_media(*obj);
+    server.delete_object(object_id);
+  }
+}
+
 void HsmSystem::synchronous_delete(const std::string& path,
                                    std::function<void(pfs::Errc)> done) {
   if (!done) done = [](pfs::Errc) {};
@@ -1022,57 +1348,44 @@ void HsmSystem::synchronous_delete(const std::string& path,
   }
   const std::uint64_t fid = st.value().fid.packed();
   ArchiveServer& server = server_for(path);
+  // The txn chain can die with the server on a power failure; the abort
+  // registry guarantees the caller still hears back (Stale: retry later).
+  struct DeleteState {
+    bool dead = false;
+    std::uint64_t abort_id = 0;
+  };
+  auto ds = std::make_shared<DeleteState>();
+  auto finish = [this, ds, done](pfs::Errc e) {
+    unregister_abort(ds->abort_id);
+    done(e);
+  };
+  ds->abort_id = register_abort([ds, done] {
+    ds->dead = true;
+    done(pfs::Errc::Stale);
+  });
   // Txn 1: the GPFS-fid -> TSM-object join through the indexed export.
-  server.metadata_txn([this, path, fid, &server, done] {
+  server.metadata_txn([this, path, fid, &server, finish, ds] {
+    if (ds->dead) return;
     const metadb::TapeObjectRow* row = server.export_db().by_gpfs_file_id(fid);
     if (row == nullptr) {
       fs_.unlink(path);
-      done(pfs::Errc::Ok);
+      finish(pfs::Errc::Ok);
       return;
     }
     const std::uint64_t object_id = row->object_id;
     // Txn 2: delete file system entry and tape object together.
-    server.metadata_txn([this, path, object_id, &server, done] {
-      const ArchiveObject* obj = server.object(object_id);
-      if (obj != nullptr) {
-        // Reclaims the owner's segment on the primary volume and every
-        // copy-pool replica.
-        auto reclaim_media = [this](const ArchiveObject& owner) {
-          if (tape::Cartridge* cart = lib_.cartridge(owner.cartridge_id)) {
-            cart->mark_deleted(owner.object_id);
-          }
-          for (const auto& replica : owner.copies) {
-            if (tape::Cartridge* cart = lib_.cartridge(replica.cartridge_id)) {
-              cart->mark_deleted(owner.object_id);
-            }
-          }
-          fixity_.erase_object(owner.object_id);
-        };
-        if (obj->is_member()) {
-          const std::uint64_t agg_id = obj->aggregate_id;
-          server.delete_object(object_id);
-          // Reclaim the aggregate's tape segment once every member died.
-          const ArchiveObject* agg = server.object(agg_id);
-          if (agg != nullptr) {
-            ArchiveObject updated = *agg;
-            updated.members.erase(
-                std::remove(updated.members.begin(), updated.members.end(),
-                            object_id),
-                updated.members.end());
-            if (updated.members.empty()) {
-              reclaim_media(updated);
-              server.delete_object(agg_id);
-            } else {
-              server.record_object(std::move(updated));
-            }
-          }
-        } else {
-          reclaim_media(*obj);
-          server.delete_object(object_id);
-        }
-      }
+    server.metadata_txn([this, path, object_id, &server, finish, ds] {
+      if (ds->dead) return;
+      delete_object_cascade(server, object_id);
       fs_.unlink(path);
-      done(pfs::Errc::Ok);
+      // The Ok verdict is an ack: make the catalog/fixity erasures durable
+      // before the caller hears it, so a crash after the ack can never
+      // resurrect an object the caller believes gone.  A crash *during*
+      // the wait already answered Stale through the abort registry.
+      barrier([finish, ds] {
+        if (ds->dead) return;
+        finish(pfs::Errc::Ok);
+      });
     });
   });
 }
@@ -1161,6 +1474,37 @@ void HsmSystem::space_management(
   report.used_fraction_before =
       static_cast<double>(pool_info.value().used_bytes) / capacity;
 
+  struct SmState {
+    bool dead = false;
+    std::uint64_t abort_id = 0;
+  };
+  auto ss = std::make_shared<SmState>();
+  auto tail = [this, pool, capacity, done, ss](SpaceManagementReport report,
+                                               std::uint64_t inodes) {
+    unregister_abort(ss->abort_id);
+    report.used_fraction_after =
+        static_cast<double>(fs_.pool(pool).value().used_bytes) / capacity;
+    report.duration = fs_.scan_duration(inodes, 1);
+    {
+      obs::MetricsRegistry& m = obs_->metrics();
+      m.counter("hsm.space_mgmt_runs").inc();
+      m.counter("hsm.punched_files").add(report.files_punched);
+      m.counter("hsm.punched_bytes").add(report.bytes_freed);
+      const obs::SpanId sp =
+          obs_->trace().complete(obs::Component::Hsm, "space_mgmt",
+                                 "space_mgmt", sim_.now(),
+                                 sim_.now() + report.duration);
+      obs_->trace().arg_num(sp, "punched", report.files_punched);
+    }
+    sim_.after(report.duration, [done, report] {
+      if (done) done(report);
+    });
+  };
+  ss->abort_id = register_abort([ss, done, report] {
+    ss->dead = true;
+    if (done) done(report);
+  });
+
   std::uint64_t inodes = 0;
   struct Candidate {
     sim::Tick atime;
@@ -1182,36 +1526,28 @@ void HsmSystem::space_management(
                 return a.atime != b.atime ? a.atime < b.atime
                                           : a.path < b.path;
               });
-    std::uint64_t used = pool_info.value().used_bytes;
-    const auto target =
-        static_cast<std::uint64_t>(low_water * capacity);
-    for (const Candidate& c : candidates) {
-      if (used <= target) break;
-      if (fs_.punch(c.path) != pfs::Errc::Ok) continue;
-      ++report.files_punched;
-      report.bytes_freed += c.size;
-      used = used > c.size ? used - c.size : 0;
-    }
-  } else {
-    fs_.for_each_inode(
-        [&](const std::string&, const pfs::InodeAttrs&) { ++inodes; });
+    // Punching frees premigrated disk data whose catalog rows may still
+    // sit in the un-fsynced WAL tail: barrier first.
+    barrier([this, ss, tail, report, inodes,
+             candidates = std::move(candidates),
+             used0 = pool_info.value().used_bytes,
+             target = static_cast<std::uint64_t>(low_water * capacity)]() mutable {
+      if (ss->dead) return;
+      std::uint64_t used = used0;
+      for (const Candidate& c : candidates) {
+        if (used <= target) break;
+        if (fs_.punch(c.path) != pfs::Errc::Ok) continue;
+        ++report.files_punched;
+        report.bytes_freed += c.size;
+        used = used > c.size ? used - c.size : 0;
+      }
+      tail(report, inodes);
+    });
+    return;
   }
-  report.used_fraction_after =
-      static_cast<double>(fs_.pool(pool).value().used_bytes) / capacity;
-  report.duration = fs_.scan_duration(inodes, 1);
-  {
-    obs::MetricsRegistry& m = obs_->metrics();
-    m.counter("hsm.space_mgmt_runs").inc();
-    m.counter("hsm.punched_files").add(report.files_punched);
-    m.counter("hsm.punched_bytes").add(report.bytes_freed);
-    const obs::SpanId sp =
-        obs_->trace().complete(obs::Component::Hsm, "space_mgmt", "space_mgmt",
-                               sim_.now(), sim_.now() + report.duration);
-    obs_->trace().arg_num(sp, "punched", report.files_punched);
-  }
-  sim_.after(report.duration, [done = std::move(done), report] {
-    if (done) done(report);
-  });
+  fs_.for_each_inode(
+      [&](const std::string&, const pfs::InodeAttrs&) { ++inodes; });
+  tail(report, inodes);
 }
 
 // ---------------------------------------------------------------------------
@@ -1230,6 +1566,8 @@ struct HsmSystem::ReclaimJob {
   tape::TapeDrive* dst_drive = nullptr;
   ReclaimReport report;
   obs::SpanId span;
+  bool dead = false;
+  std::uint64_t abort_id = 0;
   std::function<void(const ReclaimReport&)> done;
 };
 
@@ -1241,6 +1579,12 @@ void HsmSystem::reclaim_volumes(double dead_fraction, tape::NodeId node,
   job->report.started = sim_.now();
   job->span = obs_->trace().begin_lane(obs::Component::Hsm, "reclaim",
                                        "reclaim", sim_.now());
+  job->abort_id = register_abort([this, job] {
+    job->dead = true;
+    job->report.finished = sim_.now();
+    account_reclaim(*job);
+    if (job->done) job->done(job->report);
+  });
   lib_.for_each_cartridge([&](tape::Cartridge& cart) {
     ++job->report.volumes_examined;
     if (cart.bytes_used() == 0 || lib_.is_checked_out(cart.id())) return;
@@ -1253,6 +1597,7 @@ void HsmSystem::reclaim_volumes(double dead_fraction, tape::NodeId node,
 }
 
 void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
+  if (job->dead) return;
   // Release the previous victim's drives.
   if (job->src_drive != nullptr) {
     lib_.release_drive(*job->src_drive);
@@ -1264,6 +1609,7 @@ void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
     job->dst_drive = nullptr;
   }
   if (job->next_victim >= job->victims.size()) {
+    unregister_abort(job->abort_id);
     job->report.finished = sim_.now();
     account_reclaim(*job);
     if (job->done) {
@@ -1294,10 +1640,13 @@ void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
   // foreground work jump its drive requests.
   const tape::DriveRequest maint{"", sched::QosClass::Maintenance};
   lib_.acquire_drive(maint, [this, job, maint](tape::TapeDrive& src_drive) {
+    if (job->dead) return;
     job->src_drive = &src_drive;
     lib_.acquire_drive(maint, [this, job](tape::TapeDrive& dst_drive) {
+      if (job->dead) return;
       job->dst_drive = &dst_drive;
       lib_.ensure_mounted(*job->src_drive, *job->src, [this, job] {
+        if (job->dead) return;
         lib_.ensure_mounted(*job->dst_drive, *job->dst, [this, job] {
           run_reclaim_segment(job, 0);
         });
@@ -1308,6 +1657,7 @@ void HsmSystem::run_reclaim_volume(std::shared_ptr<ReclaimJob> job) {
 
 void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
                                     std::size_t seg_idx) {
+  if (job->dead) return;
   if (seg_idx >= job->live.size()) {
     ++job->report.volumes_reclaimed;
     run_reclaim_volume(job);
@@ -1319,6 +1669,7 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
   job->src_drive->read_object(
       job->node, seg.seq, net_legs(job->node, ""),
       [this, job, seg, seg_idx](const tape::Segment* read) {
+        if (job->dead) return;
         if (read == nullptr) {  // damaged or vanished: skip
           run_reclaim_segment(job, seg_idx + 1);
           return;
@@ -1331,6 +1682,7 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
         job->dst_drive->write_object(
             job->node, seg.object_id, seg.bytes, net_legs(job->node, ""),
             [this, job, seg, seg_idx, moved_fp](const tape::Segment* written) {
+              if (job->dead) return;
               if (written == nullptr) {
                 run_reclaim_segment(job, seg_idx + 1);
                 return;
@@ -1343,6 +1695,7 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
                 return;
               }
               server->metadata_txn([this, job, seg, seg_idx, new_seq] {
+                if (job->dead) return;
                 relocate_object(seg.object_id, job->src->id(), job->dst->id(),
                                 new_seq);
                 fixity_.relocate(seg.object_id, job->src->id(), job->dst->id(),
@@ -1379,6 +1732,8 @@ struct HsmSystem::ScrubJob {
   std::uint64_t last_cart = 0;
   integrity::ScrubReport report;
   obs::SpanId span;
+  bool dead = false;
+  std::uint64_t abort_id = 0;
   std::function<void(const integrity::ScrubReport&)> done;
 };
 
@@ -1393,6 +1748,12 @@ void HsmSystem::scrub(integrity::ScrubConfig scfg,
                                        "scrub", sim_.now());
   obs_->trace().arg_num(job->span, "rows",
                         static_cast<std::uint64_t>(job->rows.size()));
+  job->abort_id = register_abort([this, job] {
+    job->dead = true;
+    job->report.finished = sim_.now();
+    account_scrub(*job);
+    if (job->done) job->done(job->report);
+  });
   if (job->rows.empty()) {
     sim_.after(0, [this, job] { finish_scrub(job); });
     return;
@@ -1401,12 +1762,14 @@ void HsmSystem::scrub(integrity::ScrubConfig scfg,
   lib_.acquire_drive(
       tape::DriveRequest{job->cfg.tenant, sched::QosClass::Maintenance},
       [this, job](tape::TapeDrive& drive) {
+        if (job->dead) return;
         job->drive = &drive;
         run_scrub_row(job);
       });
 }
 
 void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
+  if (job->dead) return;
   if (job->next >= job->rows.size()) {
     finish_scrub(job);
     return;
@@ -1418,6 +1781,7 @@ void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
     lib_.acquire_drive(
         tape::DriveRequest{job->cfg.tenant, sched::QosClass::Maintenance},
         [this, job](tape::TapeDrive& drive) {
+          if (job->dead) return;
           job->drive = &drive;
           run_scrub_row(job);
         });
@@ -1446,9 +1810,11 @@ void HsmSystem::run_scrub_row(std::shared_ptr<ScrubJob> job) {
     ++job->report.cartridges_visited;
   }
   lib_.ensure_mounted(*job->drive, *cart, [this, job, row] {
+    if (job->dead) return;
     job->drive->read_object(
         job->cfg.node, row.tape_seq, net_legs(job->cfg.node, ""),
         [this, job, row](const tape::Segment* seg) {
+          if (job->dead) return;
           if (seg == nullptr) {
             ++job->report.read_errors;
             ++job->next;
@@ -1489,6 +1855,7 @@ void HsmSystem::run_scrub_repair(
     std::shared_ptr<ScrubJob> job, const integrity::FixityRow& row,
     std::shared_ptr<std::vector<std::pair<std::uint64_t, std::uint64_t>>> alts,
     std::size_t alt_idx) {
+  if (job->dead) return;
   if (alt_idx < alts->size()) {
     const auto [cand_cart_id, cand_seq] = (*alts)[alt_idx];
     tape::Cartridge* cand = lib_.cartridge(cand_cart_id);
@@ -1508,9 +1875,11 @@ void HsmSystem::run_scrub_repair(
     }
     lib_.ensure_mounted(*job->drive, *cand, [this, job, row, alts, alt_idx,
                                              cand, cand_seq = cand_seq] {
+      if (job->dead) return;
       job->drive->read_object(
           job->cfg.node, cand_seq, net_legs(job->cfg.node, ""),
           [this, job, row, alts, alt_idx, cand](const tape::Segment* seg) {
+            if (job->dead) return;
             if (seg == nullptr ||
                 seg->observed_fingerprint() != row.checksum) {
               // This duplicate is rotten (or unreadable) too.
@@ -1547,6 +1916,7 @@ void HsmSystem::write_scrub_repair(std::shared_ptr<ScrubJob> job,
                                    std::uint64_t source_cartridge,
                                    std::vector<sim::PathLeg> pools,
                                    integrity::ScrubRepair::Action action) {
+  if (job->dead) return;
   tape::Cartridge* bad = lib_.cartridge(row.cartridge_id);
   if (bad == nullptr) {
     scrub_unrepairable(job, row);
@@ -1557,10 +1927,12 @@ void HsmSystem::write_scrub_repair(std::shared_ptr<ScrubJob> job,
   lib_.ensure_mounted(*job->drive, *dst, [this, job, row, source_cartridge,
                                           pools = std::move(pools), action,
                                           dst]() mutable {
+    if (job->dead) return;
     job->drive->write_object(
         job->cfg.node, row.object_id, row.length, std::move(pools),
         [this, job, row, source_cartridge, action,
          dst](const tape::Segment* written) {
+          if (job->dead) return;
           if (written == nullptr) {
             lib_.checkin_cartridge(*dst);
             scrub_unrepairable(job, row);
@@ -1578,6 +1950,7 @@ void HsmSystem::write_scrub_repair(std::shared_ptr<ScrubJob> job,
           }
           server->metadata_txn([this, job, row, source_cartridge, action,
                                 dst, new_seq] {
+            if (job->dead) return;
             relocate_object(row.object_id, row.cartridge_id, dst->id(),
                             new_seq);
             fixity_.relocate(row.object_id, row.cartridge_id, dst->id(),
@@ -1608,6 +1981,7 @@ void HsmSystem::write_scrub_repair(std::shared_ptr<ScrubJob> job,
 
 void HsmSystem::scrub_unrepairable(std::shared_ptr<ScrubJob> job,
                                    const integrity::FixityRow& row) {
+  if (job->dead) return;
   // Reported exactly once: the row's status flips, so the next scrub's
   // plan (status == Ok only) never revisits it.
   fixity_.set_status(row.row_id, integrity::FixityStatus::Unrepairable);
@@ -1637,6 +2011,8 @@ void HsmSystem::scrub_pace(std::shared_ptr<ScrubJob> job,
 }
 
 void HsmSystem::finish_scrub(std::shared_ptr<ScrubJob> job) {
+  if (job->dead) return;
+  unregister_abort(job->abort_id);
   if (job->drive != nullptr) {
     lib_.release_drive(*job->drive);
     job->drive = nullptr;

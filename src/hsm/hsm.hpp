@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -289,6 +290,57 @@ class HsmSystem : public pfs::DmapiListener {
   /// Routes hsm.* metrics and migrate/recall/reclaim spans to `obs`.
   void set_observer(obs::Observer& obs) { obs_ = &obs; }
 
+  /// Durability barrier invoked before any punch frees disk data: the
+  /// continuation runs once every metadata record covering the punched
+  /// files is durable (WAL group-commit fsync).  Unset (the default) the
+  /// barrier is a synchronous passthrough — zero cost, identical timing.
+  void set_durability_barrier(std::function<void(std::function<void()>)> b) {
+    barrier_ = std::move(b);
+  }
+
+  /// Whole-archive power loss: every in-flight migrate/recall/reclaim/
+  /// scrub/delete aborts (its `done` fires with the partial report, spans
+  /// close), then volatile metadata — object catalogs, indexed exports,
+  /// fixity rows — is wiped.  The tape library and the WAL are crashed
+  /// separately by the caller, which owns the ordering.
+  void power_fail();
+
+  /// What crash reconciliation found and repaired (see reconcile_crash).
+  struct CrashReconcileReport {
+    /// Live tape segments no recovered catalog row points at: marked dead
+    /// (reclamation fodder).  These were written after the last fsync.
+    std::uint64_t orphan_segments = 0;
+    /// Live segments whose object's recorded location is itself dead or
+    /// missing (crash mid-relocation after the source was invalidated):
+    /// the catalog is rolled forward to the surviving segment.
+    std::uint64_t adopted_segments = 0;
+    /// Fixity rows whose object vanished from the catalog: dropped.
+    std::uint64_t orphan_fixity_rows = 0;
+    /// Live catalog locations whose fixity row was torn away: rebuilt
+    /// from the checksum the tape segment header carries.
+    std::uint64_t fixity_rebuilt = 0;
+    /// Objects resurrected by the tear whose file is provably gone (the
+    /// unlink and tape reclaim are physical): the delete is rolled
+    /// forward to completion.
+    std::uint64_t deletes_completed = 0;
+    /// Recorded tape locations whose segment is dead (crash mid-
+    /// relocation): dropped, with a surviving copy promoted to primary.
+    std::uint64_t locations_dropped = 0;
+    /// Premigrated inodes with no catalog object: the migration never
+    /// became durable, so the on-disk copy is authoritative again.
+    std::uint64_t premigrated_remarked = 0;
+    /// Migrated stubs with no catalog object: unreachable data.  The
+    /// pre-punch durability barrier makes this impossible; nonzero here
+    /// means the barrier was violated (chaos oracles assert zero).
+    std::uint64_t stub_violations = 0;
+  };
+
+  /// Reconciles recovered metadata against physical reality (tape
+  /// segments, disk residency states) after power_fail + WAL replay.
+  /// Mutations go through the hooked store APIs, so they are themselves
+  /// redo-logged for a repeat crash.
+  CrashReconcileReport reconcile_crash();
+
   /// Hooks up the admission scheduler: migrate/recall data flows of a
   /// capped tenant pick up its bandwidth-shaper legs.  Drive-grant
   /// arbitration is wired separately (TapeLibrary::set_arbiter).
@@ -300,6 +352,27 @@ class HsmSystem : public pfs::DmapiListener {
   struct UnitRecorder;
   struct ReclaimJob;
   struct ScrubJob;
+
+  /// Runs `k` behind the durability barrier (or synchronously when none).
+  void barrier(std::function<void()> k) {
+    if (barrier_) {
+      barrier_(std::move(k));
+    } else {
+      k();
+    }
+  }
+
+  /// Live-operation registry: every public entry point registers an abort
+  /// closure; power_fail() fires them all.  Closures mark the job dead
+  /// (every continuation re-entry checks the flag) and deliver the
+  /// partial report so callers never hang on a crashed operation.
+  std::uint64_t register_abort(std::function<void()> fn);
+  void unregister_abort(std::uint64_t id);
+
+  /// Erases one object from the catalog with full media/fixity cascade
+  /// (aggregate-member aware).  Shared by synchronous_delete and the
+  /// crash-recovery roll-forward of deletes that lost their ack.
+  void delete_object_cascade(ArchiveServer& server, std::uint64_t object_id);
 
   void run_reclaim_volume(std::shared_ptr<ReclaimJob> job);
   void run_reclaim_segment(std::shared_ptr<ReclaimJob> job, std::size_t seg_idx);
@@ -387,6 +460,9 @@ class HsmSystem : public pfs::DmapiListener {
   integrity::FixityDb fixity_;
   obs::Observer* obs_ = &obs::Observer::nil();
   sched::AdmissionScheduler* sched_ = nullptr;
+  std::function<void(std::function<void()>)> barrier_;
+  std::map<std::uint64_t, std::function<void()>> live_aborts_;
+  std::uint64_t next_abort_id_ = 1;
   std::uint64_t offline_reads_ = 0;
   std::uint64_t destroys_ = 0;
 };

@@ -46,6 +46,17 @@ void ArchiveServer::pump() {
   });
 }
 
+void ArchiveServer::power_fail() {
+  // Dropped, not failed: the callbacks belong to jobs the crash already
+  // aborted.  busy_ stays untouched — a transaction in service completes
+  // through its scheduled event and pumps whatever queue exists then.
+  queue_.clear();
+  ++epoch_;
+  objects_.clear();
+  export_.clear();
+  next_object_id_ = cfg_.object_id_base;
+}
+
 void ArchiveServer::record_object(ArchiveObject obj) {
   // Mirror into the indexed export before storing (aggregates have no
   // single path/fid; they are not separately recallable by path).
@@ -54,7 +65,12 @@ void ArchiveServer::record_object(ArchiveObject obj) {
                                          obj.path, obj.size_bytes,
                                          obj.cartridge_id, obj.tape_seq});
   }
+  // Mutate first, log after: the WAL hook can snapshot the whole catalog
+  // synchronously (auto-checkpoint), and that snapshot must already
+  // contain this row or the checkpoint truncation loses it.
+  const std::uint64_t id = obj.object_id;
   objects_.upsert(std::move(obj));
+  if (hooks_.on_record) hooks_.on_record(*objects_.find(id));
 }
 
 const ArchiveObject* ArchiveServer::object(std::uint64_t id) const {
@@ -65,7 +81,9 @@ bool ArchiveServer::delete_object(std::uint64_t id) {
   const ArchiveObject* obj = objects_.find(id);
   if (obj == nullptr) return false;
   export_.erase_object(id);
-  return objects_.erase(id);
+  const bool erased = objects_.erase(id);
+  if (erased && hooks_.on_delete) hooks_.on_delete(id);
+  return erased;
 }
 
 void ArchiveServer::for_each_object(

@@ -69,8 +69,27 @@ class ArchiveServer {
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] bool down() const { return sim_.now() < up_at_; }
 
+  /// Whole-host power failure: the in-memory object database and its
+  /// indexed export vanish, queued transactions are dropped on the floor
+  /// (their callbacks never fire), and the epoch bumps so in-flight
+  /// sessions notice.  Recovery replays the WAL back through
+  /// `record_object`.  A transaction already in service completes its
+  /// (now dead) callback harmlessly — abandoned jobs no-op on re-entry.
+  void power_fail();
+
+  /// Durability listeners: fired after every object mutation with the
+  /// full-row image.  Installed by the WAL layer; unset hooks are free.
+  struct MutationHooks {
+    std::function<void(const ArchiveObject&)> on_record;
+    std::function<void(std::uint64_t object_id)> on_delete;
+  };
+  void set_mutation_hooks(MutationHooks hooks) { hooks_ = std::move(hooks); }
+
   // --- object database (call inside metadata_txn callbacks) ---------------
   [[nodiscard]] std::uint64_t allocate_object_id() { return next_object_id_++; }
+  /// Recovery: re-seats the allocator above every replayed object id.
+  void set_next_object_id(std::uint64_t next) { next_object_id_ = next; }
+  [[nodiscard]] std::uint64_t next_object_id() const { return next_object_id_; }
   void record_object(ArchiveObject obj);
   [[nodiscard]] const ArchiveObject* object(std::uint64_t id) const;
   bool delete_object(std::uint64_t id);
@@ -96,6 +115,7 @@ class ArchiveServer {
   std::uint64_t next_object_id_ = 1;
   metadb::Table<ArchiveObject> objects_;
   metadb::TsmExportDb export_;
+  MutationHooks hooks_;
 };
 
 }  // namespace cpa::hsm

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "metadb/table.hpp"
@@ -73,6 +74,15 @@ class FixityDb {
         [](const FixityRow& r) { return r.cartridge_id; });
   }
 
+  /// Durability listeners: fired after every in-memory mutation, with the
+  /// resulting row (a full-row image, so redo replay is idempotent).  The
+  /// WAL layer installs these; unset hooks cost nothing.
+  struct MutationHooks {
+    std::function<void(const FixityRow&)> on_upsert;
+    std::function<void(std::uint64_t object_id)> on_erase_object;
+  };
+  void set_mutation_hooks(MutationHooks hooks) { hooks_ = std::move(hooks); }
+
   /// Records a checksum; returns the new row id.
   std::uint64_t add(std::uint64_t object_id, std::uint64_t cartridge_id,
                     std::uint64_t tape_seq, std::uint64_t length,
@@ -86,7 +96,21 @@ class FixityDb {
     row.checksum = checksum;
     row.copy_index = copy_index;
     table_.insert(row);
+    if (hooks_.on_upsert) hooks_.on_upsert(row);
     return row.row_id;
+  }
+
+  /// Recovery-path insert preserving the logged row id (replaying the
+  /// same record twice converges on the same row).
+  void restore(const FixityRow& row) {
+    table_.upsert(row);
+    if (row.row_id >= next_row_id_) next_row_id_ = row.row_id + 1;
+  }
+
+  /// Crash wipe: drops every row before checkpoint-load + log replay.
+  void clear() {
+    table_.clear();
+    next_row_id_ = 1;
   }
 
   [[nodiscard]] const FixityRow* find(std::uint64_t row_id) const {
@@ -123,7 +147,8 @@ class FixityDb {
         FixityRow updated = *r;
         updated.cartridge_id = new_cart;
         updated.tape_seq = new_seq;
-        table_.upsert(std::move(updated));
+        table_.upsert(updated);
+        if (hooks_.on_upsert) hooks_.on_upsert(updated);
         return true;
       }
     }
@@ -135,7 +160,8 @@ class FixityDb {
     if (r == nullptr) return false;
     FixityRow updated = *r;
     updated.status = status;
-    table_.upsert(std::move(updated));
+    table_.upsert(updated);
+    if (hooks_.on_upsert) hooks_.on_upsert(updated);
     return true;
   }
 
@@ -145,6 +171,7 @@ class FixityDb {
       table_.erase(r->row_id);
       any = true;
     }
+    if (any && hooks_.on_erase_object) hooks_.on_erase_object(object_id);
     return any;
   }
 
@@ -159,6 +186,7 @@ class FixityDb {
   metadb::Table<FixityRow> table_;
   metadb::Table<FixityRow>::IndexId by_object_{};
   metadb::Table<FixityRow>::IndexId by_cartridge_{};
+  MutationHooks hooks_;
   std::uint64_t next_row_id_ = 1;
 };
 

@@ -159,6 +159,14 @@ class Table {
     for (const auto& [k, row] : rows_) fn(row);
   }
 
+  /// Drops every row (indexes stay registered).  Crash-recovery wipes a
+  /// table before replaying the WAL image into it.
+  void clear() {
+    rows_.clear();
+    for (auto& idx : u64_indexes_) idx.map.clear();
+    for (auto& idx : str_indexes_) idx.map.clear();
+  }
+
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
   [[nodiscard]] bool empty() const { return rows_.empty(); }
   [[nodiscard]] const TableStats& stats() const { return stats_; }

@@ -70,6 +70,10 @@ class TsmExportDb {
     return rows.empty() ? nullptr : rows.front();
   }
 
+  /// Crash-recovery wipe; the export is rebuilt row-by-row from the
+  /// replayed object catalog.
+  void clear() { table_.clear(); }
+
   [[nodiscard]] std::size_t size() const { return table_.size(); }
   [[nodiscard]] const TableStats& stats() const { return table_.stats(); }
   void reset_stats() { table_.reset_stats(); }

@@ -39,6 +39,7 @@ const char* to_string(Bucket b) {
     case Bucket::RetryBackoff: return "retry backoff";
     case Bucket::SchedulerIdle: return "scheduler idle";
     case Bucket::AdmissionWait: return "admission wait";
+    case Bucket::WalCommit: return "wal commit";
   }
   return "?";
 }
@@ -140,6 +141,10 @@ Bucket Profiler::classify_self(const TraceRecorder::SpanView& v, bool is_root,
       }
       if (n == "read" || n == "write") return Bucket::TapeTransfer;
       return Bucket::TapePosition;
+    case Component::Wal:
+      // A flush/checkpoint span on the critical path is a durability
+      // barrier the job stalled behind.
+      return Bucket::WalCommit;
     default:
       if (n == "retry_backoff") return Bucket::RetryBackoff;
       if (n == "admission_wait") return Bucket::AdmissionWait;

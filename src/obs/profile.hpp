@@ -44,8 +44,9 @@ enum class Bucket : std::uint8_t {
   RetryBackoff,    // fault-retry delay windows
   SchedulerIdle,   // job-root self time: queueing/dispatch gaps
   AdmissionWait,   // queued behind the fair-share admission scheduler
+  WalCommit,       // group-commit fsync barriers and checkpoint installs
 };
-inline constexpr unsigned kBucketCount = 9;
+inline constexpr unsigned kBucketCount = 10;
 
 [[nodiscard]] const char* to_string(Bucket b);
 

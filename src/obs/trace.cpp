@@ -91,6 +91,7 @@ const char* to_string(Component c) {
     case Component::Fault: return "fault";
     case Component::Integrity: return "integrity";
     case Component::Sched: return "sched";
+    case Component::Wal: return "wal";
   }
   return "?";
 }

@@ -39,9 +39,9 @@ namespace cpa::obs {
 /// The subsystem a trace event or metric belongs to.  Exported as the
 /// event category and as the thread-name prefix.
 enum class Component : std::uint8_t {
-  Sim, Net, Pfs, Hsm, Tape, Pftool, Fuse, Fault, Integrity, Sched
+  Sim, Net, Pfs, Hsm, Tape, Pftool, Fuse, Fault, Integrity, Sched, Wal
 };
-inline constexpr unsigned kComponentCount = 10;
+inline constexpr unsigned kComponentCount = 11;
 
 [[nodiscard]] const char* to_string(Component c);
 

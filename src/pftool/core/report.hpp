@@ -18,6 +18,9 @@ struct JobReport {
   sim::Tick started = 0;
   sim::Tick finished = 0;
   bool aborted_by_watchdog = false;
+  /// The attempt died in a whole-host power failure (the report is the
+  /// partial progress at the instant of the crash).
+  bool aborted_by_crash = false;
 
   // Tree walk.
   std::uint64_t dirs_walked = 0;

@@ -16,12 +16,14 @@ void RestartJournal::begin(const std::string& dst, std::uint64_t file_size,
   e.chunk_count = chunk_count;
   e.good.assign(chunk_count, false);
   entries_[dst] = std::move(e);
+  if (hook_) hook_(Op::Begin, dst, file_size, chunk_count);
 }
 
 void RestartJournal::mark_good(const std::string& dst, std::uint64_t chunk) {
   auto it = entries_.find(dst);
   if (it != entries_.end() && chunk < it->second.good.size()) {
     it->second.good[chunk] = true;
+    if (hook_) hook_(Op::Good, dst, chunk, 0);
   }
 }
 
@@ -29,6 +31,7 @@ void RestartJournal::mark_bad(const std::string& dst, std::uint64_t chunk) {
   auto it = entries_.find(dst);
   if (it != entries_.end() && chunk < it->second.good.size()) {
     it->second.good[chunk] = false;
+    if (hook_) hook_(Op::Bad, dst, chunk, 0);
   }
 }
 
@@ -63,7 +66,10 @@ std::uint64_t RestartJournal::good_count(const std::string& dst) const {
   return n;
 }
 
-void RestartJournal::forget(const std::string& dst) { entries_.erase(dst); }
+void RestartJournal::forget(const std::string& dst) {
+  entries_.erase(dst);
+  if (hook_) hook_(Op::Forget, dst, 0, 0);
+}
 
 std::string RestartJournal::serialize() const {
   std::ostringstream out;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -25,6 +26,19 @@ class RestartJournal {
     std::uint64_t chunk_count = 0;
     std::vector<bool> good;
   };
+
+  /// Mutation ops reported to the durability listener (WAL redo records).
+  enum class Op : char { Begin = 'b', Good = 'g', Bad = 'x', Forget = 'f' };
+
+  /// Fired after every in-memory mutation: (op, dst, a, b) where a/b are
+  /// (size, chunk_count) for Begin and (chunk, 0) for Good/Bad.  All four
+  /// ops are idempotent, so redo replay may apply them repeatedly.
+  using MutationHook =
+      std::function<void(Op, const std::string&, std::uint64_t, std::uint64_t)>;
+  void set_mutation_hook(MutationHook hook) { hook_ = std::move(hook); }
+
+  /// Crash wipe before checkpoint-load + log replay.
+  void clear() { entries_.clear(); }
 
   /// Registers (or resets) a transfer.  Existing good marks for the same
   /// destination are preserved only when size and chunk count still match
@@ -52,6 +66,7 @@ class RestartJournal {
 
  private:
   std::map<std::string, Entry> entries_;
+  MutationHook hook_;
 };
 
 }  // namespace cpa::pftool

@@ -846,6 +846,15 @@ void PftoolJob::abort_stalled() {
   finish();
 }
 
+void PftoolJob::abort_crashed() {
+  if (finished_) return;
+  report_.aborted_by_crash = true;
+  env_.obs->metrics().counter("pftool.crash_aborts").inc();
+  env_.obs->trace().instant(obs::Component::Pftool, "fault", "power_fail",
+                            env_.sim->now());
+  finish();
+}
+
 void PftoolJob::maybe_finish() {
   if (finished_ || !started_) return;
   const bool queues_empty =

@@ -149,6 +149,11 @@ class PftoolJob {
                    RestoreStats stats);
   void watchdog_tick();
   void abort_stalled();
+  /// Whole-host power failure: the attempt dies where it stands.  Like a
+  /// watchdog abort, events still in flight reference the job afterwards
+  /// (every entry point no-ops once finished), so the owner must keep the
+  /// carcass alive until teardown.
+  void abort_crashed();
   /// FTA node crash: workers/tapeprocs pinned there are killed and
   /// respawned on healthy nodes; their in-flight copies abort and route
   /// through on_chunk_done(..., false) for the usual retry treatment.

@@ -29,6 +29,33 @@ void TapeLibrary::repair_drive(unsigned i) {
   pump_idle_drives();
 }
 
+void TapeLibrary::power_fail() {
+  power_failed_drives_.clear();
+  for (unsigned i = 0; i < drives_.size(); ++i) {
+    if (!drives_[i]->failed()) {
+      // set_failed aborts the in-flight flow and fails queued ops fast
+      // into continuations the crash has already declared dead.
+      drives_[i]->set_failed(true);
+      power_failed_drives_.push_back(i);
+    }
+    if (drive_busy_[i]) {
+      // The holder died with the host and will never release_drive().
+      if (arbiter_ != nullptr) arbiter_->drive_released(drive_holder_[i]);
+      drive_busy_[i] = false;
+    }
+    drive_claim_[i] = 0;
+    drive_holder_[i] = DriveRequest{};
+  }
+  drive_waiters_.clear();
+  checked_out_.clear();
+}
+
+void TapeLibrary::power_restore() {
+  for (const unsigned i : power_failed_drives_) drives_[i]->set_failed(false);
+  power_failed_drives_.clear();
+  pump_idle_drives();
+}
+
 void TapeLibrary::grant(std::size_t i, Waiter w) {
   drive_busy_[i] = true;
   drive_holder_[i] = w.req;

@@ -88,6 +88,16 @@ class TapeLibrary {
     return drives_[i]->failed();
   }
 
+  /// Whole-library power loss: every healthy drive drops its in-flight
+  /// transfer (set_failed), queued waiters/claims/holders/checkouts are
+  /// wiped (their owners died with the host), and per-holder arbiter
+  /// releases keep quota accounting balanced.  Cartridge contents and
+  /// mounted volumes survive — tape is physical.  power_restore() repairs
+  /// exactly the drives this call failed, so a fault-plan drive failure
+  /// that was already open stays failed across the crash.
+  void power_fail();
+  void power_restore();
+
   // --- cartridges ------------------------------------------------------------
   Cartridge& new_cartridge(const std::string& colocation_group = "");
   [[nodiscard]] Cartridge* cartridge(CartridgeId id);
@@ -168,6 +178,7 @@ class TapeLibrary {
   std::map<std::string, CartridgeId> open_by_group_;
   std::set<CartridgeId> checked_out_;
   CartridgeId next_cartridge_id_ = 1;
+  std::vector<unsigned> power_failed_drives_;  // repaired by power_restore()
 };
 
 }  // namespace cpa::tape

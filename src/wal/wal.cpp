@@ -1,0 +1,204 @@
+#include "wal/wal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace cpa::wal {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto b = [p](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void SimBlockDevice::flush(std::function<void()> done) {
+  const std::uint64_t target = trimmed_ + data_.size();
+  const std::uint64_t gen = gen_;
+  sim_.after(flush_latency_, [this, gen, target, done = std::move(done)] {
+    if (gen != gen_) return;  // power was lost before the fsync returned
+    durable_ = std::max(durable_, target);
+    done();
+  });
+}
+
+void SimBlockDevice::tear(double tail_fraction) {
+  const std::uint64_t base = std::max(durable_, trimmed_);
+  const std::uint64_t tail = trimmed_ + data_.size() - base;
+  const auto keep = static_cast<std::uint64_t>(
+      static_cast<double>(tail) * tail_fraction);
+  data_.resize((base - trimmed_) + std::min(keep, tail));
+  durable_ = trimmed_ + data_.size();
+  ++gen_;
+}
+
+void SimBlockDevice::truncate_back(std::uint64_t keep) {
+  if (keep >= data_.size()) return;
+  data_.resize(keep);
+  durable_ = std::min(durable_, trimmed_ + keep);
+}
+
+void SimBlockDevice::truncate_front(std::uint64_t bytes) {
+  bytes = std::min<std::uint64_t>(bytes, data_.size());
+  data_.erase(0, bytes);
+  trimmed_ += bytes;
+  durable_ = std::max(durable_, trimmed_);
+}
+
+WalWriter::WalWriter(sim::Simulation& sim, WalConfig cfg, obs::Observer& obs)
+    : sim_(sim), cfg_(cfg), obs_(obs), dev_(sim, cfg.flush_latency) {}
+
+void WalWriter::append_record(const std::string& payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  dev_.append(frame);
+  bytes_since_checkpoint_ += frame.size();
+  ++records_;
+  obs_.metrics().counter("wal.records").inc();
+  obs_.metrics().counter("wal.appended_bytes").add(frame.size());
+  maybe_auto_checkpoint();
+}
+
+void WalWriter::sync(std::function<void()> done) {
+  waiters_.push_back(std::move(done));
+  if (!flush_running_) start_flush();
+}
+
+void WalWriter::start_flush() {
+  flush_running_ = true;
+  in_flight_ = std::move(waiters_);
+  waiters_.clear();
+  const std::uint64_t gen = gen_;
+  const obs::SpanId sp = obs_.trace().begin_lane(
+      obs::Component::Wal, "wal", "flush", sim_.now());
+  dev_.flush([this, gen, sp] {
+    obs_.trace().end(sp, sim_.now());
+    if (gen != gen_) return;
+    flush_running_ = false;
+    obs_.metrics().counter("wal.flushes").inc();
+    obs_.metrics()
+        .stats("wal.flush_batch_size")
+        .add(static_cast<double>(in_flight_.size()));
+    // Fire off a local copy: a waiter may append + sync again re-entrantly.
+    std::vector<std::function<void()>> batch = std::move(in_flight_);
+    in_flight_.clear();
+    for (auto& fn : batch) fn();
+    if (!waiters_.empty() && !flush_running_) start_flush();
+  });
+}
+
+void WalWriter::maybe_auto_checkpoint() {
+  if (cfg_.checkpoint_bytes == 0 || checkpoint_running_) return;
+  if (bytes_since_checkpoint_ < cfg_.checkpoint_bytes) return;
+  checkpoint();
+}
+
+void WalWriter::checkpoint() {
+  if (checkpoint_running_ || !checkpoint_source_) return;
+  checkpoint_running_ = true;
+  // Snapshot now: the blob describes every record currently in the log
+  // (listeners append after the in-memory apply), so on durable install
+  // the current log prefix becomes redundant.
+  std::string blob = checkpoint_source_();
+  const std::uint64_t mark = dev_.size();
+  const sim::Tick cost =
+      cfg_.flush_latency +
+      sim::secs(static_cast<double>(blob.size()) / cfg_.log_bytes_per_sec);
+  const std::uint64_t gen = gen_;
+  const obs::SpanId sp = obs_.trace().begin_lane(
+      obs::Component::Wal, "wal", "checkpoint", sim_.now());
+  sim_.after(cost, [this, gen, sp, mark, blob = std::move(blob)]() mutable {
+    obs_.trace().end(sp, sim_.now());
+    if (gen != gen_) return;  // crashed mid-install: old checkpoint stands
+    checkpoint_running_ = false;
+    checkpoint_ = std::move(blob);
+    dev_.truncate_front(mark);
+    bytes_since_checkpoint_ = dev_.size();
+    obs_.metrics().counter("wal.checkpoints").inc();
+    obs_.metrics().counter("wal.truncated_bytes").add(mark);
+  });
+}
+
+void WalWriter::crash(std::uint64_t seed) {
+  const double frac =
+      static_cast<double>(splitmix64(seed) >> 11) * 0x1.0p-53;
+  dev_.tear(frac);
+  waiters_.clear();
+  in_flight_.clear();
+  flush_running_ = false;
+  checkpoint_running_ = false;
+  bytes_since_checkpoint_ = dev_.size();
+  ++gen_;
+}
+
+void WalWriter::trim_torn_tail(std::uint64_t valid_bytes) {
+  if (valid_bytes >= dev_.size()) return;
+  obs_.metrics().counter("wal.torn_bytes").add(dev_.size() - valid_bytes);
+  dev_.truncate_back(valid_bytes);
+  bytes_since_checkpoint_ = std::min(bytes_since_checkpoint_, dev_.size());
+}
+
+std::uint64_t WalReader::replay(
+    const std::string& log,
+    const std::function<void(const std::string&)>& fn,
+    std::uint64_t* valid_bytes) {
+  std::uint64_t applied = 0;
+  std::size_t off = 0;
+  while (off + 8 <= log.size()) {
+    const std::uint32_t len = get_u32(log.data() + off);
+    const std::uint32_t want = get_u32(log.data() + off + 4);
+    if (off + 8 + len > log.size()) break;  // torn mid-payload
+    const std::string payload = log.substr(off + 8, len);
+    if (crc32(payload.data(), payload.size()) != want) break;
+    fn(payload);
+    ++applied;
+    off += 8 + len;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = off;
+  return applied;
+}
+
+}  // namespace cpa::wal

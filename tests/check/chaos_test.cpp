@@ -76,6 +76,40 @@ TEST(Chaos, DoctoredFixityDropIsCaught) {
   EXPECT_TRUE(fixity) << r.render_violations();
 }
 
+TEST(Chaos, CrashCampaignCompletesWithZeroViolations) {
+  // Whole-archive power failures mid-campaign: every durably-acked file
+  // must still restore byte-exact after WAL recovery + reconciliation.
+  const ChaosConfig cfg =
+      ChaosConfig{}.with_seed(20).with_ops(150).with_crashes(true);
+  const ChaosResult r = run_chaos(cfg);
+  EXPECT_TRUE(r.ok()) << r.render_violations();
+  EXPECT_EQ(r.ops_executed + r.ops_skipped, 150u);
+  EXPECT_GT(r.jobs_submitted, 0u);
+}
+
+TEST(Chaos, CrashCampaignReplaysToIdenticalDigest) {
+  const ChaosConfig cfg =
+      ChaosConfig{}.with_seed(6).with_ops(120).with_crashes(true);
+  const ChaosResult a = run_chaos(cfg);
+  const ChaosResult b = run_chaos(cfg);
+  ASSERT_TRUE(a.ok()) << a.render_violations();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.state_digest, b.state_digest);
+}
+
+TEST(Chaos, QuiescentCrashRecoverMatchesCrashFreeState) {
+  // The crash metamorphic gate: power-fail a fully drained plant, recover
+  // it, and the logical state must equal the run that never crashed.
+  const ChaosResult plain =
+      run_chaos(ChaosConfig{}.with_seed(9).with_ops(100));
+  ASSERT_TRUE(plain.ok()) << plain.render_violations();
+  const ChaosResult crashed = run_chaos(
+      ChaosConfig{}.with_seed(9).with_ops(100).with_quiescent_crash(true));
+  ASSERT_TRUE(crashed.ok()) << crashed.render_violations();
+  EXPECT_EQ(crashed.state_digest, plain.state_digest)
+      << "crashed:\n" << crashed.state << "\nplain:\n" << plain.state;
+}
+
 TEST(Chaos, ReproLineRoundTripsTheConfig) {
   const ChaosConfig cfg = ChaosConfig{}
                               .with_seed(99)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "fault/injector.hpp"
@@ -49,6 +50,40 @@ TEST(RetryPolicy, DelayClampsAtMaxBackoff) {
   EXPECT_EQ(p.delay(10), sim::minutes(5));  // huge exponent still clamped
 }
 
+TEST(RetryPolicy, ZeroJitterIsBitIdenticalForEverySalt) {
+  RetryPolicy plain;
+  plain.backoff = sim::secs(5);
+  RetryPolicy seeded = plain;
+  seeded.jitter_seed = 0xBEEF;  // a seed alone must change nothing
+  for (unsigned i = 1; i <= 6; ++i) {
+    for (std::uint64_t salt : {0ULL, 1ULL, 42ULL, 0xDEADULL}) {
+      EXPECT_EQ(seeded.delay(i, salt), plain.delay(i));
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicBoundedAndSaltSensitive) {
+  RetryPolicy p;
+  p.backoff = sim::secs(10);
+  p.jitter = 0.5;
+  p.jitter_seed = 7;
+  RetryPolicy base = p;
+  base.jitter = 0.0;
+  bool salt_matters = false;
+  for (unsigned i = 1; i <= 5; ++i) {
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      const sim::Tick d = p.delay(i, salt);
+      EXPECT_EQ(d, p.delay(i, salt));  // same (seed, salt, index) replays
+      // Full jitter scales by a draw from [1-jitter, 1].
+      EXPECT_LE(d, base.delay(i));
+      EXPECT_GE(d, static_cast<sim::Tick>(
+                       static_cast<double>(base.delay(i)) * 0.5));
+      if (d != p.delay(i, salt + 1)) salt_matters = true;
+    }
+  }
+  EXPECT_TRUE(salt_matters);  // colliding jobs decorrelate
+}
+
 // ------------------------------------------------------------------ FaultPlan
 
 TEST(FaultPlan, BuildersRenderCanonicalSpec) {
@@ -72,6 +107,8 @@ TEST(FaultPlan, ParseRenderRoundTripsExactly) {
       "net.pool[trunk0]:degrade@t=300s,factor=0.25,repair=600s",
       "tape.media[7]:corrupt@t=3600s,segments=3,seed=42",
       "tape.media[0]:corrupt@t=90s,segments=1,seed=0",
+      "server.power[0]:fail@t=2700s,seed=7,repair=120s",
+      "server.power[0]:fail@t=45s",
   };
   for (const auto& s : specs) {
     std::string err;
@@ -303,6 +340,32 @@ TEST(FaultInjector, PoolDegradePassesFactorThenRestores) {
   EXPECT_EQ(rec.pools[0].first, "trunk0");
   EXPECT_DOUBLE_EQ(rec.pools[0].second, 0.25);
   EXPECT_DOUBLE_EQ(rec.pools[1].second, 1.0);
+}
+
+TEST(FaultInjector, ServerPowerFiresStrikeWithSeedThenRepair) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  FaultInjector inj(sim, obs);
+
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, bool, sim::Tick>> hits;
+  FaultTargets targets;
+  targets.server_power = [&](std::uint64_t srv, std::uint64_t seed,
+                             bool down) {
+    hits.emplace_back(srv, seed, down, sim.now());
+  };
+  inj.set_targets(std::move(targets));
+
+  const auto plan =
+      FaultPlan::parse("server.power[0]:fail@t=10s,seed=9,repair=30s");
+  ASSERT_TRUE(plan.has_value());
+  inj.arm(*plan);
+  sim.run();
+
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (std::tuple<std::uint64_t, std::uint64_t, bool,
+                                 sim::Tick>{0, 9, true, sim::secs(10)}));
+  EXPECT_EQ(std::get<2>(hits[1]), false);
+  EXPECT_EQ(std::get<3>(hits[1]), sim::secs(40));
 }
 
 TEST(FaultInjector, UnwiredTargetsAreCountedSkipped) {

@@ -121,7 +121,7 @@ TEST(Component, ToStringCoversEveryEnumerator) {
   static const char* const kNames[] = {"sim",  "net",    "pfs",
                                        "hsm",  "tape",   "pftool",
                                        "fuse", "fault",  "integrity",
-                                       "sched"};
+                                       "sched", "wal"};
   static_assert(std::size(kNames) == kComponentCount);
   for (unsigned i = 0; i < kComponentCount; ++i) {
     EXPECT_STREQ(to_string(static_cast<Component>(i)), kNames[i]);

@@ -20,7 +20,7 @@ TEST(Bucket, ToStringCoversEveryEnumerator) {
   static const char* const kNames[] = {
       "pfs transfer",  "tape mount wait", "tape position", "tape transfer",
       "drive queue wait", "metadata",     "retry backoff", "scheduler idle",
-      "admission wait"};
+      "admission wait", "wal commit"};
   static_assert(std::size(kNames) == kBucketCount);
   for (unsigned i = 0; i < kBucketCount; ++i) {
     EXPECT_STREQ(to_string(static_cast<Bucket>(i)), kNames[i]);
