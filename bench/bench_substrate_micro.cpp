@@ -97,6 +97,61 @@ void BM_TsmExportFullScanLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TsmExportFullScanLookup)->Arg(1000);
 
+// The allocation-free visitor vs the vector-materializing lookup on the
+// tape index (24 rows per tape here) — the tape-ordered recall planner's
+// hot path after the for_each_u64 migration.
+void BM_TsmExportVisitOnTape(benchmark::State& state) {
+  metadb::TsmExportDb db;
+  const std::uint64_t rows = 100000;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    db.upsert(metadb::TapeObjectRow{i + 1, i + 1, "/a/f" + std::to_string(i),
+                                    1024, i % 24, i / 24});
+  }
+  std::uint64_t i = 0;
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      db.for_each_on_tape(i++ % 24,
+                          [&](const metadb::TapeObjectRow& r) { sum += r.tape_seq; });
+    } else {
+      for (const auto* r : db.on_tape(i++ % 24)) sum += r->tape_seq;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "visitor" : "materialize");
+}
+BENCHMARK(BM_TsmExportVisitOnTape)->Arg(0)->Arg(1);
+
+// Bulk-batch mutation path: one insert_bulk of N rows vs N singleton
+// inserts — the metadb half of the group-commit amortization story.
+void BM_TsmTableBulkInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const bool bulk = state.range(1) != 0;
+  for (auto _ : state) {
+    metadb::Table<metadb::TapeObjectRow> t(
+        [](const metadb::TapeObjectRow& r) { return r.object_id; });
+    if (bulk) {
+      std::vector<metadb::TapeObjectRow> rows;
+      rows.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        rows.push_back({i + 1, i + 1, {}, 1024, i % 24, i / 24});
+      }
+      benchmark::DoNotOptimize(t.insert_bulk(std::move(rows)));
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        t.insert({i + 1, i + 1, {}, 1024, i % 24, i / 24});
+      }
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetLabel(bulk ? "bulk" : "singleton");
+}
+BENCHMARK(BM_TsmTableBulkInsert)
+    ->Args({1024, 0})
+    ->Args({1024, 1});
+
 void BM_TapeQueueOrdering(benchmark::State& state) {
   sim::Rng rng(5);
   for (auto _ : state) {

@@ -44,6 +44,7 @@ struct Cli {
   bool no_meta = false;
   bool crashes = false;
   bool quiescent_crash = false;
+  unsigned md_batch = 1;
   bool dump_log = false;
   Doctor doctor = Doctor::None;
   std::string save_trace;
@@ -58,6 +59,9 @@ void usage() {
       "[--no-corruptions]\n"
       "                 [--no-cancels] [--no-meta] [--crashes] "
       "[--quiescent-crash]\n"
+      "                 [--md-batch=N]\n"
+      "--md-batch=N group-commits server metadata txns N at a time (1 =\n"
+      "legacy stop-and-wait path; plant knob only, digests stay comparable)\n"
       "--crashes arms whole-archive power failures (WAL on) and adds the\n"
       "quiescent crash+recover metamorphic gate to each seed's battery\n"
       "env: CPA_CHECK_OPS sets the default op budget (default 300)\n");
@@ -90,6 +94,9 @@ bool parse(int argc, char** argv, Cli& cli) {
       cli.crashes = true;
     } else if (a == "--quiescent-crash") {
       cli.quiescent_crash = true;
+    } else if (const char* v = val("--md-batch=")) {
+      cli.md_batch = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (cli.md_batch == 0) cli.md_batch = 1;
     } else if (a == "--dump-log") {
       cli.dump_log = true;
     } else if (const char* v = val("--doctor=")) {
@@ -133,6 +140,7 @@ ChaosConfig config_for(const Cli& cli, std::uint64_t seed, unsigned ops,
   if (cli.no_cancels) cfg.with_cancels(false);
   if (crashes) cfg.with_crashes(true);
   if (cli.quiescent_crash) cfg.with_quiescent_crash(true);
+  cfg.with_md_batch(cli.md_batch);
   return cfg;
 }
 

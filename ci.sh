@@ -82,6 +82,13 @@ echo "== Fair-share smoke (ASan) =="
 echo "== Recovery smoke (ASan) =="
 ./build-asan/bench/bench_recovery --smoke --json=build-asan/BENCH_recovery.json
 
+# Metadata-batching smoke (under the sanitizer build): the group-commit
+# txn storm and the synchronous-delete sweep, batched (B=16, W=4) vs
+# stop-and-wait, over 1..8 servers.  The bench exits non-zero if the
+# one-server storm speeds up by less than the 5x acceptance bar.
+echo "== Metadata-batching smoke (ASan) =="
+./build-asan/bench/bench_md_batch --smoke --json=build-asan/BENCH_md_batch.json
+
 # Chaos smoke (under the sanitizer build): the deterministic simulation
 # harness replays the checked-in seed corpus (one seed per past bug class,
 # ops pinned in the file), then sweeps a handful of fresh seeds at a
@@ -108,6 +115,12 @@ CPA_CHECK_OPS="$CHAOS_OPS" ./build-asan/bench/cpa_check --seed=1 --seeds=4
 echo "== Crash matrix (ASan) =="
 ./build-asan/bench/cpa_check --seed=1 --seeds=20 --ops="$CHAOS_OPS" --crashes
 
+# The same crash matrix with metadata batching on: power failures now land
+# on in-flight group-committed batches, which must tear away whole (no
+# partial batch in the recovered catalog, no leaked completion callbacks).
+echo "== Crash matrix, batched metadata (ASan) =="
+./build-asan/bench/cpa_check --seed=1 --seeds=20 --ops="$CHAOS_OPS" --crashes --md-batch=8
+
 # Attribution-conservation gate (under the sanitizer build): run the
 # causal critical-path profiler over the fig10 campaign and require that
 # every job's bucket decomposition sums exactly, in virtual ticks, to its
@@ -128,6 +141,7 @@ if [[ "${CPA_UPDATE_BASELINE:-0}" == "1" ]]; then
   cp build-asan/BENCH_scrub.json "$BASELINES/BENCH_scrub.json"
   cp build-asan/BENCH_fairshare.json "$BASELINES/BENCH_fairshare.json"
   cp build-asan/BENCH_recovery.json "$BASELINES/BENCH_recovery.json"
+  cp build-asan/BENCH_md_batch.json "$BASELINES/BENCH_md_batch.json"
   echo "baselines regenerated in $BASELINES"
 else
   # Churn speedup is wall-clock derived, so only a collapse (for example
@@ -155,6 +169,13 @@ else
     --fresh=build-asan/BENCH_recovery.json --key=scenario \
     --metric=mutations --metric=replayed \
     --metric=recovery_ms:50:lower
+  # Batching results are virtual-time deterministic; the headline speedup
+  # may only collapse (batching silently falling back to stop-and-wait
+  # would drop it to 1x) within 20%.
+  "$REGRESS" --baseline="$BASELINES/BENCH_md_batch.json" \
+    --fresh=build-asan/BENCH_md_batch.json --key=case \
+    --metric=servers --metric=storm_speedup:20:higher \
+    --metric=delete_speedup:20:higher
   # Self-test: a doctored baseline must trip the gate (exit non-zero).
   doctored=$(mktemp)
   sed -E 's/"speedup": [0-9.]+/"speedup": 99999.0/' \

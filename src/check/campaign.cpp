@@ -207,6 +207,7 @@ archive::SystemConfig plant_for(const ChaosCampaign& campaign) {
   const ChaosConfig& cfg = campaign.cfg;
   archive::SystemConfig sys = archive::SystemConfig::small();
   sys.hsm.tape_copies = cfg.tape_copies;
+  sys.hsm.server.md_batch_size = cfg.md_batch;
   sys.obs.tracing = cfg.tracing;
   sys.pftool.restartable = true;
   sys.fault_plan = campaign.fault_plan;

@@ -78,6 +78,12 @@ struct ChaosConfig {
   bool tracing = true;
   /// Second tape copy pool, so corruption is normally repairable.
   unsigned tape_copies = 2;
+  /// Metadata batch size for the archive servers' object-DB path; 1 keeps
+  /// the legacy stop-and-wait txn chains (bit-identical goldens).  The
+  /// knob is plant configuration, not campaign grammar: it never feeds
+  /// render(), so the op sequence and replay digests of a (config, seed)
+  /// pair are comparable across batch sizes.
+  unsigned md_batch = 1;
   Doctor doctor = Doctor::None;
 
   // Fluent refinement, mirroring SystemConfig/JobSpec.
@@ -93,6 +99,7 @@ struct ChaosConfig {
   }
   ChaosConfig& with_sched(bool on) { use_sched = on; return *this; }
   ChaosConfig& with_tracing(bool on) { tracing = on; return *this; }
+  ChaosConfig& with_md_batch(unsigned n) { md_batch = n; return *this; }
   ChaosConfig& with_doctor(Doctor d) { doctor = d; return *this; }
 
   /// The fault-free metamorphic twin of this config: same seed, same op

@@ -29,6 +29,7 @@ std::string repro_line(const ChaosConfig& cfg) {
   if (!cfg.cancels) line += " --no-cancels";
   if (cfg.crashes) line += " --crashes";
   if (cfg.quiescent_crash) line += " --quiescent-crash";
+  if (cfg.md_batch != 1) line += " --md-batch=" + std::to_string(cfg.md_batch);
   // The CLI vocabulary (--doctor=scrub|fixity), not the long enum names:
   // the whole point of this line is that it pastes back into a shell.
   if (cfg.doctor == Doctor::BreakScrubRepair) line += " --doctor=scrub";

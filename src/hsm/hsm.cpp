@@ -145,6 +145,10 @@ void HsmSystem::power_fail() {
   std::map<std::uint64_t, std::function<void()>> aborts;
   aborts.swap(live_aborts_);
   for (auto& [id, abort] : aborts) abort();
+  // Batching sessions die with the plant: forming/queued ops vanish and
+  // none of their callbacks leak to the aborted jobs.  The server-side
+  // power generation guard tears away any batch already in service.
+  for (auto& [server, session] : sessions_) session->abandon();
   for (auto& server : servers_) server->power_fail();
   fixity_.clear();
   obs_->metrics().counter("hsm.power_fails").inc();
@@ -359,6 +363,47 @@ ArchiveServer& HsmSystem::server_for(const std::string& path) {
   return *servers_[fnv1a(path) % servers_.size()];
 }
 
+TxnSession& HsmSystem::session_for(ArchiveServer& server) {
+  auto it = sessions_.find(&server);
+  if (it != sessions_.end()) return *it->second;
+  TxnSession::Config scfg;
+  scfg.batch_size = cfg_.server.md_batch_size;
+  scfg.window = cfg_.server.md_window;
+  scfg.flush_timeout = cfg_.server.md_flush_timeout;
+  TxnSession::Hooks hooks;
+  // One group-commit fsync per applied batch (not per mutation): applied
+  // implies durable whenever a WAL is attached.
+  hooks.barrier = [this](std::function<void()> done) {
+    barrier(std::move(done));
+  };
+  hooks.on_batch = [this](std::size_t n) {
+    obs::MetricsRegistry& m = obs_->metrics();
+    m.counter("hsm.md_batches").inc();
+    m.counter("hsm.md_batch_ops").add(n);
+    if (n > 1) m.counter("hsm.md_txn_saved").add(n - 1);
+    m.stats("hsm.md_batch_size").add(static_cast<double>(n));
+  };
+  auto session =
+      std::make_unique<TxnSession>(sim_, server, scfg, std::move(hooks));
+  TxnSession& ref = *session;
+  sessions_.emplace(&server, std::move(session));
+  return ref;
+}
+
+void HsmSystem::drain_sessions(std::function<void()> k) {
+  if (sessions_.empty()) {
+    k();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(sessions_.size());
+  auto done = std::make_shared<std::function<void()>>(std::move(k));
+  for (auto& [server, session] : sessions_) {
+    session->drain([remaining, done] {
+      if (--*remaining == 0) (*done)();
+    });
+  }
+}
+
 std::vector<sim::PathLeg> HsmSystem::net_legs(tape::NodeId node,
                                               const std::string& fs_path) const {
   std::vector<sim::PathLeg> pools;
@@ -503,17 +548,20 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
     if (cfg_.tape_copies > 1) {
       // All copies exist; space management may now punch the disk data
       // (only for files that actually made it to tape).  The punch frees
-      // the disk original, so the catalog rows must be durable first.
-      barrier([this, job] {
-        if (job->dead) return;
-        for (const auto& item : job->items) {
-          if (owner_object_id(item.path) == 0) continue;
-          if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
-              cfg_.punch_after_migrate) {
-            fs_.punch(item.path);
+      // the disk original, so the catalog rows must be durable first —
+      // including any still forming in a batching session.
+      drain_sessions([this, job] {
+        barrier([this, job] {
+          if (job->dead) return;
+          for (const auto& item : job->items) {
+            if (owner_object_id(item.path) == 0) continue;
+            if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
+                cfg_.punch_after_migrate) {
+              fs_.punch(item.path);
+            }
           }
-        }
-        finish_migrate(job);
+          finish_migrate(job);
+        });
       });
       return;
     }
@@ -685,6 +733,32 @@ void HsmSystem::run_migrate_unit(std::shared_ptr<MigrateJob> job) {
           const std::uint64_t cart_id = job->cart->id();
           const std::uint64_t seq = seg->seq;
           const sim::Tick t_md = sim_.now();
+          if (cfg_.server.batching()) {
+            // Pipelined: the next unit's tape write overlaps this
+            // replica registration; `accepted` backpressures only when
+            // the session window is full.
+            ArchiveServer* owner = &owner_server;
+            TxnSession::SubmitOpts opts;
+            opts.accepted = [this, job, t_md] {
+              if (job->dead) return;
+              trace_wait(obs::Component::Hsm, "md_batch", job->span, t_md);
+              ++job->next_unit;
+              job->unit_attempts = 0;
+              run_migrate_unit(job);
+            };
+            session_for(owner_server)
+                .submit(
+                    [owner, unit_oid, cart_id, seq] {
+                      if (const ArchiveObject* obj = owner->object(unit_oid)) {
+                        ArchiveObject updated = *obj;
+                        updated.copies.push_back(
+                            ArchiveObject::Replica{cart_id, seq});
+                        owner->record_object(std::move(updated));
+                      }
+                    },
+                    std::move(opts));
+            return;
+          }
           owner_server.metadata_txn([this, job, unit_oid, cart_id, seq,
                                      &owner_server, t_md] {
             if (job->dead) return;
@@ -721,6 +795,10 @@ std::uint64_t HsmSystem::owner_object_id(const std::string& path) {
 void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
                                     std::shared_ptr<UnitRecorder> rec) {
   if (job->dead) return;
+  if (cfg_.server.batching()) {
+    record_unit_objects_batched(job, rec);
+    return;
+  }
   const auto& unit = job->units[job->next_unit];
 
   // One metadata transaction per object, chained on the owning server's
@@ -806,6 +884,95 @@ void HsmSystem::record_unit_objects(std::shared_ptr<MigrateJob> job,
   } else {
     transition();
   }
+}
+
+void HsmSystem::record_unit_objects_batched(std::shared_ptr<MigrateJob> job,
+                                            std::shared_ptr<UnitRecorder> rec) {
+  const auto& unit = job->units[job->next_unit];
+  // Build every member object (and the aggregate container) up front and
+  // submit them as one batched sequence.  Eager id allocation is safe:
+  // ids are drawn from the owning server's counter exactly as the chained
+  // path would, just earlier in virtual time.
+  struct Pending {
+    ArchiveServer* owner;
+    ArchiveObject obj;
+  };
+  std::vector<Pending> objs;
+  objs.reserve(unit.items.size() + 1);
+  for (std::size_t k = 0; k < unit.items.size(); ++k) {
+    const std::size_t idx = unit.items[k];
+    const auto& item = job->items[idx];
+    const bool member = unit.aggregate;
+    ArchiveServer& owner = server_for(item.path);
+    ArchiveObject obj;
+    obj.object_id = member ? owner.allocate_object_id() : rec->unit_oid;
+    obj.path = item.path;
+    obj.gpfs_file_id = item.fid;
+    obj.size_bytes = item.size;
+    obj.content_tag = item.tag;
+    obj.cartridge_id = rec->cart_id;
+    obj.tape_seq = rec->seq;
+    obj.colocation_group = job->group;
+    if (member) {
+      obj.aggregate_id = rec->unit_oid;
+      obj.aggregate_offset = rec->agg_offset;
+      rec->agg_offset += item.size;
+      rec->member_ids.push_back(obj.object_id);
+    }
+    objs.push_back(Pending{&owner, std::move(obj)});
+  }
+  if (unit.aggregate) {
+    ArchiveServer& server = server_for(job->items[unit.items.front()].path);
+    ArchiveObject agg;
+    agg.object_id = rec->unit_oid;
+    agg.size_bytes = unit.bytes;
+    agg.cartridge_id = rec->cart_id;
+    agg.tape_seq = rec->seq;
+    agg.colocation_group = job->group;
+    agg.members = rec->member_ids;
+    objs.push_back(Pending{&server, std::move(agg)});
+  }
+
+  // The state transition (premigrate + punch) joins on the whole unit
+  // being applied — and, with a WAL, durable: the punch frees the disk
+  // original, so no op covering it may still sit in a forming batch.
+  const sim::Tick t_md = sim_.now();
+  auto remaining = std::make_shared<std::size_t>(objs.size());
+  auto arrive = [this, job, remaining, t_md] {
+    if (job->dead) return;
+    if (--*remaining > 0) return;
+    trace_wait(obs::Component::Hsm, "md_batch", job->span, t_md);
+    const auto& unit = job->units[job->next_unit];
+    for (const std::size_t idx : unit.items) {
+      const auto& item = job->items[idx];
+      if (cfg_.tape_copies == 1) {
+        if (fs_.premigrate(item.path) == pfs::Errc::Ok &&
+            cfg_.punch_after_migrate) {
+          fs_.punch(item.path);
+        }
+      }
+      ++job->report.files_migrated;
+      job->report.bytes += item.size;
+    }
+    ++job->next_unit;
+    job->unit_attempts = 0;
+    run_migrate_unit(job);
+  };
+  std::set<ArchiveServer*> touched;
+  for (Pending& p : objs) {
+    ArchiveServer* owner = p.owner;
+    touched.insert(owner);
+    TxnSession::SubmitOpts opts;
+    opts.applied = arrive;
+    session_for(*owner).submit(
+        [owner, obj = std::move(p.obj)]() mutable {
+          owner->record_object(std::move(obj));
+        },
+        std::move(opts));
+  }
+  // The unit is complete: push its tail batch out now rather than waiting
+  // for the flush timer.
+  for (ArchiveServer* owner : touched) session_for(*owner).flush();
 }
 
 void HsmSystem::finish_migrate(std::shared_ptr<MigrateJob> job) {
@@ -1169,6 +1336,19 @@ void HsmSystem::run_recall_entry(std::shared_ptr<RecallJob> job,
         ++job->report.files_recalled;
         fs_.mark_recalled(entry.path);  // no-op if not punched
         const sim::Tick t_md = sim_.now();
+        if (cfg_.server.batching()) {
+          // Pipelined: the entry's recall-bookkeeping update rides a
+          // batch while the drive streams the next entry; the window
+          // backpressures the chain when the server falls behind.
+          TxnSession::SubmitOpts opts;
+          opts.accepted = [this, job, work_idx, entry_idx, &drive, t_md] {
+            if (job->dead) return;
+            trace_wait(obs::Component::Hsm, "md_batch", job->span, t_md);
+            run_recall_entry(job, work_idx, entry_idx + 1, drive);
+          };
+          session_for(server_for(entry.path)).submit([] {}, std::move(opts));
+          return;
+        }
         server_for(entry.path).metadata_txn([this, job, work_idx, entry_idx,
                                              &drive, t_md] {
           if (job->dead) return;
@@ -1242,19 +1422,27 @@ void HsmSystem::recall_fallback(
           ++job->report.files_recalled;
           fs_.mark_recalled(entry.path);
           const sim::Tick t_md = sim_.now();
-          server_for(entry.path).metadata_txn(
-              [this, job, work_idx, entry_idx, &drive, t_md] {
-                if (job->dead) return;
-                trace_wait(obs::Component::Hsm, "md_txn", job->span, t_md);
-                const sim::Tick t_m = sim_.now();
-                lib_.ensure_mounted(
-                    drive, *job->work[work_idx].cart,
-                    [this, job, work_idx, entry_idx, &drive, t_m] {
-                      trace_wait(obs::Component::Tape, "mount_wait", job->span,
-                                 t_m);
-                      run_recall_entry(job, work_idx, entry_idx + 1, drive);
-                    });
-              });
+          auto resume = [this, job, work_idx, entry_idx, &drive, t_md] {
+            if (job->dead) return;
+            trace_wait(obs::Component::Hsm,
+                       cfg_.server.batching() ? "md_batch" : "md_txn",
+                       job->span, t_md);
+            const sim::Tick t_m = sim_.now();
+            lib_.ensure_mounted(
+                drive, *job->work[work_idx].cart,
+                [this, job, work_idx, entry_idx, &drive, t_m] {
+                  trace_wait(obs::Component::Tape, "mount_wait", job->span,
+                             t_m);
+                  run_recall_entry(job, work_idx, entry_idx + 1, drive);
+                });
+          };
+          if (cfg_.server.batching()) {
+            TxnSession::SubmitOpts opts;
+            opts.accepted = std::move(resume);
+            session_for(server_for(entry.path)).submit([] {}, std::move(opts));
+            return;
+          }
+          server_for(entry.path).metadata_txn(std::move(resume));
         },
         job->span);
   });
@@ -1363,6 +1551,48 @@ void HsmSystem::synchronous_delete(const std::string& path,
     ds->dead = true;
     done(pfs::Errc::Stale);
   });
+  if (cfg_.server.batching()) {
+    // Batched two-leg delete: the fid->object join rides one batch, the
+    // cascade another.  `applied` already sits behind the session's
+    // group-commit barrier, so the Ok ack needs no extra fsync — a crash
+    // after the ack can never resurrect the object.
+    ArchiveServer* srv = &server;
+    TxnSession& session = session_for(server);
+    auto object_id = std::make_shared<std::uint64_t>(0);
+    auto found = std::make_shared<bool>(false);
+    TxnSession::SubmitOpts join_opts;
+    join_opts.applied = [this, path, srv, &session, object_id, found, finish,
+                         ds] {
+      if (ds->dead) return;
+      if (!*found) {
+        fs_.unlink(path);
+        finish(pfs::Errc::Ok);
+        return;
+      }
+      TxnSession::SubmitOpts del_opts;
+      del_opts.applied = [finish, ds] {
+        if (ds->dead) return;
+        finish(pfs::Errc::Ok);
+      };
+      session.submit(
+          [this, path, srv, object_id] {
+            delete_object_cascade(*srv, *object_id);
+            fs_.unlink(path);
+          },
+          std::move(del_opts));
+    };
+    session.submit(
+        [srv, fid, object_id, found] {
+          const metadb::TapeObjectRow* row =
+              srv->export_db().by_gpfs_file_id(fid);
+          if (row != nullptr) {
+            *object_id = row->object_id;
+            *found = true;
+          }
+        },
+        std::move(join_opts));
+    return;
+  }
   // Txn 1: the GPFS-fid -> TSM-object join through the indexed export.
   server.metadata_txn([this, path, fid, &server, finish, ds] {
     if (ds->dead) return;
@@ -1527,11 +1757,15 @@ void HsmSystem::space_management(
                                           : a.path < b.path;
               });
     // Punching frees premigrated disk data whose catalog rows may still
-    // sit in the un-fsynced WAL tail: barrier first.
+    // sit in a forming batch or the un-fsynced WAL tail: drain the
+    // batching sessions (no-op when batching is off), then barrier.
+    drain_sessions([this, ss, tail, report, inodes,
+                    candidates = std::move(candidates),
+                    used0 = pool_info.value().used_bytes,
+                    target = static_cast<std::uint64_t>(low_water * capacity)]() mutable {
     barrier([this, ss, tail, report, inodes,
              candidates = std::move(candidates),
-             used0 = pool_info.value().used_bytes,
-             target = static_cast<std::uint64_t>(low_water * capacity)]() mutable {
+             used0, target]() mutable {
       if (ss->dead) return;
       std::uint64_t used = used0;
       for (const Candidate& c : candidates) {
@@ -1542,6 +1776,7 @@ void HsmSystem::space_management(
         used = used > c.size ? used - c.size : 0;
       }
       tail(report, inodes);
+    });
     });
     return;
   }
@@ -1659,6 +1894,16 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
                                     std::size_t seg_idx) {
   if (job->dead) return;
   if (seg_idx >= job->live.size()) {
+    if (cfg_.server.batching()) {
+      // Join: every segment's pipelined catalog update must have applied
+      // before the volume is declared reclaimed and its drives released.
+      drain_sessions([this, job] {
+        if (job->dead) return;
+        ++job->report.volumes_reclaimed;
+        run_reclaim_volume(job);
+      });
+      return;
+    }
     ++job->report.volumes_reclaimed;
     run_reclaim_volume(job);
     return;
@@ -1692,6 +1937,30 @@ void HsmSystem::run_reclaim_segment(std::shared_ptr<ReclaimJob> job,
               ArchiveServer* server = find_object_server(seg.object_id);
               if (server == nullptr) {
                 run_reclaim_segment(job, seg_idx + 1);
+                return;
+              }
+              if (cfg_.server.batching()) {
+                // Pipelined: the location update rides a batch while the
+                // drives copy the next segment.  The op value-captures
+                // the volume ids — job->src/dst advance across volumes.
+                const std::uint64_t src_id = job->src->id();
+                const std::uint64_t dst_id = job->dst->id();
+                TxnSession::SubmitOpts opts;
+                opts.accepted = [this, job, seg_idx] {
+                  if (job->dead) return;
+                  run_reclaim_segment(job, seg_idx + 1);
+                };
+                session_for(*server).submit(
+                    [this, job, seg, src_id, dst_id, new_seq] {
+                      relocate_object(seg.object_id, src_id, dst_id, new_seq);
+                      fixity_.relocate(seg.object_id, src_id, dst_id, new_seq);
+                      if (tape::Cartridge* src = lib_.cartridge(src_id)) {
+                        src->mark_deleted(seg.object_id);
+                      }
+                      ++job->report.objects_moved;
+                      job->report.bytes_moved += seg.bytes;
+                    },
+                    std::move(opts));
                 return;
               }
               server->metadata_txn([this, job, seg, seg_idx, new_seq] {
@@ -1948,6 +2217,44 @@ void HsmSystem::write_scrub_repair(std::shared_ptr<ScrubJob> job,
             scrub_unrepairable(job, row);
             return;
           }
+          if (cfg_.server.batching()) {
+            // Pipelined: the rebind rides a batch while the scrub moves
+            // on to its next row (the stale-row guard and read-back
+            // verification tolerate the short catalog lag).
+            TxnSession::SubmitOpts opts;
+            opts.accepted = [this, job] {
+              if (job->dead) return;
+              scrub_pace(job, 0);
+            };
+            session_for(*server).submit(
+                [this, job, row, source_cartridge, action, dst, new_seq] {
+                  relocate_object(row.object_id, row.cartridge_id, dst->id(),
+                                  new_seq);
+                  fixity_.relocate(row.object_id, row.cartridge_id, dst->id(),
+                                   new_seq);
+                  if (tape::Cartridge* bad = lib_.cartridge(row.cartridge_id)) {
+                    bad->mark_deleted(row.object_id);
+                  }
+                  lib_.checkin_cartridge(*dst);
+                  integrity::ScrubRepair entry;
+                  entry.object_id = row.object_id;
+                  entry.bad_cartridge = row.cartridge_id;
+                  entry.bad_seq = row.tape_seq;
+                  entry.source_cartridge = source_cartridge;
+                  entry.new_cartridge = dst->id();
+                  entry.new_seq = new_seq;
+                  entry.action = action;
+                  job->report.repair_log.push_back(entry);
+                  if (action ==
+                      integrity::ScrubRepair::Action::RepairedFromCopy) {
+                    ++job->report.repaired_from_copy;
+                  } else {
+                    ++job->report.remigrated;
+                  }
+                },
+                std::move(opts));
+            return;
+          }
           server->metadata_txn([this, job, row, source_cartridge, action,
                                 dst, new_seq] {
             if (job->dead) return;
@@ -2012,18 +2319,24 @@ void HsmSystem::scrub_pace(std::shared_ptr<ScrubJob> job,
 
 void HsmSystem::finish_scrub(std::shared_ptr<ScrubJob> job) {
   if (job->dead) return;
-  unregister_abort(job->abort_id);
-  if (job->drive != nullptr) {
-    lib_.release_drive(*job->drive);
-    job->drive = nullptr;
-  }
-  job->report.finished = sim_.now();
-  account_scrub(*job);
-  if (job->done) {
-    auto done = std::move(job->done);
-    sim_.after(0,
-               [done = std::move(done), report = job->report] { done(report); });
-  }
+  // Pipelined repairs append to the report from inside their batch ops:
+  // join on them before the report is sealed (passthrough when batching
+  // is off).
+  drain_sessions([this, job] {
+    if (job->dead) return;
+    unregister_abort(job->abort_id);
+    if (job->drive != nullptr) {
+      lib_.release_drive(*job->drive);
+      job->drive = nullptr;
+    }
+    job->report.finished = sim_.now();
+    account_scrub(*job);
+    if (job->done) {
+      auto done = std::move(job->done);
+      sim_.after(
+          0, [done = std::move(done), report = job->report] { done(report); });
+    }
+  });
 }
 
 void HsmSystem::account_scrub(const ScrubJob& job) {

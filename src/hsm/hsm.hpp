@@ -31,6 +31,7 @@
 #include "integrity/scrubber.hpp"
 #include "hsm/object.hpp"
 #include "hsm/server.hpp"
+#include "hsm/txn_batch.hpp"
 #include "obs/observer.hpp"
 #include "pfs/filesystem.hpp"
 #include "sched/qos.hpp"
@@ -215,6 +216,12 @@ class HsmSystem : public pfs::DmapiListener {
   [[nodiscard]] unsigned server_count() const { return static_cast<unsigned>(servers_.size()); }
   [[nodiscard]] ArchiveServer& server(unsigned i) { return *servers_[i]; }
 
+  /// The ambient batching session fronting `server`'s metadata path.
+  /// Only meaningful when `config().server.batching()`; sessions are
+  /// created lazily, live for the system's lifetime, and are abandoned
+  /// (not destroyed) on power failure.
+  [[nodiscard]] TxnSession& session_for(ArchiveServer& server);
+
   /// Migrates `paths` from node `node` on a single drive: mounts one
   /// volume of `group` and streams objects back to back.  `wc` charges the
   /// batch's drive holds and data flows to a tenant/QoS class (default:
@@ -369,6 +376,11 @@ class HsmSystem : public pfs::DmapiListener {
   std::uint64_t register_abort(std::function<void()> fn);
   void unregister_abort(std::uint64_t id);
 
+  /// Fires `k` once every op submitted to any batching session so far has
+  /// applied (and, with a WAL, become durable).  Passthrough when no
+  /// session exists — i.e. whenever batching is off.
+  void drain_sessions(std::function<void()> k);
+
   /// Erases one object from the catalog with full media/fixity cascade
   /// (aggregate-member aware).  Shared by synchronous_delete and the
   /// crash-recovery roll-forward of deletes that lost their ack.
@@ -436,6 +448,11 @@ class HsmSystem : public pfs::DmapiListener {
   /// Chains one metadata transaction per object in the just-written unit.
   void record_unit_objects(std::shared_ptr<MigrateJob> job,
                            std::shared_ptr<UnitRecorder> rec);
+  /// Batched variant: builds every member object (and the aggregate) up
+  /// front and submits them as one pipelined batch sequence; the file
+  /// state transition joins on the whole unit being applied + durable.
+  void record_unit_objects_batched(std::shared_ptr<MigrateJob> job,
+                                   std::shared_ptr<UnitRecorder> rec);
   void finish_migrate(std::shared_ptr<MigrateJob> job);
   void run_recall_cart(std::shared_ptr<RecallJob> job, std::size_t work_idx);
   void run_recall_entry(std::shared_ptr<RecallJob> job, std::size_t work_idx,
@@ -457,6 +474,7 @@ class HsmSystem : public pfs::DmapiListener {
   Fabric fabric_;
   HsmConfig cfg_;
   std::vector<std::unique_ptr<ArchiveServer>> servers_;
+  std::map<ArchiveServer*, std::unique_ptr<TxnSession>> sessions_;
   integrity::FixityDb fixity_;
   obs::Observer* obs_ = &obs::Observer::nil();
   sched::AdmissionScheduler* sched_ = nullptr;

@@ -15,7 +15,25 @@ ArchiveServer::ArchiveServer(sim::Simulation& sim, sim::FlowNetwork& net,
 }
 
 void ArchiveServer::metadata_txn(std::function<void()> done) {
-  queue_.push_back(std::move(done));
+  Txn txn;
+  txn.cost = cfg_.metadata_txn_cost;
+  txn.done = std::move(done);
+  queue_.push_back(std::move(txn));
+  if (!busy_) pump();
+}
+
+void ArchiveServer::metadata_batch(std::vector<std::function<void()>> ops,
+                                   std::function<void()> done) {
+  if (ops.empty()) {
+    if (done) done();
+    return;
+  }
+  Txn txn;
+  txn.cost = cfg_.batch_cost(ops.size());
+  txn.ops = std::move(ops);
+  txn.done = std::move(done);
+  txn.batch = true;
+  queue_.push_back(std::move(txn));
   if (!busy_) pump();
 }
 
@@ -37,11 +55,25 @@ void ArchiveServer::pump() {
     return;
   }
   busy_ = true;
-  auto done = std::move(queue_.front());
+  Txn txn = std::move(queue_.front());
   queue_.pop_front();
-  sim_.after(cfg_.metadata_txn_cost, [this, done = std::move(done)] {
+  const std::uint64_t gen = power_gen_;
+  sim_.after(txn.cost, [this, txn = std::move(txn), gen]() mutable {
+    if (txn.batch && gen != power_gen_) {
+      // A power failure landed while this batch was in service.  The
+      // batch tears away whole: no op applies (no partial batch survives
+      // into the wiped catalog) and no callback leaks to a dead job.  The
+      // pump still runs so `busy_` cannot wedge the queue.
+      pump();
+      return;
+    }
     ++txns_;
-    if (done) done();
+    if (txn.batch) {
+      ++batches_;
+      batch_ops_ += txn.ops.size();
+      for (auto& op : txn.ops) op();
+    }
+    if (txn.done) txn.done();
     pump();
   });
 }
@@ -52,6 +84,7 @@ void ArchiveServer::power_fail() {
   // through its scheduled event and pumps whatever queue exists then.
   queue_.clear();
   ++epoch_;
+  ++power_gen_;
   objects_.clear();
   export_.clear();
   next_object_id_ = cfg_.object_id_base;

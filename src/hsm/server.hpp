@@ -21,6 +21,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "hsm/object.hpp"
 #include "metadb/table.hpp"
@@ -39,6 +40,45 @@ struct ServerConfig {
   /// First object id this server hands out.  Multi-server deployments
   /// give each server a disjoint range so ids stay globally unique.
   std::uint64_t object_id_base = 1;
+
+  // --- metadata batching (Sec 6.4 scaling fix) -----------------------------
+  // A batched round-trip coalesces up to `md_batch_size` mutations and
+  // costs `batch_base + per_op * n` instead of n full round-trips — the
+  // CASTOR-style request-batching answer to the single-server wall.  The
+  // default of 1 keeps every digest-pinned workload bit-identical to the
+  // stop-and-wait path.
+  /// Max mutations coalesced into one batched round-trip; 1 disables
+  /// batching entirely (legacy behavior).
+  unsigned md_batch_size = 1;
+  /// Max batched round-trips in flight per session before submitters are
+  /// backpressured (pipelining depth).
+  unsigned md_window = 4;
+  /// A forming batch flushes after this long even if not full
+  /// (deterministic virtual-time trigger).
+  sim::Tick md_flush_timeout = sim::msecs(2);
+  /// Fixed cost of a batched round-trip; 0 derives it from
+  /// `metadata_txn_cost` so that `batch_cost(1) == metadata_txn_cost`.
+  sim::Tick md_batch_base = 0;
+  /// Marginal cost per mutation inside a batch; 0 derives
+  /// `metadata_txn_cost / 10` (amortization cap of ~10x at large B).
+  sim::Tick md_batch_per_op = 0;
+
+  [[nodiscard]] bool batching() const { return md_batch_size > 1; }
+  [[nodiscard]] sim::Tick batch_per_op() const {
+    if (md_batch_per_op != 0) return md_batch_per_op;
+    const sim::Tick derived = metadata_txn_cost / 10;
+    return derived == 0 ? 1 : derived;
+  }
+  [[nodiscard]] sim::Tick batch_base() const {
+    if (md_batch_base != 0) return md_batch_base;
+    const sim::Tick per_op = batch_per_op();
+    return metadata_txn_cost > per_op ? metadata_txn_cost - per_op : 0;
+  }
+  /// Service time of one batched round-trip carrying n mutations.
+  [[nodiscard]] sim::Tick batch_cost(std::size_t n) const {
+    if (n == 0) return 0;
+    return batch_base() + batch_per_op() * static_cast<sim::Tick>(n);
+  }
 };
 
 class ArchiveServer {
@@ -54,9 +94,20 @@ class ArchiveServer {
   /// transactions have been serviced plus this one's cost.
   void metadata_txn(std::function<void()> done);
 
-  /// Number of transactions serviced (for utilization reporting).
+  /// Queues one batched round-trip that applies `ops` in order (atomically
+  /// with respect to power failure: a batch in flight when `power_fail`
+  /// lands applies none of its ops and fires none of its callbacks) and
+  /// then `done`.  Costs `config().batch_cost(ops.size())`.
+  void metadata_batch(std::vector<std::function<void()>> ops,
+                      std::function<void()> done);
+
+  /// Number of round-trips serviced (for utilization reporting; a batch
+  /// counts once however many mutations it carries).
   [[nodiscard]] std::uint64_t txns_completed() const { return txns_; }
   [[nodiscard]] std::size_t txn_queue_depth() const { return queue_.size(); }
+  /// Batched round-trips serviced and the mutations they carried.
+  [[nodiscard]] std::uint64_t batches_completed() const { return batches_; }
+  [[nodiscard]] std::uint64_t batch_ops_completed() const { return batch_ops_; }
 
   // --- fault injection: server restarts ------------------------------------
   /// Restarts the server.  For `outage` no new transaction starts (queued
@@ -101,6 +152,17 @@ class ArchiveServer {
   [[nodiscard]] const metadb::TsmExportDb& export_db() const { return export_; }
 
  private:
+  // A queued round-trip: a legacy singleton (`ops` empty, `batch` false,
+  // `done` completes through power failure like it always has) or a batch
+  // (`ops` applied in order, torn away whole if `power_fail` lands while
+  // it is in service).
+  struct Txn {
+    sim::Tick cost = 0;
+    std::vector<std::function<void()>> ops;
+    std::function<void()> done;
+    bool batch = false;
+  };
+
   void pump();
 
   sim::Simulation& sim_;
@@ -108,8 +170,11 @@ class ArchiveServer {
   ServerConfig cfg_;
   sim::PoolId data_pool_;
   bool busy_ = false;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Txn> queue_;
   std::uint64_t txns_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batch_ops_ = 0;
+  std::uint64_t power_gen_ = 0;  // bumped only by power_fail()
   std::uint64_t epoch_ = 0;
   sim::Tick up_at_ = 0;  // no transaction completes before this time
   std::uint64_t next_object_id_ = 1;

@@ -124,12 +124,14 @@ class FixityDb {
   }
 
   /// The row covering one tape location of an object, if recorded.
+  /// Allocation-free: visits the object's few rows in place.
   [[nodiscard]] const FixityRow* at_location(std::uint64_t object_id,
                                              std::uint64_t cartridge_id) const {
-    for (const FixityRow* r : table_.lookup_u64(by_object_, object_id)) {
-      if (r->cartridge_id == cartridge_id) return r;
-    }
-    return nullptr;
+    const FixityRow* hit = nullptr;
+    table_.for_each_u64(by_object_, object_id, [&](const FixityRow& r) {
+      if (hit == nullptr && r.cartridge_id == cartridge_id) hit = &r;
+    });
+    return hit;
   }
 
   /// All rows on one cartridge (unordered; callers sort by tape_seq).
@@ -142,17 +144,17 @@ class FixityDb {
   /// `object_id` on `old_cart` now points at (new_cart, new_seq).
   bool relocate(std::uint64_t object_id, std::uint64_t old_cart,
                 std::uint64_t new_cart, std::uint64_t new_seq) {
-    for (const FixityRow* r : table_.lookup_u64(by_object_, object_id)) {
-      if (r->cartridge_id == old_cart) {
-        FixityRow updated = *r;
-        updated.cartridge_id = new_cart;
-        updated.tape_seq = new_seq;
-        table_.upsert(updated);
-        if (hooks_.on_upsert) hooks_.on_upsert(updated);
-        return true;
-      }
-    }
-    return false;
+    const FixityRow* hit = nullptr;
+    table_.for_each_u64(by_object_, object_id, [&](const FixityRow& r) {
+      if (hit == nullptr && r.cartridge_id == old_cart) hit = &r;
+    });
+    if (hit == nullptr) return false;
+    FixityRow updated = *hit;
+    updated.cartridge_id = new_cart;
+    updated.tape_seq = new_seq;
+    table_.upsert(updated);
+    if (hooks_.on_upsert) hooks_.on_upsert(updated);
+    return true;
   }
 
   bool set_status(std::uint64_t row_id, FixityStatus status) {
@@ -166,13 +168,13 @@ class FixityDb {
   }
 
   bool erase_object(std::uint64_t object_id) {
-    bool any = false;
-    for (const FixityRow* r : table_.lookup_u64(by_object_, object_id)) {
-      table_.erase(r->row_id);
-      any = true;
-    }
-    if (any && hooks_.on_erase_object) hooks_.on_erase_object(object_id);
-    return any;
+    std::vector<std::uint64_t> row_ids;
+    table_.for_each_u64(by_object_, object_id,
+                        [&](const FixityRow& r) { row_ids.push_back(r.row_id); });
+    if (row_ids.empty()) return false;
+    table_.erase_bulk(row_ids);
+    if (hooks_.on_erase_object) hooks_.on_erase_object(object_id);
+    return true;
   }
 
   void for_each(const std::function<void(const FixityRow&)>& fn) const {

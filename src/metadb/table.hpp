@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cpa::metadb {
@@ -33,6 +35,8 @@ struct TableStats {
   std::uint64_t range_lookups = 0;
   std::uint64_t full_scans = 0;
   std::uint64_t rows_scanned = 0;  // rows touched by full scans
+  std::uint64_t bulk_batches = 0;  // bulk insert/upsert/erase calls
+  std::uint64_t bulk_rows = 0;     // rows carried by those calls
 };
 
 /// A table of `Row` keyed by a unique 64-bit primary key.
@@ -103,25 +107,104 @@ class Table {
     return true;
   }
 
+  /// Bulk load: inserts `rows` in order, skipping primary-key duplicates;
+  /// returns the number actually inserted.  One batch, however many rows —
+  /// the metadata-batching layer's amortized write path.
+  std::size_t insert_bulk(std::vector<Row> rows) {
+    ++stats_.bulk_batches;
+    stats_.bulk_rows += rows.size();
+    std::size_t n = 0;
+    for (Row& row : rows) {
+      const Key k = pk_(row);
+      auto [it, inserted] = rows_.emplace(k, std::move(row));
+      if (!inserted) continue;
+      index_row(it->second, k);
+      ++stats_.inserts;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Bulk upsert: inserts or replaces each row by primary key, in order.
+  void upsert_bulk(std::vector<Row> rows) {
+    ++stats_.bulk_batches;
+    stats_.bulk_rows += rows.size();
+    for (Row& row : rows) {
+      const Key k = pk_(row);
+      if (auto it = rows_.find(k); it != rows_.end()) {
+        deindex_row(it->second, k);
+        it->second = std::move(row);
+        index_row(it->second, k);
+      } else {
+        auto [it2, inserted] = rows_.emplace(k, std::move(row));
+        index_row(it2->second, k);
+        ++stats_.inserts;
+      }
+    }
+  }
+
+  /// Bulk erase by primary key; returns the number of rows removed.
+  std::size_t erase_bulk(const std::vector<Key>& keys) {
+    ++stats_.bulk_batches;
+    stats_.bulk_rows += keys.size();
+    std::size_t n = 0;
+    for (const Key k : keys) {
+      auto it = rows_.find(k);
+      if (it == rows_.end()) continue;
+      deindex_row(it->second, k);
+      rows_.erase(it);
+      ++stats_.erases;
+      ++n;
+    }
+    return n;
+  }
+
   /// All rows whose indexed attribute equals `value`, in primary-key order.
   std::vector<const Row*> lookup_u64(IndexId idx, std::uint64_t value) const {
     ++stats_.index_lookups;
-    const auto& index = u64_indexes_.at(idx).map;
-    std::vector<Key> keys;
-    for (auto [it, end] = index.equal_range(value); it != end; ++it) {
-      keys.push_back(it->second);
-    }
-    return rows_for(keys);
+    std::vector<const Row*> out;
+    visit_u64(idx, value, [&](const Row& row) { out.push_back(&row); });
+    return out;
   }
 
   std::vector<const Row*> lookup_str(IndexId idx, const std::string& value) const {
     ++stats_.index_lookups;
-    const auto& index = str_indexes_.at(idx).map;
-    std::vector<Key> keys;
-    for (auto [it, end] = index.equal_range(value); it != end; ++it) {
-      keys.push_back(it->second);
-    }
-    return rows_for(keys);
+    std::vector<const Row*> out;
+    visit_str(idx, value, [&](const Row& row) { out.push_back(&row); });
+    return out;
+  }
+
+  /// Allocation-free visitor over the rows whose indexed attribute equals
+  /// `value`, in primary-key order.  The hot-path alternative to
+  /// materializing a `std::vector<const Row*>` per call.
+  template <typename Fn>
+  void for_each_u64(IndexId idx, std::uint64_t value, Fn&& fn) const {
+    ++stats_.index_lookups;
+    visit_u64(idx, value, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  void for_each_str(IndexId idx, const std::string& value, Fn&& fn) const {
+    ++stats_.index_lookups;
+    visit_str(idx, value, std::forward<Fn>(fn));
+  }
+
+  /// First matching row in primary-key order, or nullptr — the
+  /// allocation-free point join (e.g. unique secondary keys).
+  const Row* first_u64(IndexId idx, std::uint64_t value) const {
+    ++stats_.index_lookups;
+    const auto& index = u64_indexes_.at(idx).set;
+    auto it = index.lower_bound(std::make_pair(value, Key{0}));
+    if (it == index.end() || it->first != value) return nullptr;
+    return &rows_.at(it->second);
+  }
+
+  const Row* first_str(IndexId idx, const std::string& value) const {
+    ++stats_.index_lookups;
+    const auto& index = str_indexes_.at(idx).set;
+    auto it = index.lower_bound(std::make_pair(value, Key{0}));
+    if (it == index.end() || it->first != value) return nullptr;
+    return &rows_.at(it->second);
   }
 
   /// All rows with indexed attribute in [lo, hi], ascending by attribute
@@ -129,17 +212,18 @@ class Table {
   std::vector<const Row*> range_u64(IndexId idx, std::uint64_t lo,
                                     std::uint64_t hi) const {
     ++stats_.range_lookups;
-    const auto& index = u64_indexes_.at(idx).map;
-    std::vector<std::pair<std::uint64_t, Key>> hits;
-    for (auto it = index.lower_bound(lo);
-         it != index.end() && it->first <= hi; ++it) {
-      hits.emplace_back(it->first, it->second);
-    }
-    std::sort(hits.begin(), hits.end());
     std::vector<const Row*> out;
-    out.reserve(hits.size());
-    for (const auto& [attr, key] : hits) out.push_back(&rows_.at(key));
+    visit_range_u64(idx, lo, hi, [&](const Row& row) { out.push_back(&row); });
     return out;
+  }
+
+  /// Allocation-free range visitor: rows with attribute in [lo, hi],
+  /// ascending by attribute (ties broken by primary key).
+  template <typename Fn>
+  void for_each_range(IndexId idx, std::uint64_t lo, std::uint64_t hi,
+                      Fn&& fn) const {
+    ++stats_.range_lookups;
+    visit_range_u64(idx, lo, hi, std::forward<Fn>(fn));
   }
 
   /// Full-table scan with a predicate — the only query the un-exported TSM
@@ -163,8 +247,8 @@ class Table {
   /// table before replaying the WAL image into it.
   void clear() {
     rows_.clear();
-    for (auto& idx : u64_indexes_) idx.map.clear();
-    for (auto& idx : str_indexes_) idx.map.clear();
+    for (auto& idx : u64_indexes_) idx.set.clear();
+    for (auto& idx : str_indexes_) idx.set.clear();
   }
 
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
@@ -173,22 +257,45 @@ class Table {
   void reset_stats() { stats_ = {}; }
 
  private:
+  // Indexes are ordered sets of (attribute, primary key): equality walks
+  // yield primary-key order and range walks yield (attribute, pk) order
+  // directly — no per-query materialize-and-sort — and de-indexing is one
+  // O(log n) erase of the exact pair instead of an equal-range hunt.
   struct U64Index {
     std::function<std::uint64_t(const Row&)> key_fn;
-    std::multimap<std::uint64_t, Key> map;
+    std::set<std::pair<std::uint64_t, Key>> set;
   };
   struct StrIndex {
     std::function<std::string(const Row&)> key_fn;
-    std::multimap<std::string, Key> map;
+    std::set<std::pair<std::string, Key>> set;
   };
 
-  /// Materializes rows for index hits in primary-key order.
-  std::vector<const Row*> rows_for(std::vector<Key>& keys) const {
-    std::sort(keys.begin(), keys.end());
-    std::vector<const Row*> out;
-    out.reserve(keys.size());
-    for (const Key k : keys) out.push_back(&rows_.at(k));
-    return out;
+  template <typename Fn>
+  void visit_u64(IndexId idx, std::uint64_t value, Fn&& fn) const {
+    const auto& index = u64_indexes_.at(idx).set;
+    for (auto it = index.lower_bound(std::make_pair(value, Key{0}));
+         it != index.end() && it->first == value; ++it) {
+      fn(rows_.at(it->second));
+    }
+  }
+
+  template <typename Fn>
+  void visit_str(IndexId idx, const std::string& value, Fn&& fn) const {
+    const auto& index = str_indexes_.at(idx).set;
+    for (auto it = index.lower_bound(std::make_pair(value, Key{0}));
+         it != index.end() && it->first == value; ++it) {
+      fn(rows_.at(it->second));
+    }
+  }
+
+  template <typename Fn>
+  void visit_range_u64(IndexId idx, std::uint64_t lo, std::uint64_t hi,
+                       Fn&& fn) const {
+    const auto& index = u64_indexes_.at(idx).set;
+    for (auto it = index.lower_bound(std::make_pair(lo, Key{0}));
+         it != index.end() && it->first <= hi; ++it) {
+      fn(rows_.at(it->second));
+    }
   }
 
   void require_empty(const char* op) const {
@@ -198,22 +305,16 @@ class Table {
   }
 
   void index_row(const Row& row, Key k) {
-    for (auto& idx : u64_indexes_) idx.map.emplace(idx.key_fn(row), k);
-    for (auto& idx : str_indexes_) idx.map.emplace(idx.key_fn(row), k);
+    for (auto& idx : u64_indexes_) idx.set.emplace(idx.key_fn(row), k);
+    for (auto& idx : str_indexes_) idx.set.emplace(idx.key_fn(row), k);
   }
 
   void deindex_row(const Row& row, Key k) {
-    for (auto& idx : u64_indexes_) erase_entry(idx.map, idx.key_fn(row), k);
-    for (auto& idx : str_indexes_) erase_entry(idx.map, idx.key_fn(row), k);
-  }
-
-  template <typename Map, typename K>
-  static void erase_entry(Map& map, const K& key, Key pk) {
-    for (auto [it, end] = map.equal_range(key); it != end; ++it) {
-      if (it->second == pk) {
-        map.erase(it);
-        return;
-      }
+    for (auto& idx : u64_indexes_) {
+      idx.set.erase(std::make_pair(idx.key_fn(row), k));
+    }
+    for (auto& idx : str_indexes_) {
+      idx.set.erase(std::make_pair(idx.key_fn(row), k));
     }
   }
 

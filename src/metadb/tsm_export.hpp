@@ -47,20 +47,27 @@ class TsmExportDb {
   }
 
   /// Resolves a GPFS file id to its TSM object (Sec 4.2.6 join).
+  /// Allocation-free: file ids are unique, so the first hit is the row.
   [[nodiscard]] const TapeObjectRow* by_gpfs_file_id(std::uint64_t fid) const {
-    auto rows = table_.lookup_u64(by_file_id_, fid);
-    return rows.empty() ? nullptr : rows.front();
+    return table_.first_u64(by_file_id_, fid);
   }
 
   /// Resolves a path to its tape location (Sec 4.2.5 recall query).
+  /// Allocation-free: live paths are unique in the export.
   [[nodiscard]] const TapeObjectRow* by_path(const std::string& path) const {
-    auto rows = table_.lookup_str(by_path_, path);
-    return rows.empty() ? nullptr : rows.front();
+    return table_.first_str(by_path_, path);
   }
 
   /// All objects on one cartridge (unordered; callers sort by tape_seq).
   [[nodiscard]] std::vector<const TapeObjectRow*> on_tape(std::uint64_t tape_id) const {
     return table_.lookup_u64(by_tape_, tape_id);
+  }
+
+  /// Allocation-free visitor over one cartridge's objects (primary-key
+  /// order) — the tape-ordered recall planner's hot path.
+  template <typename Fn>
+  void for_each_on_tape(std::uint64_t tape_id, Fn&& fn) const {
+    table_.for_each_u64(by_tape_, tape_id, std::forward<Fn>(fn));
   }
 
   /// Unindexed lookup by path — the query shape available against the raw

@@ -77,6 +77,40 @@ TEST_F(ObservabilityTest, HsmCountersMatchMigrateReportExactly) {
   EXPECT_EQ(m.counter_value("tape.bytes_written"), mig.bytes);
 }
 
+TEST(ObservabilityBatched, MdBatchCountersAccrueAndSaveRoundTrips) {
+  // A batched migrate must report its group commits: batches, ops
+  // carried, and round-trips saved (ops minus batches).  Aggregation is
+  // on so one migrate unit records several member objects plus the
+  // container in a single group commit — a genuine multi-op batch.
+  SystemConfig cfg = SystemConfig::small();
+  cfg.hsm.server.md_batch_size = 16;
+  cfg.hsm.aggregation_enabled = true;
+  CotsParallelArchive sys(cfg);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(sys.make_file(sys.scratch(), "/runs/f" + std::to_string(i),
+                            20 * kMB, 0xFEED + static_cast<std::uint64_t>(i)),
+              pfs::Errc::Ok);
+  }
+  sys.pfcp_archive("/runs", "/proj/run");
+  pfs::Rule rule;
+  rule.name = "tape-candidates";
+  rule.action = pfs::Rule::Action::List;
+  rule.where = {pfs::Condition::path_glob("/proj/*"),
+                pfs::Condition::dmapi_is(pfs::DmapiState::Resident)};
+  sys.policy().add_rule(rule);
+  bool done = false;
+  sys.run_migration_cycle("tape-candidates", "proj",
+                          [&](const hsm::MigrateReport&) { done = true; });
+  sys.sim().run();
+  ASSERT_TRUE(done);
+  const obs::MetricsRegistry& m = sys.observer().metrics();
+  const std::uint64_t batches = m.counter_value("hsm.md_batches");
+  const std::uint64_t ops = m.counter_value("hsm.md_batch_ops");
+  EXPECT_GT(batches, 0u);
+  EXPECT_GT(ops, batches);  // at least one multi-op group commit
+  EXPECT_EQ(m.counter_value("hsm.md_txn_saved"), ops - batches);
+}
+
 TEST_F(ObservabilityTest, TracedRunCoversAllMajorSubsystems) {
   make_scratch_tree(6, 80 * kMB);
   const pftool::JobReport cp = sys_.pfcp_archive("/runs", "/proj/run");

@@ -110,16 +110,71 @@ TEST(Chaos, QuiescentCrashRecoverMatchesCrashFreeState) {
       << "crashed:\n" << crashed.state << "\nplain:\n" << plain.state;
 }
 
+TEST(Chaos, FaultedCampaignWithBatchingCompletesWithZeroViolations) {
+  // Same adversity, batched metadata path: every oracle (no-lost-files,
+  // fixity, structural, profiler conservation) must hold when the object
+  // DB round-trips are group-committed 8 at a time.
+  const ChaosConfig cfg =
+      ChaosConfig{}.with_seed(1).with_ops(120).with_md_batch(8);
+  const ChaosResult r = run_chaos(cfg);
+  EXPECT_TRUE(r.ok()) << r.render_violations();
+  EXPECT_EQ(r.ops_executed + r.ops_skipped, 120u);
+  EXPECT_GT(r.jobs_submitted, 0u);
+}
+
+TEST(Chaos, CrashCampaignWithBatchingCompletesWithZeroViolations) {
+  // Power failures landing on in-flight batches: the torn-whole contract
+  // (no partial batch survives into the recovered catalog) is what keeps
+  // the no-lost-files and fixity oracles green here.
+  const ChaosConfig cfg = ChaosConfig{}
+                              .with_seed(20)
+                              .with_ops(150)
+                              .with_crashes(true)
+                              .with_md_batch(8);
+  const ChaosResult r = run_chaos(cfg);
+  EXPECT_TRUE(r.ok()) << r.render_violations();
+  EXPECT_EQ(r.ops_executed + r.ops_skipped, 150u);
+}
+
+TEST(Chaos, BatchedStateMatchesSingletonState) {
+  // Metamorphic equivalence: batching changes *when* metadata lands, not
+  // *what* lands.  Over benign campaigns (no faults/cancels/corruption —
+  // those legitimately couple outcomes to timing) the final logical state
+  // must be identical at any batch size.
+  for (const std::uint64_t seed : {3ULL, 14ULL, 27ULL}) {
+    const ChaosConfig base = ChaosConfig{}
+                                 .with_seed(seed)
+                                 .with_ops(90)
+                                 .with_faults(false)
+                                 .with_corruptions(false)
+                                 .with_cancels(false);
+    const ChaosResult singleton = run_chaos(base);
+    ASSERT_TRUE(singleton.ok()) << singleton.render_violations();
+    for (const unsigned b : {4u, 16u}) {
+      ChaosConfig batched = base;
+      batched.with_md_batch(b);
+      const ChaosResult r = run_chaos(batched);
+      ASSERT_TRUE(r.ok()) << "seed=" << seed << " batch=" << b << "\n"
+                          << r.render_violations();
+      EXPECT_EQ(r.state_digest, singleton.state_digest)
+          << "seed=" << seed << " batch=" << b << "\nbatched:\n"
+          << r.state << "\nsingleton:\n" << singleton.state;
+    }
+  }
+}
+
 TEST(Chaos, ReproLineRoundTripsTheConfig) {
   const ChaosConfig cfg = ChaosConfig{}
                               .with_seed(99)
                               .with_ops(40)
                               .with_corruptions(false)
+                              .with_md_batch(8)
                               .with_doctor(Doctor::DropFixityRow);
   const std::string line = repro_line(cfg);
   EXPECT_NE(line.find("--seed=99"), std::string::npos);
   EXPECT_NE(line.find("--ops=40"), std::string::npos);
   EXPECT_NE(line.find("--no-corruptions"), std::string::npos);
+  EXPECT_NE(line.find("--md-batch=8"), std::string::npos);
   EXPECT_NE(line.find("--doctor=fixity"), std::string::npos);
 }
 

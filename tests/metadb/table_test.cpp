@@ -131,6 +131,68 @@ TEST_F(TableTest, ForEachVisitsAllRows) {
   EXPECT_EQ(n, 5);
 }
 
+TEST_F(TableTest, VisitorsMatchLookupWithoutMaterializing) {
+  t_.insert({1, 10, "a", 100});
+  t_.insert({2, 10, "b", 200});
+  t_.insert({3, 20, "alpha", 300});
+  t_.insert({4, 10, "alpha", 400});
+
+  std::vector<std::uint64_t> ids;
+  t_.for_each_u64(by_group_, 10, [&](const Item& i) { ids.push_back(i.id); });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 4}));  // pk order
+
+  ids.clear();
+  t_.for_each_str(by_name_, "alpha",
+                  [&](const Item& i) { ids.push_back(i.id); });
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{3, 4}));
+
+  ids.clear();
+  t_.for_each_range(by_group_, 10, 20,
+                    [&](const Item& i) { ids.push_back(i.id); });
+  // Range walk: ascending attribute, ties broken by primary key.
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 4, 3}));
+
+  int n = 0;
+  t_.for_each_u64(by_group_, 999, [&](const Item&) { ++n; });
+  EXPECT_EQ(n, 0);
+  // Visitors count as index/range lookups, same as the vector forms.
+  EXPECT_EQ(t_.stats().index_lookups, 3u);
+  EXPECT_EQ(t_.stats().range_lookups, 1u);
+}
+
+TEST_F(TableTest, FirstMatchReturnsLowestPrimaryKey) {
+  t_.insert({5, 10, "dup", 0});
+  t_.insert({2, 10, "dup", 0});
+  t_.insert({9, 20, "other", 0});
+  const Item* u = t_.first_u64(by_group_, 10);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->id, 2u);
+  EXPECT_EQ(t_.first_u64(by_group_, 30), nullptr);
+  const Item* s = t_.first_str(by_name_, "dup");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->id, 2u);
+  EXPECT_EQ(t_.first_str(by_name_, "nope"), nullptr);
+}
+
+TEST_F(TableTest, BulkOpsApplyPerRowAndCountBatches) {
+  EXPECT_EQ(t_.insert_bulk({{1, 10, "a", 0}, {2, 10, "b", 0}, {1, 9, "dup", 0}}),
+            2u);  // duplicate pk skipped
+  EXPECT_EQ(t_.size(), 2u);
+  t_.upsert_bulk({{1, 20, "a2", 1}, {3, 20, "c", 2}});
+  EXPECT_EQ(t_.size(), 3u);
+  EXPECT_EQ(t_.find(1)->group, 20u);
+  // Indexes follow bulk upserts.
+  EXPECT_TRUE(t_.lookup_u64(by_group_, 10).size() == 1u);
+  EXPECT_EQ(t_.lookup_u64(by_group_, 20).size(), 2u);
+  EXPECT_EQ(t_.erase_bulk({1, 3, 77}), 2u);  // missing key skipped
+  EXPECT_EQ(t_.size(), 1u);
+  const auto& s = t_.stats();
+  EXPECT_EQ(s.bulk_batches, 3u);
+  EXPECT_EQ(s.bulk_rows, 3u + 2u + 3u);
+  EXPECT_EQ(s.inserts, 3u);  // 2 bulk-inserted + 1 new row via bulk upsert
+  EXPECT_EQ(s.erases, 2u);
+}
+
 // Property sweep: random insert/erase/upsert keeps indexes consistent with
 // a brute-force scan.
 class TableProperty : public ::testing::TestWithParam<std::uint64_t> {};
